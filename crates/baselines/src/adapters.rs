@@ -1,0 +1,141 @@
+//! [`KernelAllocator`] adapters for the new allocator's two interfaces.
+
+use core::ptr::NonNull;
+
+use kmem::{Cookie, CpuHandle, KmemArena};
+
+use crate::KernelAllocator;
+
+/// The new allocator through its standard System V interface
+/// (`kmem_alloc(size)` / `kmem_free(addr, size)`) — the paper's "newkma"
+/// trace.
+pub struct KmemStdAlloc {
+    arena: KmemArena,
+}
+
+impl KmemStdAlloc {
+    /// Wraps an arena.
+    pub fn new(arena: KmemArena) -> Self {
+        KmemStdAlloc { arena }
+    }
+
+    /// The wrapped arena (stats, reclaim).
+    pub fn arena(&self) -> &KmemArena {
+        &self.arena
+    }
+}
+
+impl KernelAllocator for KmemStdAlloc {
+    type Ctx = CpuHandle;
+    type Prep = usize;
+
+    fn name(&self) -> &'static str {
+        "newkma"
+    }
+
+    fn register(&self) -> CpuHandle {
+        self.arena.register_cpu().expect("out of virtual CPUs")
+    }
+
+    fn prepare(&self, size: usize) -> usize {
+        size
+    }
+
+    fn alloc(&self, ctx: &mut CpuHandle, size: usize) -> Option<NonNull<u8>> {
+        ctx.alloc(size).ok()
+    }
+
+    unsafe fn free(&self, ctx: &mut CpuHandle, ptr: NonNull<u8>, size: usize) {
+        // SAFETY: forwarded caller contract.
+        unsafe { ctx.free_sized(ptr, size) };
+    }
+}
+
+/// The new allocator through the cookie interface — the paper's "cookie"
+/// trace, its fastest configuration.
+pub struct KmemCookieAlloc {
+    arena: KmemArena,
+}
+
+impl KmemCookieAlloc {
+    /// Wraps an arena.
+    pub fn new(arena: KmemArena) -> Self {
+        KmemCookieAlloc { arena }
+    }
+
+    /// The wrapped arena (stats, reclaim).
+    pub fn arena(&self) -> &KmemArena {
+        &self.arena
+    }
+}
+
+impl KernelAllocator for KmemCookieAlloc {
+    type Ctx = CpuHandle;
+    type Prep = Cookie;
+
+    fn name(&self) -> &'static str {
+        "cookie"
+    }
+
+    fn register(&self) -> CpuHandle {
+        self.arena.register_cpu().expect("out of virtual CPUs")
+    }
+
+    fn prepare(&self, size: usize) -> Cookie {
+        self.arena
+            .cookie_for(size)
+            .expect("size not served by a class")
+    }
+
+    fn alloc(&self, ctx: &mut CpuHandle, cookie: Cookie) -> Option<NonNull<u8>> {
+        ctx.alloc_cookie(cookie).ok()
+    }
+
+    unsafe fn free(&self, ctx: &mut CpuHandle, ptr: NonNull<u8>, cookie: Cookie) {
+        // SAFETY: forwarded caller contract.
+        unsafe { ctx.free_cookie(ptr, cookie) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmem::KmemConfig;
+
+    fn drive<A: KernelAllocator>(alloc: &A, size: usize, rounds: usize) {
+        let mut ctx = alloc.register();
+        let prep = alloc.prepare(size);
+        for _ in 0..rounds {
+            let p = alloc.alloc(&mut ctx, prep).unwrap();
+            // SAFETY: allocated above, freed once, same prep.
+            unsafe { alloc.free(&mut ctx, p, prep) };
+        }
+    }
+
+    #[test]
+    fn all_four_allocators_drive_through_the_trait() {
+        let a1 = KmemStdAlloc::new(KmemArena::new(KmemConfig::small()).unwrap());
+        let a2 = KmemCookieAlloc::new(KmemArena::new(KmemConfig::small()).unwrap());
+        let a3 = crate::MkAllocator::new(4 << 20, 512);
+        let a4 = crate::OldKma::new(4 << 20, 1024);
+        drive(&a1, 256, 100);
+        drive(&a2, 256, 100);
+        drive(&a3, 256, 100);
+        drive(&a4, 256, 100);
+        assert_eq!(a3.stats().allocs.get(), 100);
+        assert_eq!(a4.stats().allocs.get(), 100);
+    }
+
+    #[test]
+    fn contexts_work_across_threads() {
+        let alloc = KmemCookieAlloc::new(KmemArena::new(KmemConfig::small()).unwrap());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let alloc = &alloc;
+                s.spawn(move || drive(alloc, 128, 500));
+            }
+        });
+        let stats = alloc.arena().stats();
+        assert_eq!(stats.total_allocs(), 2000);
+    }
+}

@@ -1,0 +1,620 @@
+//! "oldkma": a Fast Fits style boundary-tag heap under one global lock.
+//!
+//! The paper's `oldkma` trace is the previous DYNIX general-purpose
+//! allocator, which "resembles 'Fast Fits' [Stephenson 1983] (algorithm
+//! 'S' in Korn's and Vo's survey)". Fast Fits keeps the free blocks of a
+//! boundary-tag heap in a **Cartesian tree**: a binary search tree on
+//! block *address* that is simultaneously a max-heap on block *size*, so a
+//! leftmost-fit search, insertion, and deletion are all tree walks.
+//!
+//! * Every block carries its size (and a free bit) in a header word and a
+//!   trailing footer word, so freeing can find both neighbours and
+//!   coalesce immediately.
+//! * Free blocks store the tree links (`left`, `right`) in their first
+//!   payload words.
+//! * The heap grows by whole vmblk extents; extent edges carry allocated
+//!   sentinel words so coalescing never walks off an extent. In the old
+//!   style, extents are never returned to the system.
+//!
+//! All of it sits behind one spinlock — the "simple global mutual
+//! exclusion" whose cache behaviour the paper's Analysis section measures.
+
+use core::ptr::{self, NonNull};
+use std::sync::Arc;
+
+use kmem_smp::probe::{self, ProbeEvent};
+use kmem_smp::{EventCounter, SpinLock};
+use kmem_vm::{KernelSpace, SpaceConfig, PAGE_SHIFT};
+
+use crate::KernelAllocator;
+
+const WORD: usize = core::mem::size_of::<usize>();
+const FREE_BIT: usize = 1;
+/// All block sizes are multiples of this.
+const GRAIN: usize = 16;
+/// Header + two tree links + footer.
+const MIN_BLOCK: usize = 4 * WORD;
+/// Per-block overhead (header + footer).
+const OVERHEAD: usize = 2 * WORD;
+
+/// A free block viewed as a Cartesian-tree node. The header word holds
+/// `size | FREE_BIT`; the footer (last word of the block) repeats it.
+#[repr(C)]
+struct Node {
+    header: usize,
+    left: *mut Node,
+    right: *mut Node,
+}
+
+/// Size (including overhead) stored in a block's header at `b`.
+///
+/// # Safety
+///
+/// `b` must point at a block header within a live extent.
+#[inline]
+unsafe fn block_size(b: *mut u8) -> usize {
+    // SAFETY: per contract.
+    unsafe { (b as *mut usize).read() & !FREE_BIT }
+}
+
+/// # Safety
+///
+/// `b` must point at a block header within a live extent.
+#[inline]
+unsafe fn is_free(b: *mut u8) -> bool {
+    // SAFETY: per contract.
+    unsafe { (b as *mut usize).read() & FREE_BIT != 0 }
+}
+
+/// Writes header and footer for a block of `size` bytes at `b`.
+///
+/// # Safety
+///
+/// `[b, b + size)` must lie within a live extent and be owned by the
+/// caller.
+#[inline]
+unsafe fn set_tags(b: *mut u8, size: usize, free: bool) {
+    let tag = size | usize::from(free);
+    // SAFETY: per contract; footer is the last word of the block.
+    unsafe {
+        (b as *mut usize).write(tag);
+        (b.add(size - WORD) as *mut usize).write(tag);
+    }
+}
+
+/// Leftmost free block of size ≥ `n` (Stephenson's leftmost fit).
+///
+/// The heap property prunes: a subtree whose root is smaller than `n`
+/// contains nothing of size ≥ `n`.
+///
+/// # Safety
+///
+/// `t` must be a valid tree under the allocator lock.
+unsafe fn fit(t: *mut Node, n: usize) -> *mut Node {
+    if t.is_null() {
+        return ptr::null_mut();
+    }
+    probe::emit(ProbeEvent::LineRead {
+        line: probe::line_of(t),
+    });
+    // SAFETY: tree nodes are live free blocks.
+    let size = unsafe { block_size(t as *mut u8) };
+    if size < n {
+        return ptr::null_mut();
+    }
+    // SAFETY: recursion over the same tree.
+    let left = unsafe { fit((*t).left, n) };
+    if !left.is_null() {
+        return left;
+    }
+    t
+}
+
+/// Splits `t` into (addresses < `addr`, addresses > `addr`).
+///
+/// # Safety
+///
+/// As for [`fit`].
+unsafe fn split(t: *mut Node, addr: usize) -> (*mut Node, *mut Node) {
+    if t.is_null() {
+        return (ptr::null_mut(), ptr::null_mut());
+    }
+    if (t as usize) < addr {
+        // SAFETY: recursion over the same tree.
+        let (l, r) = unsafe { split((*t).right, addr) };
+        // SAFETY: `t` is live.
+        unsafe { (*t).right = l };
+        (t, r)
+    } else {
+        // SAFETY: as above.
+        let (l, r) = unsafe { split((*t).left, addr) };
+        // SAFETY: as above.
+        unsafe { (*t).left = r };
+        (l, t)
+    }
+}
+
+/// Merges two trees where every address in `a` precedes every address in
+/// `b`, preserving the size heap.
+///
+/// # Safety
+///
+/// As for [`fit`].
+unsafe fn merge(a: *mut Node, b: *mut Node) -> *mut Node {
+    if a.is_null() {
+        return b;
+    }
+    if b.is_null() {
+        return a;
+    }
+    // SAFETY: both roots are live free blocks.
+    let (sa, sb) = unsafe { (block_size(a as *mut u8), block_size(b as *mut u8)) };
+    if sa >= sb {
+        // SAFETY: recursion over the same trees.
+        unsafe { (*a).right = merge((*a).right, b) };
+        a
+    } else {
+        // SAFETY: as above.
+        unsafe { (*b).left = merge(a, (*b).left) };
+        b
+    }
+}
+
+/// Inserts `node` (its tags already written) into `t`.
+///
+/// # Safety
+///
+/// As for [`fit`]; `node` must be a free block in no tree.
+unsafe fn insert(t: *mut Node, node: *mut Node) -> *mut Node {
+    if t.is_null() {
+        // SAFETY: `node` is live.
+        unsafe {
+            (*node).left = ptr::null_mut();
+            (*node).right = ptr::null_mut();
+        }
+        return node;
+    }
+    // SAFETY: live blocks.
+    let (sn, st) = unsafe { (block_size(node as *mut u8), block_size(t as *mut u8)) };
+    if sn >= st {
+        // `node` dominates this subtree: split it by address around the
+        // new root.
+        // SAFETY: recursion over the same tree.
+        let (l, r) = unsafe { split(t, node as usize) };
+        // SAFETY: `node` is live.
+        unsafe {
+            (*node).left = l;
+            (*node).right = r;
+        }
+        node
+    } else if (node as usize) < (t as usize) {
+        // SAFETY: as above.
+        unsafe { (*t).left = insert((*t).left, node) };
+        t
+    } else {
+        // SAFETY: as above.
+        unsafe { (*t).right = insert((*t).right, node) };
+        t
+    }
+}
+
+/// Removes the exact node `target` from `t` (descends by address).
+///
+/// # Safety
+///
+/// As for [`fit`]; `target` must be in the tree.
+unsafe fn delete(t: *mut Node, target: *mut Node) -> *mut Node {
+    debug_assert!(!t.is_null(), "deleting a node not in the tree");
+    if t == target {
+        // SAFETY: `t` is live.
+        return unsafe { merge((*t).left, (*t).right) };
+    }
+    if (target as usize) < (t as usize) {
+        // SAFETY: recursion over the same tree.
+        unsafe { (*t).left = delete((*t).left, target) };
+    } else {
+        // SAFETY: as above.
+        unsafe { (*t).right = delete((*t).right, target) };
+    }
+    t
+}
+
+struct OldInner {
+    root: *mut Node,
+    /// Extents (whole vmblks) ever acquired; never returned.
+    extents: Vec<(usize, usize)>,
+}
+
+// SAFETY: `OldInner` is only reachable through the global spinlock.
+unsafe impl Send for OldInner {}
+
+/// Statistics for the oldkma baseline.
+#[derive(Default)]
+pub struct OldKmaStats {
+    /// Allocations served.
+    pub allocs: EventCounter,
+    /// Frees served.
+    pub frees: EventCounter,
+    /// Extents acquired from the space.
+    pub extents: EventCounter,
+}
+
+/// The Fast Fits style heap under one global lock.
+pub struct OldKma {
+    space: Arc<KernelSpace>,
+    inner: SpinLock<OldInner>,
+    stats: OldKmaStats,
+}
+
+impl OldKma {
+    /// Creates an allocator over its own kernel space.
+    pub fn new(space_bytes: usize, phys_pages: usize) -> Self {
+        let shift = 22.min(space_bytes.trailing_zeros());
+        let space = Arc::new(KernelSpace::new(
+            SpaceConfig::new(space_bytes)
+                .vmblk_shift(shift)
+                .phys_pages(phys_pages),
+        ));
+        OldKma {
+            space,
+            inner: SpinLock::new(OldInner {
+                root: ptr::null_mut(),
+                extents: Vec::new(),
+            }),
+            stats: OldKmaStats::default(),
+        }
+    }
+
+    /// The backing space.
+    pub fn space(&self) -> &KernelSpace {
+        &self.space
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &OldKmaStats {
+        &self.stats
+    }
+
+    /// Total request size including overhead, rounded to the grain.
+    fn request_size(size: usize) -> usize {
+        (size + OVERHEAD).next_multiple_of(GRAIN).max(MIN_BLOCK)
+    }
+
+    /// Allocates `size` bytes.
+    pub fn malloc(&self, size: usize) -> Option<NonNull<u8>> {
+        if size == 0 {
+            return None;
+        }
+        self.stats.allocs.inc();
+        let need = Self::request_size(size);
+        let mut inner = self.inner.lock();
+        // SAFETY: lock held; the tree is valid.
+        let mut node = unsafe { fit(inner.root, need) };
+        if node.is_null() {
+            self.grow(&mut inner, need)?;
+            // SAFETY: as above.
+            node = unsafe { fit(inner.root, need) };
+            if node.is_null() {
+                return None;
+            }
+        }
+        // SAFETY: lock held; `node` is in the tree.
+        unsafe {
+            inner.root = delete(inner.root, node);
+            let total = block_size(node as *mut u8);
+            let block = node as *mut u8;
+            if total - need >= MIN_BLOCK {
+                // Split: keep the front, reinsert the remainder.
+                let rest = block.add(need);
+                set_tags(rest, total - need, true);
+                inner.root = insert(inner.root, rest as *mut Node);
+                set_tags(block, need, false);
+            } else {
+                set_tags(block, total, false);
+            }
+            probe::emit(ProbeEvent::LineWrite {
+                line: probe::line_of(block),
+            });
+            probe::emit(ProbeEvent::Work { cycles: 400 });
+            // Payload starts after the header word.
+            Some(NonNull::new_unchecked(block.add(WORD)))
+        }
+    }
+
+    /// Frees a block, coalescing with both neighbours immediately.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from [`OldKma::malloc`] on this allocator, be freed
+    /// exactly once, with no live references into the block.
+    pub unsafe fn free(&self, ptr: NonNull<u8>) {
+        self.stats.frees.inc();
+        // SAFETY: payload sits one word after the header.
+        let mut block = unsafe { ptr.as_ptr().sub(WORD) };
+        let mut inner = self.inner.lock();
+        // SAFETY: lock held; `block` is a live allocated block; sentinels
+        // bound every extent so neighbour probes stay in bounds.
+        unsafe {
+            let mut size = block_size(block);
+            debug_assert!(!is_free(block), "oldkma double free");
+            probe::emit(ProbeEvent::LineRead {
+                line: probe::line_of(block.add(size)),
+            });
+            // Forward coalesce.
+            let next = block.add(size);
+            if is_free(next) {
+                inner.root = delete(inner.root, next as *mut Node);
+                size += block_size(next);
+            }
+            // Backward coalesce via the previous block's footer.
+            let prev_footer = (block.sub(WORD) as *mut usize).read();
+            probe::emit(ProbeEvent::LineRead {
+                line: probe::line_of(block.sub(WORD)),
+            });
+            if prev_footer & FREE_BIT != 0 {
+                let prev = block.sub(prev_footer & !FREE_BIT);
+                inner.root = delete(inner.root, prev as *mut Node);
+                size += prev_footer & !FREE_BIT;
+                block = prev;
+            }
+            set_tags(block, size, true);
+            inner.root = insert(inner.root, block as *mut Node);
+            probe::emit(ProbeEvent::LineWrite {
+                line: probe::line_of(block),
+            });
+            probe::emit(ProbeEvent::Work { cycles: 410 });
+        }
+    }
+
+    /// Acquires a new extent and inserts its interior as one free block.
+    fn grow(&self, inner: &mut OldInner, need: usize) -> Option<()> {
+        let region = self.space.alloc_vmblk().ok()?;
+        let pages = region.size() >> PAGE_SHIFT;
+        if self.space.phys().claim(pages).is_err() {
+            self.space.free_vmblk(region);
+            return None;
+        }
+        self.stats.extents.inc();
+        let base = region.base().as_ptr();
+        let size = region.size();
+        // (If `need` exceeds what one extent can hold, the block is still
+        // added — it was paid for — and the caller's retry returns None.)
+        let _ = need;
+        // SAFETY: the extent is exclusively ours.
+        unsafe {
+            // Allocated sentinels at both edges stop coalescing.
+            (base as *mut usize).write(2 * WORD); // fake allocated tag
+            (base.add(size - WORD) as *mut usize).write(2 * WORD);
+            let block = base.add(WORD);
+            set_tags(block, size - 2 * WORD, true);
+            inner.root = insert(inner.root, block as *mut Node);
+        }
+        inner
+            .extents
+            .push((region.base().as_ptr() as usize, region.size()));
+        Some(())
+    }
+
+    /// Sums the free bytes in the tree (tests).
+    pub fn free_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        // SAFETY: lock held.
+        unsafe { tree_bytes(inner.root) }
+    }
+
+    /// Verifies the tree's heap/BST/tag invariants (tests; quiescence).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a violation.
+    pub fn verify(&self) {
+        let inner = self.inner.lock();
+        // SAFETY: lock held.
+        unsafe { verify_node(inner.root, usize::MIN, usize::MAX, usize::MAX) };
+    }
+}
+
+/// # Safety
+///
+/// Caller holds the allocator lock.
+unsafe fn tree_bytes(t: *mut Node) -> usize {
+    if t.is_null() {
+        return 0;
+    }
+    // SAFETY: tree nodes are live.
+    unsafe { block_size(t as *mut u8) + tree_bytes((*t).left) + tree_bytes((*t).right) }
+}
+
+/// # Safety
+///
+/// Caller holds the allocator lock.
+unsafe fn verify_node(t: *mut Node, lo: usize, hi: usize, max_size: usize) {
+    if t.is_null() {
+        return;
+    }
+    let addr = t as usize;
+    assert!(addr > lo && addr < hi, "BST order violated");
+    // SAFETY: tree nodes are live free blocks.
+    unsafe {
+        let size = block_size(t as *mut u8);
+        assert!(size <= max_size, "size heap violated");
+        assert!(is_free(t as *mut u8), "allocated block in the free tree");
+        let footer = ((t as *mut u8).add(size - WORD) as *mut usize).read();
+        assert_eq!(footer & !FREE_BIT, size, "footer tag mismatch");
+        assert!(footer & FREE_BIT != 0, "footer free bit mismatch");
+        verify_node((*t).left, lo, addr, size);
+        verify_node((*t).right, addr, hi, size);
+    }
+}
+
+impl KernelAllocator for OldKma {
+    type Ctx = ();
+    type Prep = usize;
+
+    fn name(&self) -> &'static str {
+        "oldkma"
+    }
+
+    fn register(&self) -> Self::Ctx {}
+
+    fn prepare(&self, size: usize) -> usize {
+        size
+    }
+
+    fn alloc(&self, _ctx: &mut (), size: usize) -> Option<NonNull<u8>> {
+        self.malloc(size)
+    }
+
+    unsafe fn free(&self, _ctx: &mut (), ptr: NonNull<u8>, _size: usize) {
+        // SAFETY: forwarded caller contract.
+        unsafe { OldKma::free(self, ptr) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn old() -> OldKma {
+        OldKma::new(1 << 20, 256)
+    }
+
+    #[test]
+    fn round_trip_and_coalesce_to_single_block() {
+        let a = old();
+        let initial = {
+            let p = a.malloc(100).unwrap();
+            // SAFETY: allocated above.
+            unsafe { a.free(p) };
+            a.free_bytes()
+        };
+        // Allocate a bunch, free in random-ish order: free bytes return
+        // to exactly the initial single block (full coalescing).
+        let blocks: Vec<_> = (0..50).map(|i| a.malloc(32 + i * 8).unwrap()).collect();
+        a.verify();
+        for (i, p) in blocks.iter().enumerate().filter(|(i, _)| i % 2 == 0) {
+            let _ = i;
+            // SAFETY: allocated above, freed once.
+            unsafe { a.free(*p) };
+        }
+        a.verify();
+        for (i, p) in blocks.iter().enumerate().filter(|(i, _)| i % 2 == 1) {
+            let _ = i;
+            // SAFETY: allocated above, freed once.
+            unsafe { a.free(*p) };
+        }
+        a.verify();
+        assert_eq!(a.free_bytes(), initial);
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        let a = old();
+        let blocks: Vec<_> = (0..100).map(|_| a.malloc(48).unwrap()).collect();
+        let mut addrs: Vec<_> = blocks.iter().map(|p| p.as_ptr() as usize).collect();
+        addrs.sort_unstable();
+        for w in addrs.windows(2) {
+            assert!(w[1] - w[0] >= 48 + OVERHEAD);
+        }
+        for p in blocks {
+            // SAFETY: allocated above.
+            unsafe { a.free(p) };
+        }
+        a.verify();
+    }
+
+    #[test]
+    fn leftmost_fit_prefers_low_addresses() {
+        let a = old();
+        let p1 = a.malloc(64).unwrap();
+        let p2 = a.malloc(64).unwrap();
+        let _hold = a.malloc(64).unwrap();
+        // SAFETY: allocated above.
+        unsafe {
+            a.free(p1);
+            a.free(p2);
+        }
+        // p1 and p2 coalesced into one low block; next alloc comes from
+        // its front, i.e. p1's address.
+        let q = a.malloc(64).unwrap();
+        assert_eq!(q, p1);
+        a.verify();
+    }
+
+    #[test]
+    fn payload_is_usable_to_the_brim() {
+        let a = old();
+        let p = a.malloc(200).unwrap();
+        // SAFETY: 200 bytes were requested.
+        unsafe { core::ptr::write_bytes(p.as_ptr(), 0x7e, 200) };
+        // SAFETY: allocated above.
+        unsafe { a.free(p) };
+        a.verify();
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        // The space is one 64 KB vmblk (16 pages) but only 4 physical
+        // frames exist: growth fails, and so must allocation.
+        let a = OldKma::new(1 << 16, 4);
+        assert!(a.malloc(32).is_none());
+    }
+
+    #[test]
+    fn grows_across_extents() {
+        let a = OldKma::new(1 << 20, 256);
+        // Each extent is 1 MB? No - shift capped at min(22, 20) = 20,
+        // one extent of 1 MB, 256 pages: exactly the phys pool.
+        let p = a.malloc(500_000).unwrap();
+        // SAFETY: 500000 bytes allocated.
+        unsafe { core::ptr::write_bytes(p.as_ptr(), 1, 500_000) };
+        let q = a.malloc(400_000).unwrap();
+        // SAFETY: allocated above.
+        unsafe {
+            a.free(p);
+            a.free(q);
+        }
+        a.verify();
+    }
+
+    #[test]
+    fn concurrent_traffic_is_serialized_correctly() {
+        let a = OldKma::new(4 << 20, 1024);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let a = &a;
+                s.spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..2000usize {
+                        held.push(a.malloc(16 + ((i + t) % 7) * 24).unwrap());
+                        if held.len() > 8 {
+                            // SAFETY: allocated above, freed once.
+                            unsafe { a.free(held.swap_remove(i % held.len())) };
+                        }
+                    }
+                    for p in held {
+                        // SAFETY: allocated above, freed once.
+                        unsafe { a.free(p) };
+                    }
+                });
+            }
+        });
+        a.verify();
+        assert_eq!(a.stats().allocs.get(), 8000);
+        assert_eq!(a.stats().frees.get(), 8000);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_caught_in_debug() {
+        let a = old();
+        let p = a.malloc(64).unwrap();
+        // SAFETY: first free legitimate; second intentionally violates the
+        // contract to check the guard rail.
+        unsafe {
+            a.free(p);
+            a.free(p);
+        }
+    }
+}

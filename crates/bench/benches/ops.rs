@@ -1,0 +1,43 @@
+//! E2 (Criterion) — per-operation fast-path latency for each interface.
+//!
+//! The measured half of the paper's "Instruction Counts" section: a
+//! steady-state alloc/free pair per interface. The shape claim is the
+//! ordering (cookie fastest, standard ~2x, oldkma far behind).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kmem::{KmemArena, KmemConfig};
+use kmem_baselines::{KernelAllocator, KmemCookieAlloc, KmemStdAlloc, MkAllocator, OldKma};
+
+fn bench_pair<A: KernelAllocator>(c: &mut Criterion, name: &str, alloc: &A, size: usize) {
+    let mut ctx = alloc.register();
+    let prep = alloc.prepare(size);
+    // Steady state: warm the per-CPU layer / freelists.
+    for _ in 0..1024 {
+        let p = alloc.alloc(&mut ctx, prep).unwrap();
+        // SAFETY: allocated above with the same prep.
+        unsafe { alloc.free(&mut ctx, p, prep) };
+    }
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let p = alloc.alloc(&mut ctx, prep).unwrap();
+            std::hint::black_box(p);
+            // SAFETY: allocated above with the same prep.
+            unsafe { alloc.free(&mut ctx, p, prep) };
+        })
+    });
+}
+
+fn ops(c: &mut Criterion) {
+    let size = 256;
+    let cookie = KmemCookieAlloc::new(KmemArena::new(KmemConfig::small()).unwrap());
+    bench_pair(c, "pair/cookie", &cookie, size);
+    let std_alloc = KmemStdAlloc::new(KmemArena::new(KmemConfig::small()).unwrap());
+    bench_pair(c, "pair/newkma", &std_alloc, size);
+    let mk = MkAllocator::new(16 << 20, 4096);
+    bench_pair(c, "pair/mk", &mk, size);
+    let old = OldKma::new(16 << 20, 4096);
+    bench_pair(c, "pair/oldkma", &old, size);
+}
+
+criterion_group!(benches, ops);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E3/E4 (Criterion) — simulated-SMP scaling points.
+//!
+//! Wraps the Figure 7 DES driver so the scaling data is regenerated under
+//! Criterion's statistics too. The *figure itself* is printed by the
+//! `fig7` binary; this bench tracks the simulation cost and pins the
+//! headline shape (cookie scales, mk does not) as assertions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmem::{KmemArena, KmemConfig};
+use kmem_baselines::{KmemCookieAlloc, MkAllocator};
+use kmem_bench::{sim_pairs_per_sec, BASE_COOKIE, BASE_MK};
+use kmem_vm::SpaceConfig;
+
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_sim");
+    group.sample_size(10);
+    for ncpus in [1usize, 8, 25] {
+        group.bench_with_input(
+            BenchmarkId::new("cookie", ncpus),
+            &ncpus,
+            |b, &ncpus| {
+                b.iter(|| {
+                    let arena = KmemArena::new(KmemConfig::new(
+                        ncpus,
+                        SpaceConfig::new(32 << 20),
+                    ))
+                    .unwrap();
+                    let a = KmemCookieAlloc::new(arena);
+                    sim_pairs_per_sec(&a, 256, ncpus, 1_000, BASE_COOKIE)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("mk", ncpus), &ncpus, |b, &ncpus| {
+            b.iter(|| {
+                let a = MkAllocator::new(32 << 20, 8192);
+                sim_pairs_per_sec(&a, 256, ncpus, 1_000, BASE_MK)
+            })
+        });
+    }
+    group.finish();
+
+    // Shape pin: regressions in the allocator that break scaling fail
+    // the bench run itself.
+    let cookie1 = {
+        let a = KmemCookieAlloc::new(
+            KmemArena::new(KmemConfig::new(1, SpaceConfig::new(32 << 20))).unwrap(),
+        );
+        sim_pairs_per_sec(&a, 256, 1, 2_000, BASE_COOKIE).pairs_per_sec
+    };
+    let cookie25 = {
+        let a = KmemCookieAlloc::new(
+            KmemArena::new(KmemConfig::new(25, SpaceConfig::new(32 << 20))).unwrap(),
+        );
+        sim_pairs_per_sec(&a, 256, 25, 2_000, BASE_COOKIE).pairs_per_sec
+    };
+    assert!(
+        cookie25 / cookie1 > 20.0,
+        "cookie scaling regressed: {:.1}x at 25 CPUs",
+        cookie25 / cookie1
+    );
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

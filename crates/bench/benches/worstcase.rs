@@ -1,0 +1,43 @@
+//! E5 (Criterion) — one pass of the Figure 9 worst-case sweep.
+//!
+//! Allocate blocks until the (small) physical pool is exhausted, free
+//! them all, and verify the arena drains — the per-pass cost the figure
+//! plots against block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmem::{AllocError, KmemArena, KmemConfig};
+use kmem_vm::SpaceConfig;
+
+fn worstcase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_pass");
+    group.sample_size(10);
+    for size in [64usize, 512, 4096] {
+        // 2 MB pool keeps each pass small enough to iterate.
+        let arena = KmemArena::new(KmemConfig::new(
+            1,
+            SpaceConfig::new(64 << 20).phys_pages(512),
+        ))
+        .unwrap();
+        let cpu = arena.register_cpu().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                let mut held = Vec::new();
+                loop {
+                    match cpu.alloc(size) {
+                        Ok(p) => held.push(p),
+                        Err(AllocError::OutOfMemory { .. }) => break,
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+                for p in held {
+                    // SAFETY: allocated above, freed once.
+                    unsafe { cpu.free_sized(p, size) };
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, worstcase);
+criterion_main!(benches);

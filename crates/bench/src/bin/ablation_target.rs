@@ -1,0 +1,91 @@
+//! Ablation — sweeping `target` and `gbltarget` (DESIGN.md §5).
+//!
+//! "The global layer will be accessed at most one time per target-number
+//! of accesses. This means that the per-allocation overhead incurred in
+//! the global layer may be reduced to any desired level simply by
+//! increasing the value of target. The only penalty [...] is the
+//! increased amount of memory that will reside in the per-CPU caches."
+//!
+//! The workload alternates allocation and free bursts (the pattern that
+//! maximizes layer crossings) and reports, per `target`: the per-CPU miss
+//! rates against the 1/target bound, the combined miss rate against the
+//! 1/(target*gbltarget) bound, and the memory resident in caches.
+//!
+//! Usage: ablation_target [--ops N]
+
+use kmem::{KmemArena, KmemConfig};
+use kmem_bench::print_table;
+use kmem_vm::SpaceConfig;
+
+fn main() {
+    let mut ops: usize = 100_000;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ops" => ops = it.next().expect("--ops N").parse().expect("number"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let size = 256usize;
+    let mut rows = Vec::new();
+    for target in [1usize, 2, 4, 8, 10, 16, 32] {
+        let gbltarget = (3 * target).max(3);
+        let cfg = KmemConfig::new(1, SpaceConfig::new(32 << 20))
+            .set_all_classes(target, gbltarget);
+        let arena = KmemArena::new(cfg).unwrap();
+        let cpu = arena.register_cpu().unwrap();
+        // Burst pattern: allocate 12*target blocks, free them, repeat —
+        // bursts overflow the per-CPU cache (2*target) *and* the global
+        // pool (2*gbltarget = 6*target), so every layer boundary sees
+        // worst-case traffic down to the coalesce-to-page layer.
+        let burst = 12 * target;
+        let mut held = Vec::with_capacity(burst);
+        let mut done = 0usize;
+        while done < ops {
+            for _ in 0..burst {
+                held.push(cpu.alloc(size).unwrap());
+            }
+            for p in held.drain(..) {
+                // SAFETY: allocated above, freed once.
+                unsafe { cpu.free_sized(p, size) };
+            }
+            done += 2 * burst;
+        }
+        let stats = arena.stats();
+        let c = stats
+            .classes
+            .iter()
+            .find(|c| c.size == size)
+            .expect("class exists");
+        let cached = cpu.cached_blocks();
+        rows.push(vec![
+            target.to_string(),
+            gbltarget.to_string(),
+            format!("{:.3}%", 100.0 * c.cpu_alloc.miss_rate()),
+            format!("{:.3}%", 100.0 * (1.0 / target as f64)),
+            format!("{:.4}%", 100.0 * c.combined_alloc_miss_rate()),
+            format!(
+                "{:.4}%",
+                100.0 / (target as f64 * gbltarget as f64)
+            ),
+            format!("{}", cached * size),
+        ]);
+    }
+    println!("Ablation: target / gbltarget sweep ({size}-byte class, burst workload)\n");
+    print_table(
+        &[
+            "target",
+            "gbltarget",
+            "cpu miss",
+            "bound 1/t",
+            "combined miss",
+            "bound 1/(t*g)",
+            "cached bytes",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected: miss rates track their bounds downward as target grows,\n\
+         while per-CPU cached memory grows — the paper's stated tradeoff."
+    );
+}

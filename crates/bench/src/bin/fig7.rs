@@ -1,0 +1,185 @@
+//! E3/E4 — Figures 7 and 8: alloc/free pairs per second vs CPUs.
+//!
+//! Reproduces the paper's best-case benchmark (a loop that invokes
+//! kmem_alloc to allocate a buffer, then invokes kmem_free to immediately
+//! deallocate this same buffer") for the four allocators of Figure 7:
+//! the cookie interface, the standard interface ("newkma"), the naive
+//! parallelization of McKusick–Karels, and "oldkma" (Fast Fits).
+//!
+//! By default the workload runs on the discrete-event SMP simulator
+//! (1..=25 virtual CPUs, 50 MHz 80486 cost model — see DESIGN.md's
+//! hardware substitution note). With `--threads` it instead runs real OS
+//! threads for wall-clock rates on a real SMP host.
+//!
+//! Usage: fig7 [--ops N] [--size BYTES] [--max-cpus N] [--threads]
+
+use std::time::Duration;
+
+use kmem::{KmemArena, KmemConfig};
+use kmem_baselines::{KmemCookieAlloc, KmemStdAlloc, MkAllocator, OldKma};
+use kmem_bench::{
+    ascii_chart, print_table, sim_pairs_per_sec, thread_pairs_per_sec, Series, BASE_COOKIE,
+    BASE_MK, BASE_NEWKMA, BASE_OLDKMA,
+};
+use kmem_vm::SpaceConfig;
+
+struct Args {
+    ops: u64,
+    size: usize,
+    max_cpus: usize,
+    threads: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ops: 5_000,
+        size: 256,
+        max_cpus: 25,
+        threads: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ops" => args.ops = it.next().expect("--ops N").parse().expect("number"),
+            "--size" => args.size = it.next().expect("--size B").parse().expect("number"),
+            "--max-cpus" => {
+                args.max_cpus = it.next().expect("--max-cpus N").parse().expect("number")
+            }
+            "--threads" => args.threads = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn cpu_counts(max: usize) -> Vec<usize> {
+    [1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 25]
+        .into_iter()
+        .filter(|&c| c <= max)
+        .collect()
+}
+
+fn kmem_arena(ncpus: usize) -> KmemArena {
+    KmemArena::new(KmemConfig::new(ncpus, SpaceConfig::new(64 << 20))).unwrap()
+}
+
+fn run_series(args: &Args, name: &str, f: impl Fn(usize) -> f64) -> Series {
+    let points = cpu_counts(args.max_cpus)
+        .into_iter()
+        .map(|n| (n as f64, f(n)))
+        .collect();
+    Series {
+        name: name.into(),
+        points,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Figure 7/8 reproduction: best-case alloc/free pairs of {} bytes, {} mode",
+        args.size,
+        if args.threads {
+            "real-thread"
+        } else {
+            "simulated-SMP (50 MHz 80486 cost model)"
+        }
+    );
+
+    let series: Vec<Series> = if args.threads {
+        let dur = Duration::from_millis(300);
+        vec![
+            run_series(&args, "cookie", |n| {
+                let a = KmemCookieAlloc::new(kmem_arena(n));
+                thread_pairs_per_sec(&a, args.size, n, dur)
+            }),
+            run_series(&args, "newkma", |n| {
+                let a = KmemStdAlloc::new(kmem_arena(n));
+                thread_pairs_per_sec(&a, args.size, n, dur)
+            }),
+            run_series(&args, "mk", |n| {
+                let a = MkAllocator::new(64 << 20, 16384);
+                thread_pairs_per_sec(&a, args.size, n, dur)
+            }),
+            run_series(&args, "oldkma", |n| {
+                let a = OldKma::new(64 << 20, 16384);
+                thread_pairs_per_sec(&a, args.size, n, dur)
+            }),
+        ]
+    } else {
+        vec![
+            run_series(&args, "cookie", |n| {
+                let a = KmemCookieAlloc::new(kmem_arena(n));
+                sim_pairs_per_sec(&a, args.size, n, args.ops, BASE_COOKIE).pairs_per_sec
+            }),
+            run_series(&args, "newkma", |n| {
+                let a = KmemStdAlloc::new(kmem_arena(n));
+                sim_pairs_per_sec(&a, args.size, n, args.ops, BASE_NEWKMA).pairs_per_sec
+            }),
+            run_series(&args, "mk", |n| {
+                let a = MkAllocator::new(64 << 20, 16384);
+                sim_pairs_per_sec(&a, args.size, n, args.ops, BASE_MK).pairs_per_sec
+            }),
+            run_series(&args, "oldkma", |n| {
+                let a = OldKma::new(64 << 20, 16384);
+                sim_pairs_per_sec(&a, args.size, n, args.ops, BASE_OLDKMA).pairs_per_sec
+            }),
+        ]
+    };
+
+    // The Figure 7 data as a table.
+    let mut rows = Vec::new();
+    for (i, &n) in cpu_counts(args.max_cpus).iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        for s in &series {
+            row.push(format!("{:.3e}", s.points[i].1));
+        }
+        rows.push(row);
+    }
+    println!();
+    print_table(
+        &["CPUs", "cookie", "newkma", "mk", "oldkma"],
+        &rows,
+    );
+
+    ascii_chart(
+        "Figure 7 (linear): pairs/sec vs CPUs",
+        &series,
+        false,
+    );
+    ascii_chart(
+        "Figure 8 (semilog): pairs/sec vs CPUs",
+        &series,
+        true,
+    );
+
+    // E8 headline ratios.
+    let at = |s: &Series, n: f64| {
+        s.points
+            .iter()
+            .find(|p| p.0 == n)
+            .map(|p| p.1)
+            .unwrap_or(f64::NAN)
+    };
+    let last = cpu_counts(args.max_cpus).last().copied().unwrap() as f64;
+    let cookie = &series[0];
+    let newkma = &series[1];
+    let oldkma = &series[3];
+    println!("\nHeadline ratios (paper: ~15x at 1 CPU, >1000x at 25; standard ~ 1/2 cookie):");
+    println!(
+        "  cookie/oldkma @ 1 CPU : {:8.1}x",
+        at(cookie, 1.0) / at(oldkma, 1.0)
+    );
+    println!(
+        "  cookie/oldkma @ {last:.0} CPUs: {:8.1}x",
+        at(cookie, last) / at(oldkma, last)
+    );
+    println!(
+        "  newkma/cookie @ {last:.0} CPUs: {:8.2}",
+        at(newkma, last) / at(cookie, last)
+    );
+    println!(
+        "  cookie speedup 1 -> {last:.0}  : {:8.1}x (linear would be {last:.0}x)",
+        at(cookie, last) / at(cookie, 1.0)
+    );
+}

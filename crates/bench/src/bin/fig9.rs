@@ -1,0 +1,181 @@
+//! E5/E7 — Figure 9: the worst-case benchmark.
+//!
+//! "This is accomplished by allocating blocks of a given size until memory
+//! is exhausted, freeing them all, then repeating the process with the
+//! next-larger size. [...] an allocator that does no coalescing would fail
+//! to complete this benchmark, having permanently fragmented all available
+//! memory into the smallest possible blocks."
+//!
+//! The default run drives the new allocator (standard interface, real
+//! wall-clock timing; the upper layers dominate, so per-CPU calibration
+//! is irrelevant) across the paper's block sizes and beyond a page. After
+//! every size pass the harness verifies that every physical frame came
+//! back — the paper's "neither reboots nor delays" claim — and prints
+//! alloc/free/pair rates per block size.
+//!
+//! `--allocator mk` runs the same sweep against McKusick–Karels and
+//! reports how it strands memory (E7).
+//!
+//! Usage: fig9 [--allocator kmem|mk] [--phys-mb N]
+
+use std::time::Instant;
+
+use kmem::{verify, AllocError, KmemArena, KmemConfig};
+use kmem_baselines::MkAllocator;
+use kmem_bench::print_table;
+use kmem_vm::SpaceConfig;
+
+struct Args {
+    allocator: String,
+    phys_mb: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        allocator: "kmem".into(),
+        phys_mb: 16,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--allocator" => args.allocator = it.next().expect("--allocator NAME"),
+            "--phys-mb" => args.phys_mb = it.next().expect("--phys-mb N").parse().expect("number"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+const SIZES: &[usize] = &[16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+
+fn run_kmem(phys_mb: usize) {
+    let phys_pages = (phys_mb << 20) >> 12;
+    let arena = KmemArena::new(KmemConfig::new(
+        1,
+        SpaceConfig::new(256 << 20).phys_pages(phys_pages),
+    ))
+    .unwrap();
+    let cpu = arena.register_cpu().unwrap();
+    // Warm the host pages once (the first touch of each lazily committed
+    // frame would otherwise be charged to the first size pass).
+    {
+        let mut held = Vec::new();
+        while let Ok(p) = cpu.alloc(4096) {
+            held.push(p);
+        }
+        for p in held {
+            // SAFETY: allocated above, freed once.
+            unsafe { cpu.free_sized(p, 4096) };
+        }
+        cpu.flush();
+        arena.reclaim();
+    }
+    let mut rows = Vec::new();
+    for &size in SIZES {
+        let mut n = 0usize;
+        let mut alloc_secs = 0.0f64;
+        let mut free_secs = 0.0f64;
+        // Few blocks fit at large sizes; repeat those passes more so each
+        // cell aggregates a comparable amount of work.
+        let reps = (500_000 / ((phys_mb << 20) / size).max(1)).clamp(3, 400);
+        for _ in 0..reps {
+            // Allocate until memory is exhausted.
+            let t0 = Instant::now();
+            let mut held = Vec::new();
+            loop {
+                match cpu.alloc(size) {
+                    Ok(p) => held.push(p),
+                    Err(AllocError::OutOfMemory { .. }) => break,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            alloc_secs += t0.elapsed().as_secs_f64();
+            n = held.len();
+            assert!(n > 0, "no memory at size {size}");
+            // Free them all.
+            let t1 = Instant::now();
+            for p in held {
+                // SAFETY: allocated above, freed once.
+                unsafe { cpu.free_sized(p, size) };
+            }
+            free_secs += t1.elapsed().as_secs_f64();
+            // The paper's claim: no reboot, no sleep — the next size simply
+            // works because coalescing is online. We additionally verify
+            // the stronger invariant that a flush+reclaim returns every
+            // frame.
+            cpu.flush();
+            arena.reclaim();
+            verify::verify_empty(&arena);
+        }
+        let total = (reps * n) as f64;
+        rows.push(vec![
+            size.to_string(),
+            n.to_string(),
+            format!("{:.3e}", total / alloc_secs),
+            format!("{:.3e}", total / free_secs),
+            format!("{:.3e}", total / (alloc_secs + free_secs)),
+        ]);
+    }
+    println!("\nFigure 9 (kmem): worst-case sweep, phys pool {phys_mb} MB");
+    print_table(
+        &["size", "blocks", "allocs/sec", "frees/sec", "pairs/sec"],
+        &rows,
+    );
+    println!(
+        "\nAll {} size passes completed with full coalescing (every physical\n\
+         frame verified returned after each pass): no reboot, no sleep.",
+        SIZES.len()
+    );
+}
+
+fn run_mk(phys_mb: usize) {
+    let phys_pages = (phys_mb << 20) >> 12;
+    let mk = MkAllocator::new(256 << 20, phys_pages);
+    let mut rows = Vec::new();
+    for &size in SIZES {
+        let mut held = Vec::new();
+        let t0 = Instant::now();
+        while let Some(p) = mk.malloc(size) {
+            held.push(p);
+        }
+        let t_alloc = t0.elapsed();
+        let n = held.len();
+        let t1 = Instant::now();
+        for p in held {
+            // SAFETY: allocated above, freed once.
+            unsafe { mk.free(p) };
+        }
+        let t_free = t1.elapsed();
+        let stranded = mk.space().phys().in_use();
+        rows.push(vec![
+            size.to_string(),
+            n.to_string(),
+            if n == 0 {
+                "-".into()
+            } else {
+                format!("{:.3e}", n as f64 / (t_alloc + t_free).as_secs_f64())
+            },
+            stranded.to_string(),
+        ]);
+    }
+    println!("\nFigure 9 sweep against McKusick–Karels (E7): phys pool {phys_mb} MB");
+    print_table(
+        &["size", "blocks", "pairs/sec", "frames stranded after free"],
+        &rows,
+    );
+    println!(
+        "\nMK dedicates pages to their first bucket forever: after the first\n\
+         pass, later sizes allocate zero blocks because every frame stays\n\
+         stranded - the paper's point that a non-coalescing allocator\n\
+         cannot complete this benchmark without a reboot."
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    match args.allocator.as_str() {
+        "kmem" => run_kmem(args.phys_mb),
+        "mk" => run_mk(args.phys_mb),
+        other => panic!("unknown allocator {other} (use kmem|mk)"),
+    }
+}

@@ -1,0 +1,142 @@
+//! E2 — the Instruction Counts section, as measurable path lengths.
+//!
+//! The paper counts 13 + 13 80x86 instructions for the cookie interface,
+//! 35 + 32 for the standard interface, and 16 VAX instructions for MK's
+//! free. Instruction counts do not transfer across 30 years of ISAs, but
+//! the *ordering and ratios* do: cookie < standard ≈ 2× cookie; MK's
+//! single-CPU fast path competitive; oldkma far behind. This harness
+//! measures real single-thread ns/op for each interface's steady-state
+//! fast path and prints them next to the paper's counts.
+//!
+//! Usage: instr_counts [--iters N]
+
+use kmem::{KmemArena, KmemConfig};
+use kmem_baselines::{KernelAllocator, KmemCookieAlloc, KmemStdAlloc, MkAllocator, OldKma};
+use kmem_bench::{print_table, time_loop};
+use kmem_smp::probe::{self, ProbeEvent};
+
+/// Counts the shared-memory transactions (lock RMWs + shared-line
+/// touches) one warm alloc/free pair performs — the probe-level analogue
+/// of the paper's "a single additional memory reference is required in
+/// order to handle multiple processors".
+fn shared_footprint<A: KernelAllocator>(alloc: &A, size: usize) -> (usize, usize) {
+    let mut ctx = alloc.register();
+    let prep = alloc.prepare(size);
+    for _ in 0..64 {
+        let p = alloc.alloc(&mut ctx, prep).unwrap();
+        // SAFETY: allocated above with the same prep.
+        unsafe { alloc.free(&mut ctx, p, prep) };
+    }
+    let ((), events) = probe::record(|| {
+        let p = alloc.alloc(&mut ctx, prep).unwrap();
+        // SAFETY: allocated above with the same prep.
+        unsafe { alloc.free(&mut ctx, p, prep) };
+    });
+    let locks = events
+        .iter()
+        .filter(|e| matches!(e, ProbeEvent::LockAcquire { .. }))
+        .count();
+    let lines = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                ProbeEvent::LineRead { .. } | ProbeEvent::LineWrite { .. }
+            )
+        })
+        .count();
+    (locks, lines)
+}
+
+fn measure_pair<A: KernelAllocator>(alloc: &A, size: usize, iters: u64) -> f64 {
+    let mut ctx = alloc.register();
+    let prep = alloc.prepare(size);
+    // Warm the caches and the per-CPU layer.
+    for _ in 0..1000 {
+        let p = alloc.alloc(&mut ctx, prep).unwrap();
+        // SAFETY: allocated above with the same prep.
+        unsafe { alloc.free(&mut ctx, p, prep) };
+    }
+    time_loop(iters, || {
+        let p = alloc.alloc(&mut ctx, prep).unwrap();
+        std::hint::black_box(p);
+        // SAFETY: allocated above with the same prep.
+        unsafe { alloc.free(&mut ctx, p, prep) };
+    })
+}
+
+fn main() {
+    let mut iters: u64 = 2_000_000;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => iters = it.next().expect("--iters N").parse().expect("number"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let size = 256;
+    let cookie = KmemCookieAlloc::new(KmemArena::new(KmemConfig::small()).unwrap());
+    let newkma = KmemStdAlloc::new(KmemArena::new(KmemConfig::small()).unwrap());
+    let mk = MkAllocator::new(16 << 20, 4096);
+    let old = OldKma::new(16 << 20, 4096);
+
+    let t_cookie = measure_pair(&cookie, size, iters);
+    let t_newkma = measure_pair(&newkma, size, iters);
+    let t_mk = measure_pair(&mk, size, iters);
+    let t_old = measure_pair(&old, size, iters / 4);
+
+    println!("Single-CPU fast-path cost per alloc/free pair ({size}-byte blocks)\n");
+    let row = |name: &str, paper: &str, t: f64| {
+        vec![
+            name.to_string(),
+            paper.to_string(),
+            format!("{t:.1}"),
+            format!("{:.2}x", t / t_cookie),
+        ]
+    };
+    print_table(
+        &["interface", "paper instr (alloc+free)", "ns/pair", "vs cookie"],
+        &[
+            row("cookie", "13 + 13", t_cookie),
+            row("newkma (standard)", "35 + 32", t_newkma),
+            row("mk (+global lock)", "~16 VAX each", t_mk),
+            row("oldkma (fast fits)", "n/a (12.5+8.8 us nominal)", t_old),
+        ],
+    );
+
+    println!("\nShared-memory transactions per warm pair (probed):");
+    let fp = |name: &str, locks: usize, lines: usize| {
+        vec![name.to_string(), locks.to_string(), lines.to_string()]
+    };
+    let (l1, n1) = shared_footprint(&cookie, size);
+    let (l2, n2) = shared_footprint(&newkma, size);
+    let (l3, n3) = shared_footprint(&mk, size);
+    let (l4, n4) = shared_footprint(&old, size);
+    print_table(
+        &["interface", "lock RMWs", "shared-line touches"],
+        &[
+            fp("cookie", l1, n1),
+            fp("newkma", l2, n2),
+            fp("mk", l3, n3),
+            fp("oldkma", l4, n4),
+        ],
+    );
+    println!(
+        "The new allocator's steady-state fast path performs zero shared\n\
+         transactions; both baselines take a global lock on every operation."
+    );
+
+    println!("\nPaper shape checks:");
+    println!(
+        "  standard within ~1.5x-3x of cookie: measured {:.2}x",
+        t_newkma / t_cookie
+    );
+    println!(
+        "  oldkma far behind cookie:          measured {:.1}x (paper: 15x on its hardware)",
+        t_old / t_cookie
+    );
+    println!(
+        "\nNote: 80486 instruction counts do not transfer to this host; the\n\
+         reproduced claim is the ordering and the rough ratios."
+    );
+}

@@ -1,0 +1,77 @@
+//! DES drivers: run a real allocator on N virtual CPUs.
+
+use kmem_baselines::KernelAllocator;
+use kmem_sim::{SimConfig, Simulator};
+
+/// One measured point of a scaling curve.
+#[derive(Debug, Clone, Copy)]
+pub struct SimPoint {
+    /// Virtual CPUs.
+    pub ncpus: usize,
+    /// Alloc/free pairs per simulated second.
+    pub pairs_per_sec: f64,
+    /// Fraction of simulated time spent waiting on locks.
+    pub lock_wait_frac: f64,
+}
+
+/// Runs the paper's best-case loop (alloc one block, free it immediately)
+/// on `ncpus` virtual CPUs of the simulator and returns pairs/sec.
+///
+/// `base_cycles` is the calibrated probe-free fast-path cost per pair
+/// (see [`crate::calib`]).
+pub fn sim_pairs_per_sec<A: KernelAllocator>(
+    alloc: &A,
+    size: usize,
+    ncpus: usize,
+    pairs_per_cpu: u64,
+    base_cycles: u64,
+) -> SimPoint {
+    let mut ctxs: Vec<A::Ctx> = (0..ncpus).map(|_| alloc.register()).collect();
+    let prep = alloc.prepare(size);
+    let sim = Simulator::new(SimConfig::new(ncpus, pairs_per_cpu));
+    let result = sim.run(|vcpu| {
+        let p = alloc
+            .alloc(&mut ctxs[vcpu], prep)
+            .expect("best-case loop must not exhaust memory");
+        // SAFETY: allocated just above with the same prep.
+        unsafe { alloc.free(&mut ctxs[vcpu], p, prep) };
+        base_cycles
+    });
+    SimPoint {
+        ncpus,
+        pairs_per_sec: result.ops_per_sec(),
+        lock_wait_frac: if result.elapsed_cycles == 0 {
+            0.0
+        } else {
+            result.lock_wait_cycles as f64
+                / (result.elapsed_cycles as f64 * ncpus as f64)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmem::{KmemArena, KmemConfig};
+    use kmem_baselines::{KmemCookieAlloc, MkAllocator};
+    use kmem_vm::SpaceConfig;
+
+    fn cookie_alloc(ncpus: usize) -> KmemCookieAlloc {
+        let cfg = KmemConfig::new(ncpus, SpaceConfig::new(32 << 20));
+        KmemCookieAlloc::new(KmemArena::new(cfg).unwrap())
+    }
+
+    #[test]
+    fn cookie_scales_mk_does_not() {
+        let c1 = sim_pairs_per_sec(&cookie_alloc(1), 256, 1, 2000, 60);
+        let c8 = sim_pairs_per_sec(&cookie_alloc(8), 256, 8, 2000, 60);
+        let speedup = c8.pairs_per_sec / c1.pairs_per_sec;
+        assert!(speedup > 6.0, "cookie speedup only {speedup:.2}");
+
+        let m1 = sim_pairs_per_sec(&MkAllocator::new(32 << 20, 8192), 256, 1, 2000, 80);
+        let m8 = sim_pairs_per_sec(&MkAllocator::new(32 << 20, 8192), 256, 8, 2000, 80);
+        let mk_speedup = m8.pairs_per_sec / m1.pairs_per_sec;
+        assert!(mk_speedup < 2.0, "mk speedup {mk_speedup:.2} should plateau");
+        assert!(m8.lock_wait_frac > 0.3, "mk at 8 CPUs should mostly wait");
+    }
+}

@@ -1,0 +1,17 @@
+//! Shared harness code for the paper's experiments.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure (see
+//! `DESIGN.md` §4 for the experiment index); this library holds the
+//! pieces they share: DES drivers for the four allocators, real-thread
+//! throughput measurement, base-cost calibration, and plain-text
+//! table/chart rendering.
+
+pub mod calib;
+pub mod drivers;
+pub mod measure;
+pub mod report;
+
+pub use calib::*;
+pub use drivers::{sim_pairs_per_sec, SimPoint};
+pub use measure::{thread_pairs_per_sec, time_loop};
+pub use report::{ascii_chart, print_table, Series};

@@ -1,0 +1,79 @@
+//! Real-thread, wall-clock measurement (for hosts with real CPUs).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use kmem_baselines::KernelAllocator;
+
+/// Times `iters` runs of `f` and returns nanoseconds per run.
+pub fn time_loop(iters: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// The paper's best-case benchmark on real OS threads: each thread runs
+/// alloc/free pairs of `size` bytes for `duration`, and the aggregate
+/// pair rate is returned.
+///
+/// On a single-core host this cannot show speedup (threads time-share);
+/// it exists for running the identical workload on a real SMP machine.
+pub fn thread_pairs_per_sec<A: KernelAllocator>(
+    alloc: &A,
+    size: usize,
+    threads: usize,
+    duration: Duration,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let total: u64 = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let stop = &stop;
+            let alloc = &alloc;
+            handles.push(s.spawn(move || {
+                let mut ctx = alloc.register();
+                let prep = alloc.prepare(size);
+                let mut pairs = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        let p = alloc
+                            .alloc(&mut ctx, prep)
+                            .expect("best-case loop must not exhaust memory");
+                        // SAFETY: allocated just above with the same prep.
+                        unsafe { alloc.free(&mut ctx, p, prep) };
+                    }
+                    pairs += 64;
+                }
+                pairs
+            }));
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    total as f64 / duration.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmem::{KmemArena, KmemConfig};
+    use kmem_baselines::KmemCookieAlloc;
+
+    #[test]
+    fn thread_measurement_runs() {
+        let alloc = KmemCookieAlloc::new(KmemArena::new(KmemConfig::small()).unwrap());
+        let rate = thread_pairs_per_sec(&alloc, 128, 2, Duration::from_millis(50));
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn time_loop_reports_positive_ns() {
+        let ns = time_loop(1000, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(ns >= 0.0);
+    }
+}

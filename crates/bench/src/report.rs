@@ -1,0 +1,143 @@
+//! Plain-text tables and ASCII charts for the figure harnesses.
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points, ascending x.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Prints an aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Renders series as a fixed-size ASCII chart (the reproduction's stand-in
+/// for the paper's gnuplot figures). `log_y` selects the Figure-8 semilog
+/// view.
+pub fn ascii_chart(title: &str, series: &[Series], log_y: bool) {
+    const W: usize = 64;
+    const H: usize = 20;
+    let marks = ['*', '+', 'o', 'x', '#', '@'];
+    let mut xmin = f64::INFINITY;
+    let mut xmax = f64::NEG_INFINITY;
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    let ty = |y: f64| if log_y { y.max(1.0).log10() } else { y };
+    for s in series {
+        for &(x, y) in &s.points {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(ty(y));
+            ymax = ymax.max(ty(y));
+        }
+    }
+    if !xmin.is_finite() || xmax <= xmin {
+        return;
+    }
+    if !log_y {
+        ymin = 0.0;
+    }
+    if ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; W]; H];
+    for (si, s) in series.iter().enumerate() {
+        for &(x, y) in &s.points {
+            let col = ((x - xmin) / (xmax - xmin) * (W - 1) as f64).round() as usize;
+            let row = ((ty(y) - ymin) / (ymax - ymin) * (H - 1) as f64).round() as usize;
+            grid[H - 1 - row][col] = marks[si % marks.len()];
+        }
+    }
+    println!("\n{title}");
+    let ylab = |v: f64| {
+        if log_y {
+            format!("1e{v:.1}")
+        } else {
+            format!("{v:.2e}")
+        }
+    };
+    println!("  {} (top)", ylab(ymax));
+    for row in grid {
+        println!("  |{}", row.iter().collect::<String>());
+    }
+    println!("  +{}", "-".repeat(W));
+    println!(
+        "  {}  x: {} .. {} CPUs   y-floor: {}",
+        series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{}={}", marks[i % marks.len()], s.name))
+            .collect::<Vec<_>>()
+            .join("  "),
+        xmin,
+        xmax,
+        ylab(ymin),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            &["a", "bee"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+    }
+
+    #[test]
+    fn chart_handles_linear_and_log() {
+        let s = vec![
+            Series {
+                name: "one".into(),
+                points: (1..=25).map(|x| (x as f64, 1000.0 * x as f64)).collect(),
+            },
+            Series {
+                name: "flat".into(),
+                points: (1..=25).map(|x| (x as f64, 500.0)).collect(),
+            },
+        ];
+        ascii_chart("test linear", &s, false);
+        ascii_chart("test semilog", &s, true);
+    }
+
+    #[test]
+    fn chart_tolerates_degenerate_input() {
+        ascii_chart("empty", &[], false);
+        ascii_chart(
+            "single",
+            &[Series {
+                name: "p".into(),
+                points: vec![(1.0, 1.0)],
+            }],
+            true,
+        );
+    }
+}

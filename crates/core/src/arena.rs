@@ -1,0 +1,1185 @@
+//! Arena wiring and the public `kmem_alloc`/`kmem_free` interface.
+//!
+//! A [`KmemArena`] owns the four layers (Figure 4 of the paper: per-CPU
+//! cache array → per-class global pools → per-class coalesce-to-page →
+//! coalesce-to-vmblk) and hands out [`CpuHandle`]s, each of which is the
+//! exclusive access path to one virtual CPU's caches.
+
+use core::cell::UnsafeCell;
+use core::marker::PhantomData;
+use core::ptr::NonNull;
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kmem_smp::{CachePadded, ClaimError, CpuClaim, CpuId, CpuRegistry, EventCounter, PerCpu};
+use kmem_vm::{KernelSpace, PAGE_SIZE};
+
+use crate::block;
+use crate::chain::Chain;
+use crate::config::KmemConfig;
+use crate::cookie::Cookie;
+use crate::error::AllocError;
+use crate::global::GlobalPool;
+use crate::pagedesc::PdKind;
+use crate::pagelayer::PageLayer;
+use crate::percpu::{CacheStats, CpuCache};
+use crate::sizeclass::SizeClasses;
+use crate::stats::{ClassStats, KmemStats, LayerCounts};
+use crate::vmblklayer::VmblkLayer;
+
+/// Arena identity counter (cookie validation across arenas).
+static NEXT_ARENA_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Per-CPU slot: one cache per size class plus the drain-request flag.
+pub(crate) struct CpuSlot {
+    caches: Box<[UnsafeCell<CpuCache>]>,
+    /// Hit/miss counters, one per class; kept outside the `UnsafeCell` so
+    /// statistics snapshots never alias the owner's cache borrow.
+    stats: Box<[CacheStats]>,
+    /// Set by *other* CPUs under memory pressure; the owner checks it on
+    /// every operation (the userspace stand-in for a reclaim IPI).
+    drain: AtomicBool,
+}
+
+// SAFETY: the `UnsafeCell`s are only dereferenced by the thread holding the
+// `CpuClaim` for this slot's CPU (see `CpuHandle::cache_mut`), which makes
+// all access single-threaded in practice. The atomic flag is safe to share.
+unsafe impl Sync for CpuSlot {}
+
+pub(crate) struct ArenaInner {
+    id: u64,
+    classes: SizeClasses,
+    space: Arc<KernelSpace>,
+    vm: VmblkLayer,
+    globals: Box<[CachePadded<GlobalPool>]>,
+    pages: Box<[CachePadded<PageLayer>]>,
+    slots: PerCpu<CpuSlot>,
+    registry: Arc<CpuRegistry>,
+    max_large: usize,
+    large_allocs: EventCounter,
+    large_frees: EventCounter,
+}
+
+impl Drop for ArenaInner {
+    fn drop(&mut self) {
+        // Free blocks still cached in chains point into the reservation,
+        // which is about to be released wholesale; abandon them so the
+        // chain leak-detector does not fire.
+        for (_, slot) in self.slots.iter() {
+            for cell in slot.caches.iter() {
+                // SAFETY: `drop` has `&mut self`: no CPU handle can exist
+                // (they hold an `Arc` keeping the arena alive).
+                let cache = unsafe { &mut *cell.get() };
+                cache.flush().forget();
+            }
+        }
+        for pool in self.globals.iter() {
+            pool.drain_all().forget();
+        }
+    }
+}
+
+/// The allocator arena: create one per "kernel".
+///
+/// Cloning the handle is cheap (`Arc`); the arena is destroyed when the
+/// last handle **and** the last [`CpuHandle`] are dropped.
+#[derive(Clone)]
+pub struct KmemArena {
+    inner: Arc<ArenaInner>,
+}
+
+impl KmemArena {
+    /// Builds an arena from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see
+    /// [`KmemConfig::validate`]) — configurations are developer input.
+    pub fn new(config: KmemConfig) -> Result<KmemArena, AllocError> {
+        config.validate();
+        let space = Arc::new(KernelSpace::new(config.space));
+        let vm = VmblkLayer::new(Arc::clone(&space), config.release_empty_vmblks);
+        let max_large = vm.max_span_pages() * PAGE_SIZE;
+        let globals = config
+            .classes
+            .iter()
+            .map(|c| CachePadded::new(GlobalPool::new(c.target, c.gbltarget)))
+            .collect();
+        let pages = config
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CachePadded::new(PageLayer::new(i, c.size, config.radix_pages)))
+            .collect();
+        let slots = PerCpu::new(config.ncpus, |_| CpuSlot {
+            caches: config
+                .classes
+                .iter()
+                .map(|c| UnsafeCell::new(CpuCache::new(c.target, config.split_freelist)))
+                .collect(),
+            stats: config.classes.iter().map(|_| CacheStats::default()).collect(),
+            drain: AtomicBool::new(false),
+        });
+        let registry = CpuRegistry::new(config.ncpus);
+        let classes = SizeClasses::new(config.classes);
+        Ok(KmemArena {
+            inner: Arc::new(ArenaInner {
+                id: NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed),
+                classes,
+                space,
+                vm,
+                globals,
+                pages,
+                slots,
+                registry,
+                max_large,
+                large_allocs: EventCounter::new(),
+                large_frees: EventCounter::new(),
+            }),
+        })
+    }
+
+    /// Number of virtual CPUs.
+    pub fn ncpus(&self) -> usize {
+        self.inner.registry.ncpus()
+    }
+
+    /// Registers the calling context as the lowest-numbered free CPU.
+    pub fn register_cpu(&self) -> Result<CpuHandle, ClaimError> {
+        let claim = self.inner.registry.claim_any()?;
+        Ok(self.handle(claim))
+    }
+
+    /// Registers the calling context as a specific CPU.
+    pub fn register_cpu_on(&self, cpu: CpuId) -> Result<CpuHandle, ClaimError> {
+        let claim = self.inner.registry.claim(cpu)?;
+        Ok(self.handle(claim))
+    }
+
+    fn handle(&self, claim: CpuClaim) -> CpuHandle {
+        CpuHandle {
+            cpu: claim.cpu(),
+            claim,
+            inner: Arc::clone(&self.inner),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// The paper's `kmem_alloc_get_cookie`: resolves `size` to an opaque
+    /// cookie for the fast-path interface. Returns `None` for sizes that
+    /// no class serves (zero, or larger than the largest class).
+    pub fn cookie_for(&self, size: usize) -> Option<Cookie> {
+        let class = self.inner.classes.class_for(size)?;
+        Some(Cookie {
+            class: class as u32,
+            size: self.inner.classes.class(class).size as u32,
+            arena_id: self.inner.id,
+        })
+    }
+
+    /// Largest request (in bytes) this arena can serve.
+    pub fn max_alloc_size(&self) -> usize {
+        self.inner.max_large
+    }
+
+    /// The kernel space (physical pool accounting, dope vector) backing
+    /// this arena.
+    pub fn space(&self) -> &KernelSpace {
+        &self.inner.space
+    }
+
+    /// Pushes every block held by the *global* pools down through the
+    /// coalescing layers, releasing any pages (and vmblks) that drain
+    /// completely.
+    ///
+    /// Together with [`CpuHandle::flush`] on each registered CPU this
+    /// returns all idle memory to the system — the "database
+    /// reorganization at night" half of the paper's cyclic workload, where
+    /// memory cached for small blocks must become available to user
+    /// processes.
+    pub fn reclaim(&self) {
+        for (idx, pool) in self.inner.globals.iter().enumerate() {
+            let chain = pool.drain_all();
+            if !chain.is_empty() {
+                // SAFETY: drained blocks are free blocks of class `idx`.
+                unsafe {
+                    self.inner.pages[idx].free_chain(&self.inner.vm, chain);
+                }
+            }
+        }
+    }
+
+    /// Snapshot of per-layer statistics (the paper's miss-rate inputs).
+    pub fn stats(&self) -> KmemStats {
+        let inner = &self.inner;
+        let mut classes = Vec::with_capacity(inner.classes.len());
+        for idx in 0..inner.classes.len() {
+            let mut cpu_alloc = LayerCounts::default();
+            let mut cpu_free = LayerCounts::default();
+            for (_, slot) in inner.slots.iter() {
+                let s = &slot.stats[idx];
+                cpu_alloc.accesses += s.alloc.load(Ordering::Relaxed);
+                cpu_alloc.misses += s.alloc_miss.load(Ordering::Relaxed);
+                cpu_free.accesses += s.free.load(Ordering::Relaxed);
+                cpu_free.misses += s.free_miss.load(Ordering::Relaxed);
+            }
+            let g = inner.globals[idx].stats();
+            classes.push(ClassStats {
+                size: inner.classes.class(idx).size,
+                cpu_alloc,
+                cpu_free,
+                gbl_alloc: LayerCounts {
+                    accesses: g.get.get(),
+                    misses: g.get_miss.get(),
+                },
+                gbl_free: LayerCounts {
+                    accesses: g.put.get(),
+                    misses: g.put_miss.get(),
+                },
+            });
+        }
+        KmemStats {
+            classes,
+            large_allocs: inner.large_allocs.get(),
+            large_frees: inner.large_frees.get(),
+            vmblks_live: inner.vm.nvmblks(),
+            phys_in_use: inner.space.phys().in_use(),
+            phys_capacity: inner.space.phys().capacity(),
+        }
+    }
+
+    pub(crate) fn inner(&self) -> &ArenaInner {
+        &self.inner
+    }
+}
+
+impl ArenaInner {
+    pub(crate) fn classes(&self) -> &SizeClasses {
+        &self.classes
+    }
+
+    pub(crate) fn vm(&self) -> &VmblkLayer {
+        &self.vm
+    }
+
+    pub(crate) fn globals(&self) -> &[CachePadded<GlobalPool>] {
+        &self.globals
+    }
+
+    pub(crate) fn pages(&self) -> &[CachePadded<PageLayer>] {
+        &self.pages
+    }
+
+    /// Sums cached blocks per class across CPUs (verification; must be
+    /// called while no CPU is mutating its caches).
+    pub(crate) fn cached_blocks(&self, class: usize) -> usize {
+        let mut total = 0;
+        for (_, slot) in self.slots.iter() {
+            // SAFETY: quiescence per the function contract.
+            total += unsafe { &*slot.caches[class].get() }.len();
+        }
+        total
+    }
+
+    /// Checks every CPU's split-freelist bounds for `class` (verification;
+    /// quiescence as for [`ArenaInner::cached_blocks`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any half of any cache exceeds its `target`.
+    pub(crate) fn check_cache_bounds(&self, class: usize) {
+        let target = self.classes.class(class).target;
+        for (cpu, slot) in self.slots.iter() {
+            // SAFETY: quiescence per the function contract.
+            let cache = unsafe { &*slot.caches[class].get() };
+            let (main, aux) = cache.shape();
+            assert!(
+                main <= 2 * target && aux <= target,
+                "{cpu} class {class}: cache shape ({main}, {aux}) exceeds target {target}"
+            );
+        }
+    }
+}
+
+/// The per-CPU allocation interface.
+///
+/// One live handle exists per virtual CPU; it is `Send` (the CPU identity
+/// may migrate) but deliberately **not** `Sync` — two threads acting as the
+/// same CPU would break the layer-1 exclusion the paper relies on.
+pub struct CpuHandle {
+    inner: Arc<ArenaInner>,
+    #[expect(dead_code)] // Held for its `Drop`: releases the CPU claim.
+    claim: CpuClaim,
+    cpu: CpuId,
+    /// `Cell` suppresses `Sync` while leaving the handle `Send`.
+    _not_sync: PhantomData<core::cell::Cell<()>>,
+}
+
+impl CpuHandle {
+    /// This handle's CPU.
+    #[inline]
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// The arena this handle allocates from.
+    pub fn arena(&self) -> KmemArena {
+        KmemArena {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Grants mutable access to this CPU's cache for `class`.
+    ///
+    /// # Safety
+    ///
+    /// The returned reference must not overlap another `cache_mut` borrow
+    /// of the same class (internal callers keep each borrow scoped to one
+    /// operation). Exclusivity across threads is guaranteed by the
+    /// [`CpuClaim`] plus `!Sync`.
+    #[expect(clippy::mut_from_ref)]
+    #[inline]
+    unsafe fn cache_mut(&self, class: usize) -> &mut CpuCache {
+        let slot = self.inner.slots.get(self.cpu);
+        // SAFETY: see above.
+        unsafe { &mut *slot.caches[class].get() }
+    }
+
+    /// Honours a pending drain request, if any.
+    #[inline]
+    fn check_drain(&self) {
+        let slot = self.inner.slots.get(self.cpu);
+        if slot.drain.load(Ordering::Relaxed) {
+            slot.drain.store(false, Ordering::Relaxed);
+            self.flush();
+        }
+    }
+
+    /// The standard System V interface: allocates at least `size` bytes.
+    ///
+    /// The returned block is aligned to the class block size (a power of
+    /// two ≥ 16) or to the page size for multi-page requests, and its
+    /// contents are uninitialized.
+    #[inline]
+    pub fn alloc(&self, size: usize) -> Result<NonNull<u8>, AllocError> {
+        self.check_drain();
+        if size == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        match self.inner.classes.class_for(size) {
+            Some(class) => self.alloc_class(class, size),
+            None => self.alloc_large(size),
+        }
+    }
+
+    /// Like [`CpuHandle::alloc`], with the block zeroed.
+    ///
+    /// (The classic `kmem_zalloc`.) Zeroing covers the whole class block,
+    /// so the caller may rely on `class_size(size)` zeroed bytes.
+    pub fn alloc_zeroed(&self, size: usize) -> Result<NonNull<u8>, AllocError> {
+        let p = self.alloc(size)?;
+        let span = match self.inner.classes.class_for(size) {
+            Some(class) => self.inner.classes.class(class).size,
+            None => size.div_ceil(PAGE_SIZE) * PAGE_SIZE,
+        };
+        // SAFETY: the allocation spans the full class block (or whole
+        // pages for large requests).
+        unsafe { core::ptr::write_bytes(p.as_ptr(), 0, span) };
+        Ok(p)
+    }
+
+    /// `kmem_alloc(..., KM_SLEEP)`: retries under memory pressure instead
+    /// of failing, yielding between attempts so other CPUs can run and
+    /// honour the drain requests this CPU posts.
+    ///
+    /// Returns `Err` only for unservable requests (zero size, too large)
+    /// or after `max_attempts` exhausted retries — a deadlock guard the
+    /// kernel version does not have, because a kernel can block forever.
+    pub fn alloc_sleep(&self, size: usize, max_attempts: usize) -> Result<NonNull<u8>, AllocError> {
+        let mut last = AllocError::OutOfMemory { requested: size };
+        for _ in 0..max_attempts.max(1) {
+            match self.alloc(size) {
+                Ok(p) => return Ok(p),
+                Err(e @ (AllocError::ZeroSize | AllocError::TooLarge { .. })) => return Err(e),
+                Err(e) => {
+                    last = e;
+                    // The failed attempt already posted drain requests;
+                    // give the other CPUs a chance to service them.
+                    std::thread::yield_now();
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// The paper's `KMEM_ALLOC_COOKIE`: the lean fast path for sizes
+    /// resolved ahead of time.
+    #[inline]
+    pub fn alloc_cookie(&self, cookie: Cookie) -> Result<NonNull<u8>, AllocError> {
+        self.check_drain();
+        debug_assert_eq!(
+            cookie.arena_id, self.inner.id,
+            "cookie used on a different arena"
+        );
+        self.alloc_class(cookie.class as usize, cookie.size as usize)
+    }
+
+    #[inline]
+    fn alloc_class(&self, class: usize, size: usize) -> Result<NonNull<u8>, AllocError> {
+        let stats = &self.inner.slots.get(self.cpu).stats[class];
+        CacheStats::bump(&stats.alloc);
+        // SAFETY: borrow scoped to this operation.
+        let cache = unsafe { self.cache_mut(class) };
+        let block = match cache.alloc() {
+            Some(b) => b,
+            None => {
+                CacheStats::bump(&stats.alloc_miss);
+                self.alloc_class_slow(class, size)?
+            }
+        };
+        // SAFETY: `block` came off a freelist of this arena.
+        unsafe { block::check_and_clear_poison_on_alloc(block) };
+        // SAFETY: freelist blocks are interior to the reservation.
+        Ok(unsafe { NonNull::new_unchecked(block) })
+    }
+
+    /// Refills the cache from the global layer (or below) and returns the
+    /// first block.
+    #[cold]
+    fn alloc_class_slow(&self, class: usize, size: usize) -> Result<*mut u8, AllocError> {
+        let target = self.inner.globals[class].target();
+        let chain = match self.inner.globals[class].get_chain() {
+            Some(chain) => chain,
+            None => {
+                match self.inner.pages[class].alloc_chain(&self.inner.vm, target) {
+                    Ok(chain) => chain,
+                    Err(_) => {
+                        // Low memory: flush our own caches, ask the other
+                        // CPUs to drain theirs, and retry the ladder once.
+                        self.flush();
+                        self.request_drain();
+                        match self.inner.globals[class].get_chain() {
+                            Some(chain) => chain,
+                            None => self.inner.pages[class]
+                                .alloc_chain(&self.inner.vm, target)
+                                .map_err(|_| AllocError::OutOfMemory { requested: size })?,
+                        }
+                    }
+                }
+            }
+        };
+        debug_assert!(!chain.is_empty());
+        // SAFETY: borrow scoped to this operation.
+        let cache = unsafe { self.cache_mut(class) };
+        Ok(cache.refill(chain))
+    }
+
+    /// Allocates a multi-page block directly from the vmblk layer
+    /// ("requests for blocks of memory larger than one page bypass layers
+    /// 1 through 3").
+    #[cold]
+    fn alloc_large(&self, size: usize) -> Result<NonNull<u8>, AllocError> {
+        if size > self.inner.max_large {
+            return Err(AllocError::TooLarge {
+                requested: size,
+                max: self.inner.max_large,
+            });
+        }
+        match self.inner.vm.alloc_large(size) {
+            Ok(p) => {
+                self.inner.large_allocs.inc();
+                Ok(p)
+            }
+            Err(_) => {
+                self.flush();
+                self.request_drain();
+                self.inner
+                    .vm
+                    .alloc_large(size)
+                    .inspect(|_| self.inner.large_allocs.inc())
+                    .map_err(|_| AllocError::OutOfMemory { requested: size })
+            }
+        }
+    }
+
+    /// The standard free: the block's size class is recovered from its
+    /// page descriptor through the dope vector (paper Figure 6).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been returned by an allocation method of *this
+    /// arena*, not yet freed, and no references into the block may outlive
+    /// this call.
+    #[inline]
+    pub unsafe fn free(&self, ptr: NonNull<u8>) {
+        self.check_drain();
+        let pd = self
+            .inner
+            .vm
+            .pd_of(ptr.as_ptr() as usize)
+            .expect("free of a pointer this arena does not manage");
+        match pd.kind() {
+            PdKind::BlockPage => {
+                let class = pd.class();
+                // SAFETY: forwarded caller contract.
+                unsafe { self.free_class(class, ptr.as_ptr()) };
+            }
+            PdKind::Large => {
+                self.inner.large_frees.inc();
+                // SAFETY: forwarded caller contract.
+                unsafe { self.inner.vm.free_large(ptr) };
+            }
+            other => panic!("free of a block in a page of kind {other:?}"),
+        }
+    }
+
+    /// System V `kmem_free(addr, size)`: like [`CpuHandle::free`] but with
+    /// the size supplied by the caller, skipping the descriptor lookup for
+    /// class-sized blocks.
+    ///
+    /// # Safety
+    ///
+    /// As for [`CpuHandle::free`]; additionally `size` must be the size
+    /// passed to the matching allocation call.
+    #[inline]
+    pub unsafe fn free_sized(&self, ptr: NonNull<u8>, size: usize) {
+        self.check_drain();
+        match self.inner.classes.class_for(size) {
+            // SAFETY: forwarded caller contract.
+            Some(class) => unsafe { self.free_class(class, ptr.as_ptr()) },
+            None => {
+                self.inner.large_frees.inc();
+                // SAFETY: forwarded caller contract.
+                unsafe { self.inner.vm.free_large(ptr) };
+            }
+        }
+    }
+
+    /// The paper's `KMEM_FREE_COOKIE`: frees with no size lookup at all.
+    ///
+    /// # Safety
+    ///
+    /// As for [`CpuHandle::free`]; additionally `cookie` must be the
+    /// cookie used for the matching allocation.
+    #[inline]
+    pub unsafe fn free_cookie(&self, ptr: NonNull<u8>, cookie: Cookie) {
+        self.check_drain();
+        debug_assert_eq!(
+            cookie.arena_id, self.inner.id,
+            "cookie used on a different arena"
+        );
+        // SAFETY: forwarded caller contract.
+        unsafe { self.free_class(cookie.class as usize, ptr.as_ptr()) };
+    }
+
+    /// # Safety
+    ///
+    /// `block` is an allocated block of `class` from this arena, unaliased.
+    #[inline]
+    unsafe fn free_class(&self, class: usize, block: *mut u8) {
+        let stats = &self.inner.slots.get(self.cpu).stats[class];
+        CacheStats::bump(&stats.free);
+        // SAFETY: caller owns the (allocated) block.
+        unsafe {
+            block::check_not_double_free(block);
+            block::poison(block);
+        }
+        // SAFETY: borrow scoped to this operation.
+        let cache = unsafe { self.cache_mut(class) };
+        // SAFETY: the block is free as of this call and in no list.
+        if let Some(chain) = unsafe { cache.free(block) } {
+            CacheStats::bump(&stats.free_miss);
+            self.return_chain(class, chain);
+        }
+    }
+
+    /// Hands an overflow chain to the global layer, cascading any spill
+    /// into the coalesce-to-page layer.
+    #[cold]
+    fn return_chain(&self, class: usize, chain: Chain) {
+        let pool = &self.inner.globals[class];
+        let spill = if chain.len() == pool.target() {
+            pool.put_chain(chain)
+        } else {
+            pool.put_odd(chain)
+        };
+        if let Some(spill) = spill {
+            // SAFETY: spilled blocks are free blocks of this class.
+            unsafe {
+                self.inner.pages[class].free_chain(&self.inner.vm, spill);
+            }
+        }
+    }
+
+    /// Flushes every per-CPU cache of this CPU into the global layer
+    /// (low-memory operation; also useful before dropping the handle if
+    /// the arena should shrink).
+    pub fn flush(&self) {
+        for class in 0..self.inner.classes.len() {
+            // SAFETY: borrow scoped to this operation.
+            let cache = unsafe { self.cache_mut(class) };
+            let all = cache.flush();
+            if !all.is_empty() {
+                self.return_chain(class, all);
+            }
+        }
+    }
+
+    /// Cooperative scheduling point: honours pending drain requests.
+    ///
+    /// Idle CPUs should call this periodically so that memory cached on
+    /// their behalf can reach CPUs under pressure — the userspace analogue
+    /// of servicing a reclaim IPI.
+    pub fn poll(&self) {
+        self.check_drain();
+    }
+
+    /// Requests that every *other* CPU drain its caches at its next
+    /// operation or [`CpuHandle::poll`].
+    pub fn request_drain(&self) {
+        for (cpu, slot) in self.inner.slots.iter() {
+            if cpu != self.cpu {
+                slot.drain.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Blocks cached by this CPU across all classes (tests).
+    pub fn cached_blocks(&self) -> usize {
+        (0..self.inner.classes.len())
+            // SAFETY: read-only peek at our own caches.
+            .map(|c| unsafe { self.cache_mut(c) }.len())
+            .sum()
+    }
+
+    /// `(main, aux)` lengths of this CPU's cache for `class` (tests — the
+    /// paper's split-freelist bound is that each stays ≤ `target`).
+    pub fn cache_shape(&self, class: usize) -> (usize, usize) {
+        // SAFETY: read-only peek at our own cache.
+        unsafe { self.cache_mut(class) }.shape()
+    }
+}
+
+impl Drop for CpuHandle {
+    fn drop(&mut self) {
+        // A departing CPU (handle dropped = CPU going offline) drains its
+        // caches into the global layer, exactly as a kernel CPU-offline
+        // path would; otherwise its cached blocks would be stranded until
+        // the CPU id is claimed again.
+        self.flush();
+    }
+}
+
+impl core::fmt::Debug for CpuHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "CpuHandle({})", self.cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_arena, verify_conservation, verify_empty};
+
+    fn arena() -> KmemArena {
+        KmemArena::new(KmemConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn alloc_free_round_trip_standard() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        let p = cpu.alloc(50).unwrap();
+        // The 50-byte request lands in the 64-byte class: alignment holds.
+        assert_eq!(p.as_ptr() as usize % 64, 0);
+        // The block is writable over its full class size.
+        // SAFETY: freshly allocated 64-byte block.
+        unsafe { core::ptr::write_bytes(p.as_ptr(), 0xa5, 64) };
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(p) };
+        verify_arena(&a);
+    }
+
+    #[test]
+    fn immediate_reuse_hits_cache() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        let p = cpu.alloc(128).unwrap();
+        // SAFETY: allocated above.
+        unsafe { cpu.free(p) };
+        let q = cpu.alloc(128).unwrap();
+        // LIFO per-CPU cache: the same block comes straight back.
+        assert_eq!(p, q);
+        // SAFETY: allocated above.
+        unsafe { cpu.free(q) };
+        let stats = a.stats();
+        let c128 = stats.classes.iter().find(|c| c.size == 128).unwrap();
+        assert_eq!(c128.cpu_alloc.accesses, 2);
+        assert_eq!(c128.cpu_alloc.misses, 1); // only the first
+    }
+
+    #[test]
+    fn cookie_interface_round_trip() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        let cookie = a.cookie_for(100).unwrap();
+        assert_eq!(cookie.block_size(), 128);
+        let p = cpu.alloc_cookie(cookie).unwrap();
+        // SAFETY: allocated with this cookie.
+        unsafe { cpu.free_cookie(p, cookie) };
+        // Cookie and standard interfaces share the same pools.
+        let q = cpu.alloc(100).unwrap();
+        assert_eq!(p, q);
+        // SAFETY: allocated above.
+        unsafe { cpu.free_sized(q, 100) };
+        verify_arena(&a);
+    }
+
+    #[test]
+    fn cookie_for_rejects_unservable_sizes() {
+        let a = arena();
+        assert!(a.cookie_for(0).is_none());
+        assert!(a.cookie_for(4097).is_none());
+        assert!(a.cookie_for(4096).is_some());
+    }
+
+    #[test]
+    fn zero_size_and_too_large_are_typed_errors() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        assert_eq!(cpu.alloc(0).unwrap_err(), AllocError::ZeroSize);
+        let max = a.max_alloc_size();
+        assert!(matches!(
+            cpu.alloc(max + 1).unwrap_err(),
+            AllocError::TooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn large_allocations_bypass_the_class_layers() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        let p = cpu.alloc(3 * PAGE_SIZE).unwrap();
+        assert_eq!(p.as_ptr() as usize % PAGE_SIZE, 0);
+        // SAFETY: 3 pages were allocated.
+        unsafe { core::ptr::write_bytes(p.as_ptr(), 0x5a, 3 * PAGE_SIZE) };
+        let stats = a.stats();
+        assert_eq!(stats.large_allocs, 1);
+        assert!(stats.classes.iter().all(|c| c.cpu_alloc.accesses == 0));
+        // Standard free resolves it through the page descriptor.
+        // SAFETY: allocated above.
+        unsafe { cpu.free(p) };
+        assert_eq!(a.stats().large_frees, 1);
+        verify_empty(&a);
+    }
+
+    #[test]
+    fn cross_cpu_alloc_here_free_there() {
+        let a = arena();
+        let cpu0 = a.register_cpu().unwrap();
+        let cpu1 = a.register_cpu().unwrap();
+        // CPU 0 allocates many blocks; CPU 1 frees them all (the pattern
+        // the global layer exists for).
+        let blocks: Vec<_> = (0..200).map(|_| cpu0.alloc(256).unwrap()).collect();
+        for p in blocks {
+            // SAFETY: allocated by cpu0, freed exactly once by cpu1.
+            unsafe { cpu1.free(p) };
+        }
+        verify_arena(&a);
+        let held = vec![0; a.inner().classes().len()];
+        verify_conservation(&a, &held);
+        // Blocks flowed back: CPU 0 can allocate them again.
+        let again: Vec<_> = (0..200).map(|_| cpu0.alloc(256).unwrap()).collect();
+        for p in again {
+            // SAFETY: allocated above.
+            unsafe { cpu0.free(p) };
+        }
+        verify_arena(&a);
+    }
+
+    #[test]
+    fn threads_can_carry_handles() {
+        let a = arena();
+        let mut join = Vec::new();
+        for _ in 0..4 {
+            let handle = a.register_cpu().unwrap();
+            join.push(std::thread::spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..2000usize {
+                    let size = 16 << (i % 5);
+                    held.push((handle.alloc(size).unwrap(), size));
+                    if held.len() > 32 {
+                        let (p, _s) = held.swap_remove(i % held.len());
+                        // SAFETY: allocated above, freed once.
+                        unsafe { handle.free(p) };
+                    }
+                }
+                for (p, s) in held {
+                    // SAFETY: allocated above, freed once.
+                    unsafe { handle.free_sized(p, s) };
+                }
+            }));
+        }
+        for j in join {
+            j.join().unwrap();
+        }
+        verify_arena(&a);
+        verify_conservation(&a, &vec![0; a.inner().classes().len()]);
+    }
+
+    #[test]
+    fn flush_and_reclaim_release_all_physical_memory() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        let blocks: Vec<_> = (0..500).map(|_| cpu.alloc(512).unwrap()).collect();
+        assert!(a.space().phys().in_use() > 0);
+        for p in blocks {
+            // SAFETY: allocated above.
+            unsafe { cpu.free(p) };
+        }
+        // Caches and global pools retain bounded amounts...
+        assert!(a.space().phys().in_use() > 0);
+        // ...until flushed and reclaimed.
+        cpu.flush();
+        a.reclaim();
+        verify_empty(&a);
+    }
+
+    #[test]
+    fn exhaustion_returns_oom_and_recovers_after_free() {
+        // Tiny pool: 16 KB vmblks, 8 physical frames.
+        let cfg = KmemConfig::new(
+            1,
+            kmem_vm::SpaceConfig::new(1 << 20)
+                .vmblk_shift(14)
+                .phys_pages(8),
+        );
+        let a = KmemArena::new(cfg).unwrap();
+        let cpu = a.register_cpu().unwrap();
+        let mut held = Vec::new();
+        loop {
+            match cpu.alloc(2048) {
+                Ok(p) => held.push(p),
+                Err(AllocError::OutOfMemory { requested }) => {
+                    assert_eq!(requested, 2048);
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(!held.is_empty());
+        // Free one block: allocation works again (the flush-retry path
+        // reclaims the caller's own cache too).
+        let p = held.pop().unwrap();
+        // SAFETY: allocated above.
+        unsafe { cpu.free(p) };
+        let q = cpu.alloc(2048).unwrap();
+        held.push(q);
+        for p in held {
+            // SAFETY: allocated above.
+            unsafe { cpu.free(p) };
+        }
+        cpu.flush();
+        a.reclaim();
+        verify_empty(&a);
+    }
+
+    #[test]
+    fn drain_request_recovers_memory_cached_on_other_cpus() {
+        // All memory fits in CPU 1's caches; CPU 0 must be able to get it
+        // back ("any given CPU must be able to allocate the last
+        // remaining buffer").
+        let cfg = KmemConfig::new(
+            2,
+            kmem_vm::SpaceConfig::new(1 << 20)
+                .vmblk_shift(14)
+                .phys_pages(4),
+        )
+        .set_class(1024, 8, 8);
+        let a = KmemArena::new(cfg).unwrap();
+        let cpu0 = a.register_cpu().unwrap();
+        let cpu1 = a.register_cpu().unwrap();
+        // CPU 1 allocates and frees: blocks end up cached on CPU 1.
+        let held: Vec<_> = (0..8).map(|_| cpu1.alloc(1024).unwrap()).collect();
+        for p in held {
+            // SAFETY: allocated above.
+            unsafe { cpu1.free(p) };
+        }
+        assert!(cpu1.cached_blocks() > 0);
+        // CPU 0 wants everything; its first try may fail but must set the
+        // drain flag; once CPU 1 polls, CPU 0 succeeds.
+        let mut got = Vec::new();
+        loop {
+            match cpu0.alloc(1024) {
+                Ok(p) => got.push(p),
+                Err(_) => {
+                    if cpu1.cached_blocks() == 0 {
+                        break;
+                    }
+                    cpu1.poll(); // services the drain request
+                }
+            }
+        }
+        // CPU 0 ends up holding every block the pool can back (3 data
+        // pages were available; header takes the 4th frame).
+        assert!(got.len() >= 3, "only got {} blocks", got.len());
+        for p in got {
+            // SAFETY: allocated above.
+            unsafe { cpu0.free(p) };
+        }
+        cpu0.flush();
+        cpu1.flush();
+        a.reclaim();
+        verify_empty(&a);
+    }
+
+    #[test]
+    fn stats_roll_up_by_class() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        for _ in 0..10 {
+            let p = cpu.alloc(32).unwrap();
+            // SAFETY: allocated above.
+            unsafe { cpu.free(p) };
+        }
+        let stats = a.stats();
+        let c32 = stats.classes.iter().find(|c| c.size == 32).unwrap();
+        assert_eq!(c32.cpu_alloc.accesses, 10);
+        assert_eq!(c32.cpu_free.accesses, 10);
+        assert_eq!(c32.cpu_alloc.misses, 1);
+        assert!(c32.cpu_alloc.miss_rate() <= 0.1 + f64::EPSILON);
+        assert_eq!(stats.total_allocs(), 10);
+    }
+
+    #[test]
+    fn alloc_zeroed_really_zeroes_the_class_block() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        // Dirty a block, free it, and get it back zeroed.
+        let p = cpu.alloc(100).unwrap();
+        // SAFETY: 128-byte class block.
+        unsafe { core::ptr::write_bytes(p.as_ptr(), 0xFF, 128) };
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(p) };
+        let q = cpu.alloc_zeroed(100).unwrap();
+        assert_eq!(p, q); // same block, straight from the cache
+        // SAFETY: live 128-byte block.
+        let bytes = unsafe { core::slice::from_raw_parts(q.as_ptr(), 128) };
+        assert!(bytes.iter().all(|&b| b == 0));
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(q) };
+        // Multi-page requests zero whole pages.
+        let big = cpu.alloc_zeroed(2 * PAGE_SIZE).unwrap();
+        // SAFETY: live 2-page block.
+        let bytes = unsafe { core::slice::from_raw_parts(big.as_ptr(), 2 * PAGE_SIZE) };
+        assert!(bytes.iter().all(|&b| b == 0));
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(big) };
+    }
+
+    #[test]
+    fn alloc_sleep_succeeds_after_a_peer_frees() {
+        let cfg = KmemConfig::new(
+            2,
+            kmem_vm::SpaceConfig::new(1 << 20)
+                .vmblk_shift(14)
+                .phys_pages(4),
+        );
+        let a = KmemArena::new(cfg).unwrap();
+        let holder = a.register_cpu().unwrap();
+        let sleeper = a.register_cpu().unwrap();
+        // The holder takes everything. (Addresses, so the vector can move
+        // into the freeing thread; ownership of the blocks moves with it.)
+        let mut held: Vec<usize> = Vec::new();
+        while let Ok(p) = holder.alloc(4096) {
+            held.push(p.as_ptr() as usize);
+        }
+        assert!(matches!(
+            sleeper.alloc(4096),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+        // A peer thread frees one block shortly; the sleeper retries
+        // until it appears.
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::yield_now();
+                for addr in held {
+                    let p = NonNull::new(addr as *mut u8).unwrap();
+                    // SAFETY: allocated above, freed once.
+                    unsafe { holder.free(p) };
+                }
+                holder.flush();
+            });
+            let p = sleeper.alloc_sleep(4096, 1_000_000).unwrap();
+            // SAFETY: allocated above, freed once.
+            unsafe { sleeper.free(p) };
+        });
+        // Unservable requests fail immediately, not after retries.
+        assert!(matches!(
+            sleeper.alloc_sleep(0, 100),
+            Err(AllocError::ZeroSize)
+        ));
+    }
+
+    #[test]
+    fn class_blocks_are_aligned_to_their_size() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        for shift in 4..=12 {
+            let size = 1usize << shift;
+            let p = cpu.alloc(size).unwrap();
+            assert_eq!(
+                p.as_ptr() as usize % size,
+                0,
+                "{size}-byte block misaligned"
+            );
+            // SAFETY: allocated above, freed once.
+            unsafe { cpu.free_sized(p, size) };
+        }
+    }
+
+    #[test]
+    fn free_and_free_sized_are_interchangeable() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        // Alloc with the standard interface, free with the sized one, and
+        // vice versa — both route to the same class.
+        let p = cpu.alloc(300).unwrap();
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free_sized(p, 300) };
+        let q = cpu.alloc(300).unwrap();
+        assert_eq!(p, q);
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(q) };
+        let r = cpu.alloc_cookie(a.cookie_for(300).unwrap()).unwrap();
+        assert_eq!(q, r);
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(r) };
+        verify_arena(&a);
+    }
+
+    #[test]
+    fn custom_class_ladders_work() {
+        // Only two classes; everything between 65 and 1024 bytes rounds
+        // to 1024, larger requests go to the vmblk layer.
+        let cfg = KmemConfig {
+            classes: vec![
+                crate::config::ClassConfig::with_heuristics(64),
+                crate::config::ClassConfig::with_heuristics(1024),
+            ],
+            ..KmemConfig::small()
+        };
+        let a = KmemArena::new(cfg).unwrap();
+        let cpu = a.register_cpu().unwrap();
+        let p = cpu.alloc(65).unwrap();
+        assert_eq!(p.as_ptr() as usize % 1024, 0);
+        let big = cpu.alloc(1025).unwrap(); // beyond the ladder: large path
+        assert_eq!(big.as_ptr() as usize % PAGE_SIZE, 0);
+        assert_eq!(a.stats().large_allocs, 1);
+        // SAFETY: allocated above, freed once each.
+        unsafe {
+            cpu.free(p);
+            cpu.free(big);
+        }
+        cpu.flush();
+        a.reclaim();
+        verify_empty(&a);
+    }
+
+    #[test]
+    fn retained_vmblks_are_reused_when_release_is_off() {
+        let cfg = KmemConfig {
+            release_empty_vmblks: false,
+            ..KmemConfig::small()
+        };
+        let a = KmemArena::new(cfg).unwrap();
+        let cpu = a.register_cpu().unwrap();
+        let p = cpu.alloc(4096).unwrap();
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(p) };
+        cpu.flush();
+        a.reclaim();
+        // The vmblk is retained (its header frame stays claimed)...
+        let stats = a.stats();
+        assert_eq!(stats.vmblks_live, 1);
+        assert!(stats.phys_in_use > 0);
+        // ...and gets reused rather than growing the footprint.
+        let q = cpu.alloc(4096).unwrap();
+        assert_eq!(a.stats().vmblks_live, 1);
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(q) };
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "different arena")]
+    fn cookies_do_not_cross_arenas() {
+        let a = arena();
+        let b = arena();
+        let cookie_a = a.cookie_for(64).unwrap();
+        let cpu_b = b.register_cpu().unwrap();
+        let _ = cpu_b.alloc_cookie(cookie_a);
+    }
+
+    #[test]
+    fn handles_are_send_and_arena_is_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<CpuHandle>();
+        assert_send::<KmemArena>();
+        assert_sync::<KmemArena>();
+    }
+
+    #[test]
+    fn dropping_a_handle_drains_its_caches() {
+        let a = arena();
+        {
+            let cpu = a.register_cpu().unwrap();
+            let p = cpu.alloc(64).unwrap();
+            // SAFETY: allocated above, freed once.
+            unsafe { cpu.free(p) };
+            assert!(cpu.cached_blocks() > 0);
+        }
+        // The departed CPU left nothing behind; a reclaim returns every
+        // frame.
+        a.reclaim();
+        verify_empty(&a);
+        // And the CPU id is reusable with a clean cache.
+        let cpu = a.register_cpu().unwrap();
+        assert_eq!(cpu.cached_blocks(), 0);
+    }
+
+    #[test]
+    fn registering_more_cpus_than_configured_fails() {
+        let a = arena();
+        let _h: Vec<_> = (0..4).map(|_| a.register_cpu().unwrap()).collect();
+        assert!(a.register_cpu().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not manage")]
+    fn freeing_foreign_pointer_is_caught() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        let foreign = Box::new([0u8; 64]);
+        let ptr = NonNull::from(&foreign[0]);
+        // SAFETY: intentionally violates the contract to check the guard
+        // rail; the pointer is valid memory, just not arena memory.
+        unsafe { cpu.free(ptr) };
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_caught_in_debug() {
+        let a = arena();
+        let cpu = a.register_cpu().unwrap();
+        let p = cpu.alloc(64).unwrap();
+        // SAFETY: first free is legitimate; the second intentionally
+        // violates the contract to check the poison guard rail.
+        unsafe {
+            cpu.free(p);
+            cpu.free(p);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Raw free-block primitives.
+//!
+//! Free blocks carry their freelist linkage *inside themselves*, exactly as
+//! in the kernel: the first word of a free block is the pointer to the next
+//! free block. This module is the single home of the raw reads and writes
+//! of that word, plus the debug-build poisoning that catches use-after-free
+//! and double-free in tests.
+//!
+//! # Safety
+//!
+//! Every function here requires that `block` points to the start of a block
+//! that (a) lies inside the arena's reservation, (b) is at least 16 bytes,
+//! and (c) is *free* — i.e. owned by an allocator layer, not by a caller.
+//! These are exactly the conditions under which the kernel scribbles
+//! freelist links into memory.
+
+/// Minimum block size: one link word plus a poison word, with room spare.
+pub const MIN_BLOCK: usize = 16;
+
+/// Debug-build poison value written into the second word of freed blocks.
+const POISON: usize = 0xdead_4b4d_454d_beef_u64 as usize;
+
+/// Reads the next-free-block link from a free block.
+///
+/// # Safety
+///
+/// `block` must satisfy the module-level free-block conditions, and its
+/// link word must have been written by [`write_next`].
+#[inline]
+pub unsafe fn read_next(block: *mut u8) -> *mut u8 {
+    // SAFETY: per the function contract, `block` is a live free block with
+    // a valid link word at offset 0.
+    unsafe { (block as *mut *mut u8).read() }
+}
+
+/// Writes the next-free-block link into a free block.
+///
+/// # Safety
+///
+/// `block` must satisfy the module-level free-block conditions.
+#[inline]
+pub unsafe fn write_next(block: *mut u8, next: *mut u8) {
+    // SAFETY: per the function contract, offset 0 of `block` is writable
+    // and owned by the allocator.
+    unsafe { (block as *mut *mut u8).write(next) };
+}
+
+/// Marks `block` as freed (debug builds only).
+///
+/// # Safety
+///
+/// `block` must satisfy the module-level free-block conditions.
+#[inline]
+pub unsafe fn poison(block: *mut u8) {
+    if cfg!(debug_assertions) {
+        // SAFETY: blocks are at least [`MIN_BLOCK`] bytes, so the second
+        // word is in bounds and allocator-owned.
+        unsafe { (block as *mut usize).add(1).write(POISON) };
+    }
+}
+
+/// Panics (debug builds only) if `block` does not carry the free poison —
+/// catching frees of never-allocated pointers — and clears it so a
+/// *second* free of the same block is caught as a double free.
+///
+/// # Safety
+///
+/// `block` must satisfy the module-level free-block conditions.
+#[inline]
+pub unsafe fn check_and_clear_poison_on_alloc(block: *mut u8) {
+    if cfg!(debug_assertions) {
+        // SAFETY: as in `poison`.
+        let word = unsafe { (block as *mut usize).add(1) };
+        // SAFETY: as in `poison`.
+        debug_assert_eq!(
+            unsafe { word.read() },
+            POISON,
+            "allocating a block whose free poison was overwritten \
+             (use-after-free?) at {block:p}"
+        );
+        // SAFETY: as in `poison`.
+        unsafe { word.write(0) };
+    }
+}
+
+/// Panics (debug builds only) if `block` still carries the free poison,
+/// i.e. if it is being freed twice without an intervening allocation.
+///
+/// # Safety
+///
+/// `block` must point to a block-sized region owned by the caller.
+#[inline]
+pub unsafe fn check_not_double_free(block: *mut u8) {
+    if cfg!(debug_assertions) {
+        // SAFETY: as in `poison`.
+        let val = unsafe { (block as *const usize).add(1).read() };
+        debug_assert_ne!(val, POISON, "double free of block at {block:p}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> Box<[u8; 32]> {
+        Box::new([0u8; 32])
+    }
+
+    #[test]
+    fn link_round_trip() {
+        let mut a = block();
+        let mut b = block();
+        let pa = a.as_mut_ptr();
+        let pb = b.as_mut_ptr();
+        // SAFETY: `pa` points to 32 owned, writable bytes.
+        unsafe { write_next(pa, pb) };
+        // SAFETY: link was just written.
+        assert_eq!(unsafe { read_next(pa) }, pb);
+    }
+
+    #[test]
+    fn poison_cycle() {
+        let mut a = block();
+        let pa = a.as_mut_ptr();
+        // SAFETY: `pa` points to 32 owned bytes.
+        unsafe {
+            check_not_double_free(pa);
+            poison(pa);
+            check_and_clear_poison_on_alloc(pa);
+            check_not_double_free(pa);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    #[cfg(debug_assertions)]
+    fn double_free_is_caught() {
+        let mut a = block();
+        let pa = a.as_mut_ptr();
+        // SAFETY: `pa` points to 32 owned bytes.
+        unsafe {
+            poison(pa);
+            check_not_double_free(pa);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "use-after-free")]
+    #[cfg(debug_assertions)]
+    fn foreign_free_is_caught() {
+        let mut a = block();
+        let pa = a.as_mut_ptr();
+        // SAFETY: `pa` points to 32 owned bytes.
+        unsafe { check_and_clear_poison_on_alloc(pa) };
+    }
+}

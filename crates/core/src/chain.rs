@@ -1,0 +1,344 @@
+//! Counted chains of free blocks — the unit of transfer between layers.
+//!
+//! The paper's key amortization is that "blocks are moved in target-sized
+//! groups, preventing unnecessary linked-list operations": a whole chain of
+//! `target` blocks moves between the per-CPU and global layers with O(1)
+//! pointer surgery. A [`Chain`] is such a group: an intrusive singly linked
+//! list with head, tail, and count, so push/pop are O(1) at the head and
+//! concatenation is O(1) via the tail.
+
+use core::ptr;
+
+use crate::block;
+
+/// A counted, intrusive, singly linked chain of free blocks.
+///
+/// Owns the blocks it links (they are free memory belonging to the
+/// allocator); all blocks in one chain belong to the same size class.
+pub struct Chain {
+    head: *mut u8,
+    tail: *mut u8,
+    len: usize,
+}
+
+// SAFETY: a `Chain` owns its free blocks outright; sending it to another
+// thread transfers that ownership wholesale, the same way the global layer
+// hands chains between CPUs.
+unsafe impl Send for Chain {}
+
+impl Chain {
+    /// Creates an empty chain.
+    pub const fn new() -> Self {
+        Chain {
+            head: ptr::null_mut(),
+            tail: ptr::null_mut(),
+            len: 0,
+        }
+    }
+
+    /// Number of blocks in the chain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns whether the chain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes a free block onto the head.
+    ///
+    /// # Safety
+    ///
+    /// `block` must be a free block of this chain's size class, owned by
+    /// the caller, and in no other list.
+    #[inline]
+    pub unsafe fn push(&mut self, block: *mut u8) {
+        debug_assert!(!block.is_null());
+        // SAFETY: `block` is a free block per the contract.
+        unsafe { block::write_next(block, self.head) };
+        if self.head.is_null() {
+            self.tail = block;
+        }
+        self.head = block;
+        self.len += 1;
+    }
+
+    /// Pops a block from the head.
+    #[inline]
+    pub fn pop(&mut self) -> Option<*mut u8> {
+        if self.head.is_null() {
+            return None;
+        }
+        let block = self.head;
+        // SAFETY: `block` is the head of this chain, so it is a free block
+        // whose link word we wrote.
+        self.head = unsafe { block::read_next(block) };
+        if self.head.is_null() {
+            self.tail = ptr::null_mut();
+        }
+        self.len -= 1;
+        Some(block)
+    }
+
+    /// Appends `other` in O(1); `other` becomes empty.
+    pub fn append(&mut self, other: &mut Chain) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = core::mem::take(other);
+            return;
+        }
+        // SAFETY: `self.tail` is the last block of a non-empty chain we
+        // own, and `other.head` is a free block we are taking ownership of.
+        unsafe { block::write_next(self.tail, other.head) };
+        self.tail = other.tail;
+        self.len += other.len;
+        // The blocks now belong to `self`; clear `other` without dropping
+        // (assignment would trip the leak detector on the stale length).
+        other.forget();
+    }
+
+    /// Takes the whole chain, leaving `self` empty.
+    #[inline]
+    pub fn take(&mut self) -> Chain {
+        core::mem::take(self)
+    }
+
+    /// Splits off and returns the first `n` blocks (walks `n` links).
+    ///
+    /// This is the O(`target`) operation the global layer's *bucket list*
+    /// performs to regroup odd blocks into target-sized chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()` or `n == 0`.
+    pub fn split_first(&mut self, n: usize) -> Chain {
+        assert!(n > 0 && n <= self.len, "split_first out of range");
+        if n == self.len {
+            return self.take();
+        }
+        let head = self.head;
+        let mut tail = head;
+        for _ in 1..n {
+            // SAFETY: we stay within the first `n` blocks of a chain we
+            // own, all of which have valid link words.
+            tail = unsafe { block::read_next(tail) };
+        }
+        // SAFETY: `tail` is a block we own; cutting the link here detaches
+        // the prefix.
+        let rest_head = unsafe { block::read_next(tail) };
+        // SAFETY: as above.
+        unsafe { block::write_next(tail, ptr::null_mut()) };
+        self.head = rest_head;
+        self.len -= n;
+        Chain { head, tail, len: n }
+    }
+
+    /// Abandons the chain's blocks without returning them to any layer.
+    ///
+    /// Only for arena teardown, where the whole reservation is released at
+    /// once and per-block bookkeeping no longer matters.
+    pub fn forget(&mut self) {
+        self.head = ptr::null_mut();
+        self.tail = ptr::null_mut();
+        self.len = 0;
+    }
+
+    /// Iterates over the block pointers without consuming the chain
+    /// (verification and tests only).
+    pub fn iter(&self) -> ChainIter<'_> {
+        ChainIter {
+            next: self.head,
+            remaining: self.len,
+            _chain: core::marker::PhantomData,
+        }
+    }
+}
+
+impl core::fmt::Debug for Chain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Chain(len={})", self.len)
+    }
+}
+
+impl Default for Chain {
+    fn default() -> Self {
+        Chain::new()
+    }
+}
+
+impl Drop for Chain {
+    fn drop(&mut self) {
+        // Chains of real blocks must be given back to a layer, never
+        // dropped: dropping would leak the blocks out of the arena's
+        // accounting. (Empty chains are dropped constantly.)
+        debug_assert!(
+            self.is_empty(),
+            "dropped a chain still holding {} blocks",
+            self.len
+        );
+    }
+}
+
+/// Iterator over the blocks of a [`Chain`].
+pub struct ChainIter<'a> {
+    next: *mut u8,
+    remaining: usize,
+    _chain: core::marker::PhantomData<&'a Chain>,
+}
+
+impl Iterator for ChainIter<'_> {
+    type Item = *mut u8;
+
+    fn next(&mut self) -> Option<*mut u8> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let block = self.next;
+        debug_assert!(!block.is_null());
+        // SAFETY: the borrowed chain owns `block`; its link word is valid.
+        self.next = unsafe { block::read_next(block) };
+        self.remaining -= 1;
+        Some(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Boxed so each block keeps a stable address while the Vec grows.
+    #[expect(clippy::vec_box)]
+    /// Backing store for fake blocks.
+    fn arena(n: usize) -> Vec<Box<[u8; 32]>> {
+        (0..n).map(|_| Box::new([0u8; 32])).collect()
+    }
+
+    fn chain_of(blocks: &mut [Box<[u8; 32]>]) -> Chain {
+        let mut c = Chain::new();
+        for b in blocks {
+            // SAFETY: each boxed array is an owned, disjoint fake block.
+            unsafe { c.push(b.as_mut_ptr()) };
+        }
+        c
+    }
+
+    fn drain(mut c: Chain) -> Vec<*mut u8> {
+        let mut v = Vec::new();
+        while let Some(b) = c.pop() {
+            v.push(b);
+        }
+        v
+    }
+
+    #[test]
+    fn push_pop_is_lifo() {
+        let mut store = arena(3);
+        let ptrs: Vec<_> = store.iter_mut().map(|b| b.as_mut_ptr()).collect();
+        let mut c = chain_of(&mut store);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.pop(), Some(ptrs[2]));
+        assert_eq!(c.pop(), Some(ptrs[1]));
+        assert_eq!(c.pop(), Some(ptrs[0]));
+        assert_eq!(c.pop(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn append_is_order_preserving_and_emptying() {
+        let mut s1 = arena(2);
+        let mut s2 = arena(2);
+        let mut a = chain_of(&mut s1);
+        let mut b = chain_of(&mut s2);
+        let expect: Vec<_> = s1
+            .iter_mut()
+            .rev()
+            .chain(s2.iter_mut().rev())
+            .map(|x| x.as_mut_ptr())
+            .collect();
+        a.append(&mut b);
+        assert!(b.is_empty());
+        assert_eq!(a.len(), 4);
+        assert_eq!(drain(a), expect);
+    }
+
+    #[test]
+    fn append_into_empty_moves() {
+        let mut s = arena(2);
+        let mut a = Chain::new();
+        let mut b = chain_of(&mut s);
+        a.append(&mut b);
+        assert_eq!(a.len(), 2);
+        assert!(b.is_empty());
+        // Tail is usable after the move: push then pop everything.
+        let mut extra = arena(1);
+        let mut c = chain_of(&mut extra);
+        c.append(&mut a);
+        assert_eq!(c.len(), 3);
+        assert_eq!(drain(c).len(), 3);
+    }
+
+    #[test]
+    fn split_first_takes_prefix() {
+        let mut s = arena(5);
+        let mut c = chain_of(&mut s);
+        let all: Vec<_> = c.iter().collect();
+        let first = c.split_first(2);
+        assert_eq!(first.len(), 2);
+        assert_eq!(c.len(), 3);
+        assert_eq!(drain(first), all[..2].to_vec());
+        assert_eq!(drain(c), all[2..].to_vec());
+    }
+
+    #[test]
+    fn split_first_whole_chain() {
+        let mut s = arena(3);
+        let mut c = chain_of(&mut s);
+        let first = c.split_first(3);
+        assert_eq!(first.len(), 3);
+        assert!(c.is_empty());
+        drain(first);
+    }
+
+    #[test]
+    fn tail_is_valid_after_split() {
+        let mut s = arena(4);
+        let mut c = chain_of(&mut s);
+        let pre = c.split_first(2);
+        // Appending to the remainder exercises its tail pointer.
+        let mut more = arena(1);
+        let mut m = chain_of(&mut more);
+        c.append(&mut m);
+        assert_eq!(c.len(), 3);
+        drain(pre);
+        drain(c);
+    }
+
+    #[test]
+    fn iter_matches_pop_order() {
+        let mut s = arena(4);
+        let mut c = chain_of(&mut s);
+        let via_iter: Vec<_> = c.iter().collect();
+        let via_pop: Vec<_> = {
+            let mut v = Vec::new();
+            while let Some(b) = c.pop() {
+                v.push(b);
+            }
+            v
+        };
+        assert_eq!(via_iter, via_pop);
+    }
+
+    #[test]
+    #[should_panic(expected = "still holding")]
+    #[cfg(debug_assertions)]
+    fn dropping_nonempty_chain_is_caught() {
+        let mut s = arena(1);
+        let c = chain_of(&mut s);
+        drop(c);
+    }
+}

@@ -1,0 +1,62 @@
+//! The cookie interface (paper §"Cookies").
+//!
+//! "The caller invokes `kmem_alloc_get_cookie` to translate a request size
+//! into an opaque cookie that is passed to subsequent expansions of the
+//! macros named `KMEM_ALLOC_COOKIE` and `KMEM_FREE_COOKIE`. The cookie
+//! contains pointers to the proper per-CPU pools, removing the need for the
+//! free operation to determine the block size given only its address."
+//!
+//! In Rust the "macro" halves are the `#[inline]` methods
+//! [`crate::CpuHandle::alloc_cookie`] and [`crate::CpuHandle::free_cookie`];
+//! the cookie itself carries the resolved class index (the per-CPU pool
+//! array is indexed by CPU at the call site, since a cookie may be shared
+//! between CPUs) plus the arena identity so debug builds can catch cookies
+//! crossing arenas.
+
+/// An opaque, copyable token encoding a resolved size class.
+///
+/// Obtain one from [`crate::KmemArena::cookie_for`]; it is valid for the
+/// lifetime of that arena and may be shared freely between CPUs and
+/// threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cookie {
+    pub(crate) class: u32,
+    pub(crate) size: u32,
+    /// Identity of the issuing arena (debug validation only).
+    pub(crate) arena_id: u64,
+}
+
+impl Cookie {
+    /// The block size this cookie allocates.
+    #[inline]
+    pub fn block_size(self) -> usize {
+        self.size as usize
+    }
+
+    /// The size-class index this cookie resolves to.
+    #[inline]
+    pub fn class_index(self) -> usize {
+        self.class as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cookie_is_small_and_copy() {
+        // A cookie must stay register-friendly: the whole point is to make
+        // the fast path cheaper than a size lookup.
+        assert!(core::mem::size_of::<Cookie>() <= 16);
+        let c = Cookie {
+            class: 3,
+            size: 128,
+            arena_id: 7,
+        };
+        let d = c;
+        assert_eq!(c, d);
+        assert_eq!(d.block_size(), 128);
+        assert_eq!(d.class_index(), 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! Allocator errors.
+
+use core::fmt;
+
+use kmem_vm::VmError;
+
+/// Errors returned by allocation paths.
+///
+/// The paper's `kmem_alloc` can be called with `KM_NOSLEEP`, in which case
+/// it returns `NULL` under memory pressure; this enum is the typed version
+/// of that `NULL`, with enough detail to tell virtual from physical
+/// exhaustion in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// A zero-byte allocation was requested.
+    ZeroSize,
+    /// The request exceeds what the arena can ever satisfy.
+    TooLarge {
+        /// The requested size in bytes.
+        requested: usize,
+        /// The largest request this arena supports.
+        max: usize,
+    },
+    /// Memory is exhausted (after per-CPU, global, page, and vmblk layers,
+    /// including a flush of the caller's own per-CPU cache, all failed).
+    OutOfMemory {
+        /// The requested size in bytes.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::ZeroSize => write!(f, "zero-size allocation"),
+            AllocError::TooLarge { requested, max } => {
+                write!(f, "request of {requested} bytes exceeds maximum {max}")
+            }
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "out of memory allocating {requested} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl From<VmError> for AllocError {
+    fn from(_: VmError) -> Self {
+        // Detail about which resource ran out is recorded in the VM stats;
+        // allocation callers only observe memory exhaustion.
+        AllocError::OutOfMemory { requested: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_sizes() {
+        let s = AllocError::TooLarge {
+            requested: 10,
+            max: 5,
+        }
+        .to_string();
+        assert!(s.contains("10") && s.contains('5'));
+        assert!(AllocError::OutOfMemory { requested: 64 }
+            .to_string()
+            .contains("64"));
+    }
+}

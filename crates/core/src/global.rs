@@ -1,0 +1,344 @@
+//! The global layer (paper Figure 3).
+//!
+//! "The only purpose of the global layer is to support reasonable
+//! performance in cases when one CPU allocates buffers of a given size,
+//! which are then passed to other CPUs that free them. The global layer
+//! allows the freed buffers to move back to the allocating CPU without
+//! incurring the overhead of coalescing."
+//!
+//! Each size class has one [`GlobalPool`]: a spinlock-protected list of
+//! `target`-sized chains (`gblfree`) plus a *bucket list* that accumulates
+//! odd-sized chains (from low-memory cache flushes) and regroups them into
+//! `target`-sized chains. The pool holds at most `2 * gbltarget` blocks;
+//! excess goes to the coalesce-to-page layer, and an empty pool is
+//! replenished from it — both via return values, so the page layer is
+//! never entered while the global spinlock is held.
+
+use kmem_smp::{EventCounter, SpinLock};
+
+use crate::chain::Chain;
+
+/// Statistics for one global pool.
+#[derive(Default)]
+pub struct GlobalStats {
+    /// Chain requests served (hits and misses).
+    pub get: EventCounter,
+    /// Chain requests that fell through to the coalesce-to-page layer.
+    pub get_miss: EventCounter,
+    /// Chains returned by per-CPU caches.
+    pub put: EventCounter,
+    /// Returns that spilled excess blocks to the coalesce-to-page layer.
+    pub put_miss: EventCounter,
+}
+
+struct GlobalInner {
+    /// `target`-sized chains, ready for O(1) hand-off to a per-CPU cache.
+    chains: Vec<Chain>,
+    /// Odd-sized leftovers awaiting regrouping.
+    bucket: Chain,
+}
+
+/// The global free pool for one size class.
+pub struct GlobalPool {
+    inner: SpinLock<GlobalInner>,
+    target: usize,
+    gbltarget: usize,
+    stats: GlobalStats,
+}
+
+impl GlobalPool {
+    /// Creates an empty pool with the class's `target` and `gbltarget`.
+    pub fn new(target: usize, gbltarget: usize) -> Self {
+        // The pool holds at most `2 * gbltarget` blocks; preallocating the
+        // chain vector keeps the hot path free of host-heap traffic.
+        let max_chains = (2 * gbltarget).div_ceil(target) + 2;
+        GlobalPool {
+            inner: SpinLock::new(GlobalInner {
+                chains: Vec::with_capacity(max_chains),
+                bucket: Chain::new(),
+            }),
+            target,
+            gbltarget,
+            stats: GlobalStats::default(),
+        }
+    }
+
+    /// This pool's `target`.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// This pool's `gbltarget`.
+    pub fn gbltarget(&self) -> usize {
+        self.gbltarget
+    }
+
+    /// Statistics for this pool.
+    pub fn stats(&self) -> &GlobalStats {
+        &self.stats
+    }
+
+    /// Fetches a chain for a per-CPU cache.
+    ///
+    /// Prefers a ready `target`-sized chain; falls back to carving up to
+    /// `target` blocks out of the bucket list. Returns `None` on a miss —
+    /// the caller then asks the coalesce-to-page layer (the counted miss).
+    pub fn get_chain(&self) -> Option<Chain> {
+        self.stats.get.inc();
+        let mut inner = self.inner.lock();
+        if let Some(chain) = inner.chains.pop() {
+            return Some(chain);
+        }
+        if !inner.bucket.is_empty() {
+            let n = inner.bucket.len().min(self.target);
+            return Some(inner.bucket.split_first(n));
+        }
+        drop(inner);
+        self.stats.get_miss.inc();
+        None
+    }
+
+    /// Accepts an exactly-`target`-sized chain from a per-CPU cache.
+    ///
+    /// Returns the excess to push down to the coalesce-to-page layer when
+    /// the pool exceeds `2 * gbltarget` blocks.
+    pub fn put_chain(&self, chain: Chain) -> Option<Chain> {
+        debug_assert_eq!(chain.len(), self.target);
+        self.stats.put.inc();
+        let mut inner = self.inner.lock();
+        inner.chains.push(chain);
+        self.spill_locked(&mut inner)
+    }
+
+    /// Accepts an odd-sized chain (low-memory flushes, partial refills
+    /// handed back). Blocks land in the bucket list, which regroups them
+    /// into `target`-sized chains.
+    pub fn put_odd(&self, mut chain: Chain) -> Option<Chain> {
+        if chain.is_empty() {
+            return None;
+        }
+        self.stats.put.inc();
+        let mut inner = self.inner.lock();
+        inner.bucket.append(&mut chain);
+        // Regroup: "the bucket list, which is used to group the blocks
+        // back into target-sized lists".
+        while inner.bucket.len() >= self.target {
+            let grouped = inner.bucket.split_first(self.target);
+            inner.chains.push(grouped);
+        }
+        self.spill_locked(&mut inner)
+    }
+
+    /// Trims the pool to `2 * gbltarget` blocks, returning the spill.
+    fn spill_locked(&self, inner: &mut GlobalInner) -> Option<Chain> {
+        let mut total = inner.bucket.len() + inner.chains.len() * self.target;
+        if total <= 2 * self.gbltarget {
+            return None;
+        }
+        let mut spill = Chain::new();
+        while total > 2 * self.gbltarget {
+            match inner.chains.pop() {
+                Some(mut chain) => {
+                    total -= chain.len();
+                    spill.append(&mut chain);
+                }
+                None => {
+                    // Only the bucket is left; trim it directly.
+                    let n = (total - 2 * self.gbltarget).min(inner.bucket.len());
+                    if n == 0 {
+                        break;
+                    }
+                    let mut cut = inner.bucket.split_first(n);
+                    total -= n;
+                    spill.append(&mut cut);
+                }
+            }
+        }
+        self.stats.put_miss.inc();
+        Some(spill)
+    }
+
+    /// Current block count (tests and the invariant walker).
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.bucket.len() + inner.chains.iter().map(Chain::len).sum::<usize>()
+    }
+
+    /// Returns whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains every block (arena teardown and low-memory reclaim).
+    pub fn drain_all(&self) -> Chain {
+        let mut inner = self.inner.lock();
+        let mut all = inner.bucket.take();
+        while let Some(mut c) = inner.chains.pop() {
+            all.append(&mut c);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Boxed so each block keeps a stable address while the Vec grows.
+    #[expect(clippy::vec_box)]
+    struct Blocks {
+        store: Vec<Box<[u8; 32]>>,
+        next: usize,
+    }
+
+    impl Blocks {
+        fn new(n: usize) -> Self {
+            Blocks {
+                store: (0..n).map(|_| Box::new([0u8; 32])).collect(),
+                next: 0,
+            }
+        }
+
+        fn chain(&mut self, n: usize) -> Chain {
+            let mut c = Chain::new();
+            for _ in 0..n {
+                // SAFETY: fake blocks are owned and disjoint.
+                unsafe { c.push(self.store[self.next].as_mut_ptr()) };
+                self.next += 1;
+            }
+            c
+        }
+    }
+
+    fn discard(c: Chain) -> usize {
+        let mut c = c;
+        let mut n = 0;
+        while c.pop().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn get_put_round_trip() {
+        let mut blocks = Blocks::new(64);
+        let pool = GlobalPool::new(3, 12);
+        assert!(pool.get_chain().is_none());
+        assert!(pool.put_chain(blocks.chain(3)).is_none());
+        assert_eq!(pool.len(), 3);
+        let got = pool.get_chain().unwrap();
+        assert_eq!(got.len(), 3);
+        assert!(pool.is_empty());
+        discard(got);
+    }
+
+    #[test]
+    fn bucket_regroups_odd_chains() {
+        let mut blocks = Blocks::new(64);
+        let pool = GlobalPool::new(3, 12);
+        // 2 + 2 blocks: one regrouped chain of 3 plus 1 in the bucket.
+        assert!(pool.put_odd(blocks.chain(2)).is_none());
+        assert!(pool.put_odd(blocks.chain(2)).is_none());
+        assert_eq!(pool.len(), 4);
+        let first = pool.get_chain().unwrap();
+        assert_eq!(first.len(), 3);
+        // The straggler comes out as a short chain rather than a miss.
+        let second = pool.get_chain().unwrap();
+        assert_eq!(second.len(), 1);
+        assert!(pool.get_chain().is_none());
+        discard(first);
+        discard(second);
+    }
+
+    #[test]
+    fn pool_spills_beyond_twice_gbltarget() {
+        let mut blocks = Blocks::new(64);
+        // target 3, gbltarget 6: capacity 12 blocks = 4 chains.
+        let pool = GlobalPool::new(3, 6);
+        for _ in 0..4 {
+            assert!(pool.put_chain(blocks.chain(3)).is_none());
+        }
+        assert_eq!(pool.len(), 12);
+        let spill = pool.put_chain(blocks.chain(3)).unwrap();
+        assert_eq!(spill.len(), 3);
+        assert_eq!(pool.len(), 12);
+        discard(spill);
+        discard(pool.drain_all());
+    }
+
+    #[test]
+    fn spill_prefers_whole_chains() {
+        let mut blocks = Blocks::new(64);
+        // target 5, gbltarget 5: capacity 10.
+        let pool = GlobalPool::new(5, 5);
+        // 12 odd blocks regroup into two chains of 5 plus 2 in the bucket;
+        // the excess is shed as one whole chain (O(1)), leaving 7.
+        let spill = pool.put_odd(blocks.chain(12)).unwrap();
+        assert_eq!(spill.len(), 5);
+        assert_eq!(pool.len(), 7);
+        discard(spill);
+        discard(pool.drain_all());
+    }
+
+    #[test]
+    fn spill_trims_bucket_when_no_chains_remain() {
+        let mut blocks = Blocks::new(64);
+        // target 10, gbltarget 3: capacity 6, and 8 odd blocks are too few
+        // to regroup into a chain — the bucket itself must be trimmed.
+        let pool = GlobalPool::new(10, 3);
+        let spill = pool.put_odd(blocks.chain(8)).unwrap();
+        assert_eq!(spill.len(), 2);
+        assert_eq!(pool.len(), 6);
+        discard(spill);
+        discard(pool.drain_all());
+    }
+
+    #[test]
+    fn miss_statistics_track_fallthrough() {
+        let mut blocks = Blocks::new(16);
+        let pool = GlobalPool::new(2, 4);
+        assert!(pool.get_chain().is_none());
+        assert_eq!(pool.stats().get.get(), 1);
+        assert_eq!(pool.stats().get_miss.get(), 1);
+        pool.put_chain(blocks.chain(2));
+        let c = pool.get_chain().unwrap();
+        assert_eq!(pool.stats().get.get(), 2);
+        assert_eq!(pool.stats().get_miss.get(), 1);
+        discard(c);
+    }
+
+    #[test]
+    fn drain_all_empties_everything() {
+        let mut blocks = Blocks::new(32);
+        let pool = GlobalPool::new(3, 10);
+        pool.put_chain(blocks.chain(3));
+        pool.put_odd(blocks.chain(2));
+        assert_eq!(discard(pool.drain_all()), 5);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn concurrent_get_put_preserves_blocks() {
+        let pool = GlobalPool::new(4, 40);
+        let mut blocks = Blocks::new(80);
+        for _ in 0..20 {
+            pool.put_chain(blocks.chain(4));
+        }
+        let spilled = EventCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        if let Some(c) = pool.get_chain() {
+                            if let Some(sp) = pool.put_odd(c) {
+                                spilled.add(discard(sp) as u64);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.len() + spilled.get() as usize, 80);
+        discard(pool.drain_all());
+    }
+}

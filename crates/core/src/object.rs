@@ -1,0 +1,457 @@
+//! Typed allocation on top of the raw block interface.
+//!
+//! Two conveniences a downstream kernel subsystem would reach for:
+//!
+//! * [`KBox`] — an RAII owner of a single `T` in arena memory, the safe
+//!   face of `kmem_alloc(sizeof(T))`.
+//! * [`ObjectCache`] — a pool of *constructed* objects over the arena.
+//!   The paper notes that ad-hoc allocators remain beneficial "when the
+//!   structures being allocated are subject to some complex but reusable
+//!   initialization", with the STREAMS triplet as its example, and that
+//!   such allocators should reuse the general-purpose allocator's code.
+//!   `ObjectCache` is that pattern as a reusable component: objects keep
+//!   their constructed state across free/alloc cycles (bounded), and the
+//!   backing memory comes from (and overflows back to) the arena's cookie
+//!   fast path.
+
+use core::ops::{Deref, DerefMut};
+use core::ptr::NonNull;
+
+use kmem_smp::SpinLock;
+use kmem_vm::PAGE_SIZE;
+
+use crate::arena::{CpuHandle, KmemArena};
+use crate::cookie::Cookie;
+use crate::error::AllocError;
+
+/// Layout sanity for arena-typed values.
+fn check_layout<T>() -> Result<(), AllocError> {
+    // Class blocks are aligned to their (power-of-two) size and at least
+    // as big as the request, so `align <= size` suffices for class-sized
+    // values; page alignment covers multi-page values.
+    if core::mem::align_of::<T>() > PAGE_SIZE {
+        return Err(AllocError::TooLarge {
+            requested: core::mem::align_of::<T>(),
+            max: PAGE_SIZE,
+        });
+    }
+    Ok(())
+}
+
+/// An owned `T` stored in arena memory; the typed, safe face of
+/// `kmem_alloc`/`kmem_free`.
+///
+/// The box borrows the [`CpuHandle`] it was allocated through, so frees
+/// happen on a live CPU — mirroring how kernel code always frees in some
+/// CPU's context.
+///
+/// # Examples
+///
+/// ```
+/// use kmem::{KmemArena, KmemConfig};
+/// use kmem::object::KBox;
+///
+/// let arena = KmemArena::new(KmemConfig::small()).unwrap();
+/// let cpu = arena.register_cpu().unwrap();
+/// let b = KBox::new(&cpu, [0u64; 8]).unwrap();
+/// assert_eq!(b.len(), 8);
+/// drop(b); // freed back to the arena
+/// ```
+pub struct KBox<'cpu, T> {
+    ptr: NonNull<T>,
+    cpu: &'cpu CpuHandle,
+}
+
+impl<'cpu, T> KBox<'cpu, T> {
+    /// Allocates arena memory and moves `value` into it.
+    pub fn new(cpu: &'cpu CpuHandle, value: T) -> Result<Self, AllocError> {
+        check_layout::<T>()?;
+        let size = core::mem::size_of::<T>().max(1);
+        let raw = cpu.alloc(size)?.cast::<T>();
+        // SAFETY: `raw` is a fresh allocation of at least `size` bytes
+        // whose class (or page) alignment covers `align_of::<T>()`.
+        unsafe { raw.as_ptr().write(value) };
+        Ok(KBox { ptr: raw, cpu })
+    }
+
+    /// The raw pointer (valid while the box lives).
+    pub fn as_ptr(&self) -> *mut T {
+        self.ptr.as_ptr()
+    }
+
+    /// Moves the value out, freeing the arena block.
+    pub fn into_inner(self) -> T {
+        // SAFETY: the box owns an initialized `T`; we read it out exactly
+        // once and release the block without running `drop` again.
+        let value = unsafe { self.ptr.as_ptr().read() };
+        let size = core::mem::size_of::<T>().max(1);
+        // SAFETY: allocated in `new` with this size; freed exactly once.
+        unsafe { self.cpu.free_sized(self.ptr.cast(), size) };
+        core::mem::forget(self);
+        value
+    }
+}
+
+impl<T> Deref for KBox<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the box owns an initialized, exclusively held `T`.
+        unsafe { self.ptr.as_ref() }
+    }
+}
+
+impl<T> DerefMut for KBox<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`, plus `&mut self` gives exclusivity.
+        unsafe { self.ptr.as_mut() }
+    }
+}
+
+impl<T> Drop for KBox<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the box owns an initialized `T`; drop it in place, then
+        // release the block exactly once.
+        unsafe {
+            core::ptr::drop_in_place(self.ptr.as_ptr());
+            self.cpu
+                .free_sized(self.ptr.cast(), core::mem::size_of::<T>().max(1));
+        }
+    }
+}
+
+impl<T: core::fmt::Debug> core::fmt::Debug for KBox<'_, T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// A bounded pool of constructed `T`s backed by the arena.
+///
+/// `get` prefers a previously constructed object (its state as the last
+/// holder left it after `reset`); misses construct a fresh one in arena
+/// memory. `Obj`s return to the pool on drop, up to `capacity`; overflow
+/// objects are dropped and their blocks freed through the caller's CPU.
+pub struct ObjectCache<T> {
+    arena: KmemArena,
+    cookie: Cookie,
+    capacity: usize,
+    ctor: Box<dyn Fn() -> T + Send + Sync>,
+    /// Constructed, currently unowned objects.
+    pool: SpinLock<Vec<NonNull<T>>>,
+}
+
+// SAFETY: pooled pointers are owned by the cache (no aliasing); the
+// spinlock serializes pool access; `T` construction/destruction happens on
+// the calling thread.
+unsafe impl<T: Send> Send for ObjectCache<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send> Sync for ObjectCache<T> {}
+
+impl<T> ObjectCache<T> {
+    /// Creates a cache of up to `capacity` constructed objects, built by
+    /// `ctor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `T` does not fit the arena's size classes (object caches
+    /// are for small kernel records; multi-page objects should use
+    /// [`CpuHandle::alloc`] directly).
+    pub fn new(
+        arena: &KmemArena,
+        capacity: usize,
+        ctor: impl Fn() -> T + Send + Sync + 'static,
+    ) -> Self {
+        check_layout::<T>().expect("object alignment exceeds a page");
+        let size = core::mem::size_of::<T>().max(1);
+        let cookie = arena
+            .cookie_for(size)
+            .expect("object caches hold class-sized records");
+        ObjectCache {
+            arena: arena.clone(),
+            cookie,
+            capacity,
+            ctor: Box::new(ctor),
+            pool: SpinLock::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// The arena backing this cache.
+    pub fn arena(&self) -> &KmemArena {
+        &self.arena
+    }
+
+    /// Constructed objects currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().len()
+    }
+
+    /// Takes a constructed object (pool hit) or constructs one (miss).
+    pub fn get<'c>(&'c self, cpu: &'c CpuHandle) -> Result<Obj<'c, T>, AllocError> {
+        if let Some(ptr) = self.pool.lock().pop() {
+            return Ok(Obj {
+                ptr,
+                cache: self,
+                cpu,
+            });
+        }
+        let raw = cpu.alloc_cookie(self.cookie)?.cast::<T>();
+        // SAFETY: fresh class block; size and alignment checked in `new`.
+        unsafe { raw.as_ptr().write((self.ctor)()) };
+        Ok(Obj {
+            ptr: raw,
+            cache: self,
+            cpu,
+        })
+    }
+
+    /// Drops every pooled object and frees its block via `cpu`.
+    pub fn drain(&self, cpu: &CpuHandle) {
+        let pooled = core::mem::take(&mut *self.pool.lock());
+        for ptr in pooled {
+            // SAFETY: pooled objects are constructed and unowned; each is
+            // destroyed and freed exactly once.
+            unsafe {
+                core::ptr::drop_in_place(ptr.as_ptr());
+                cpu.free_cookie(ptr.cast(), self.cookie);
+            }
+        }
+    }
+}
+
+impl<T> Drop for ObjectCache<T> {
+    fn drop(&mut self) {
+        // Blocks still pooled at teardown are destroyed; their memory is
+        // freed through a freshly registered CPU if one is available, and
+        // otherwise intentionally leaked *into the arena* (the arena
+        // reclaims everything wholesale when it drops).
+        let pooled = core::mem::take(&mut *self.pool.lock());
+        let cpu = self.arena.register_cpu().ok();
+        for ptr in pooled {
+            // SAFETY: pooled objects are constructed and unowned.
+            unsafe { core::ptr::drop_in_place(ptr.as_ptr()) };
+            if let Some(cpu) = &cpu {
+                // SAFETY: the block came from this arena via our cookie.
+                unsafe { cpu.free_cookie(ptr.cast(), self.cookie) };
+            }
+        }
+    }
+}
+
+/// A checked-out object; returns to its cache on drop.
+pub struct Obj<'c, T> {
+    ptr: NonNull<T>,
+    cache: &'c ObjectCache<T>,
+    cpu: &'c CpuHandle,
+}
+
+impl<T> Obj<'_, T> {
+    /// The raw pointer (valid while checked out).
+    pub fn as_ptr(&self) -> *mut T {
+        self.ptr.as_ptr()
+    }
+}
+
+impl<T> Deref for Obj<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: a checked-out object is initialized and exclusively
+        // held by this `Obj`.
+        unsafe { self.ptr.as_ref() }
+    }
+}
+
+impl<T> DerefMut for Obj<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`, plus `&mut self`.
+        unsafe { self.ptr.as_mut() }
+    }
+}
+
+impl<T> Drop for Obj<'_, T> {
+    fn drop(&mut self) {
+        let mut pool = self.cache.pool.lock();
+        if pool.len() < self.cache.capacity {
+            // Keep it constructed: the whole point of the cache.
+            pool.push(self.ptr);
+        } else {
+            drop(pool);
+            // SAFETY: the object is initialized and exclusively ours;
+            // destroy and free exactly once.
+            unsafe {
+                core::ptr::drop_in_place(self.ptr.as_ptr());
+                self.cpu.free_cookie(self.ptr.cast(), self.cache.cookie);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KmemConfig;
+    use core::mem::MaybeUninit;
+    use core::sync::atomic::{AtomicUsize, Ordering};
+
+    fn setup() -> (KmemArena, CpuHandle) {
+        let arena = KmemArena::new(KmemConfig::small()).unwrap();
+        let cpu = arena.register_cpu().unwrap();
+        (arena, cpu)
+    }
+
+    #[test]
+    fn kbox_round_trip_and_drop() {
+        let (arena, cpu) = setup();
+        {
+            let mut b = KBox::new(&cpu, vec![1, 2, 3]).unwrap();
+            b.push(4);
+            assert_eq!(&**b, &[1, 2, 3, 4]);
+        }
+        // The arena block came back (alloc again hits the cache).
+        let stats = arena.stats();
+        assert_eq!(stats.total_allocs(), stats.total_frees());
+    }
+
+    #[test]
+    fn kbox_into_inner_moves_value() {
+        let (_arena, cpu) = setup();
+        let b = KBox::new(&cpu, String::from("kernel")).unwrap();
+        let s = b.into_inner();
+        assert_eq!(s, "kernel");
+    }
+
+    #[test]
+    fn kbox_runs_destructors_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (_arena, cpu) = setup();
+        drop(KBox::new(&cpu, D).unwrap());
+        assert_eq!(DROPS.load(Ordering::Relaxed), 1);
+        let v = KBox::new(&cpu, D).unwrap().into_inner();
+        assert_eq!(DROPS.load(Ordering::Relaxed), 1);
+        drop(v);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn kbox_handles_zero_sized_types() {
+        let (_arena, cpu) = setup();
+        let b = KBox::new(&cpu, ()).unwrap();
+        drop(b);
+    }
+
+    /// A record with "complex but reusable initialization".
+    struct Record {
+        table: Vec<u32>,
+        uses: usize,
+    }
+
+    #[test]
+    fn object_cache_reuses_constructed_state() {
+        static CTOR_CALLS: AtomicUsize = AtomicUsize::new(0);
+        let (_arena, cpu) = setup();
+        let arena = cpu.arena();
+        let cache = ObjectCache::new(&arena, 4, || {
+            CTOR_CALLS.fetch_add(1, Ordering::Relaxed);
+            Record {
+                table: (0..64).collect(),
+                uses: 0,
+            }
+        });
+        {
+            let mut a = cache.get(&cpu).unwrap();
+            a.uses += 1;
+            assert_eq!(a.table.len(), 64);
+        }
+        assert_eq!(cache.pooled(), 1);
+        {
+            // Pool hit: the expensive table was NOT rebuilt, and the
+            // object's state survived.
+            let b = cache.get(&cpu).unwrap();
+            assert_eq!(b.uses, 1);
+        }
+        assert_eq!(CTOR_CALLS.load(Ordering::Relaxed), 1);
+        cache.drain(&cpu);
+        assert_eq!(cache.pooled(), 0);
+    }
+
+    #[test]
+    fn object_cache_overflow_frees_to_arena() {
+        let (_arena, cpu) = setup();
+        let arena = cpu.arena();
+        let cache = ObjectCache::new(&arena, 2, || 0u64);
+        let a = cache.get(&cpu).unwrap();
+        let b = cache.get(&cpu).unwrap();
+        let c = cache.get(&cpu).unwrap();
+        drop(a);
+        drop(b);
+        drop(c); // over capacity: destroyed + freed
+        assert_eq!(cache.pooled(), 2);
+        cache.drain(&cpu);
+        // All blocks came home.
+        let stats = arena.stats();
+        assert_eq!(stats.total_allocs(), stats.total_frees());
+    }
+
+    #[test]
+    fn object_cache_is_shared_across_threads() {
+        let (arena, _cpu) = setup();
+        let cache = std::sync::Arc::new(ObjectCache::new(&arena, 8, || [0u8; 100]));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let arena = arena.clone();
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    let cpu = arena.register_cpu().unwrap();
+                    for _ in 0..1000 {
+                        let mut o = cache.get(&cpu).unwrap();
+                        o[0] = o[0].wrapping_add(1);
+                    }
+                });
+            }
+        });
+        let cpu = arena.register_cpu().unwrap();
+        cache.drain(&cpu);
+    }
+
+    #[test]
+    fn teardown_order_is_forgiving() {
+        // Cache dropped after its CPUs are gone: objects still get
+        // destroyed (via a fresh registration).
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let arena = KmemArena::new(KmemConfig::small()).unwrap();
+        let cache = ObjectCache::new(&arena, 4, || D);
+        {
+            let cpu = arena.register_cpu().unwrap();
+            let a = cache.get(&cpu).unwrap();
+            let b = cache.get(&cpu).unwrap();
+            drop(a);
+            drop(b);
+        }
+        drop(cache);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn maybe_uninit_sized_records_fit_expected_classes() {
+        // Documented behaviour: a KBox<T> consumes the class that covers
+        // size_of::<T>().
+        let (arena, cpu) = setup();
+        let _b = KBox::new(&cpu, MaybeUninit::<[u8; 200]>::uninit()).unwrap();
+        let stats = arena.stats();
+        let c256 = stats.classes.iter().find(|c| c.size == 256).unwrap();
+        assert_eq!(c256.cpu_alloc.accesses, 1);
+    }
+}

@@ -1,0 +1,497 @@
+//! The coalesce-to-page layer (paper Figure 5).
+//!
+//! One instance per size class. "The coalesce-to-page layer gathers blocks
+//! of a given size and coalesces them into pages. This layer maintains a
+//! data structure for each page, which contains the per-page freelist and a
+//! count of the number of blocks in the page that are currently free. When
+//! the count equals the total number of blocks in the page, the entire page
+//! may be given back to the system" — no mark-and-sweep, no offline pass.
+//!
+//! Pages that still have blocks in use sit on a **radix-sorted** freelist
+//! (one bucket per free count) "so that pages with the fewest free blocks
+//! will be allocated from most frequently", giving nearly-free pages time
+//! to gather their last outstanding blocks and drain completely.
+
+use kmem_smp::{EventCounter, SpinLock};
+use kmem_vm::{VmError, PAGE_SIZE};
+
+use crate::block;
+use crate::chain::Chain;
+use crate::pagedesc::{PageDesc, PdKind, PdList};
+use crate::vmblklayer::VmblkLayer;
+
+/// Statistics for one coalesce-to-page instance.
+#[derive(Default)]
+pub struct PageLayerStats {
+    /// Chain requests from the global layer.
+    pub refills: EventCounter,
+    /// Refills that had to take a fresh page from the vmblk layer.
+    pub page_acquires: EventCounter,
+    /// Pages fully drained and returned to the vmblk layer.
+    pub page_releases: EventCounter,
+    /// Individual blocks pushed down from the global layer.
+    pub block_frees: EventCounter,
+}
+
+struct PageInner {
+    /// `buckets[c]` lists pages with exactly `c` free blocks. Bucket 0 is
+    /// unused: pages with no free blocks are not listed.
+    buckets: Box<[PdList]>,
+    /// Pages currently owned by this class.
+    npages: usize,
+    /// Free blocks across all owned pages.
+    free_blocks: usize,
+}
+
+/// The coalesce-to-page layer for one size class.
+pub struct PageLayer {
+    class: usize,
+    block_size: usize,
+    blocks_per_page: usize,
+    radix: bool,
+    inner: SpinLock<PageInner>,
+    stats: PageLayerStats,
+}
+
+impl PageLayer {
+    /// Creates the layer for size class `class` with the given block size.
+    pub fn new(class: usize, block_size: usize, radix: bool) -> Self {
+        assert!(block_size.is_power_of_two() && block_size <= PAGE_SIZE);
+        let blocks_per_page = PAGE_SIZE / block_size;
+        PageLayer {
+            class,
+            block_size,
+            blocks_per_page,
+            radix,
+            inner: SpinLock::new(PageInner {
+                buckets: (0..=blocks_per_page).map(|_| PdList::new()).collect(),
+                npages: 0,
+                free_blocks: 0,
+            }),
+            stats: PageLayerStats::default(),
+        }
+    }
+
+    /// Blocks that fit in one page at this class's size.
+    pub fn blocks_per_page(&self) -> usize {
+        self.blocks_per_page
+    }
+
+    /// Layer statistics.
+    pub fn stats(&self) -> &PageLayerStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn bucket_of(&self, free_count: usize) -> usize {
+        free_count
+    }
+
+    /// Collects up to `want` blocks for the global layer.
+    ///
+    /// Blocks come from the pages with the *fewest* free blocks first; a
+    /// fresh page is taken from the vmblk layer only when no owned page
+    /// has a free block. Returns a possibly short chain under memory
+    /// pressure, or the error when not a single block could be produced.
+    pub fn alloc_chain(&self, vm: &VmblkLayer, want: usize) -> Result<Chain, VmError> {
+        self.stats.refills.inc();
+        let mut chain = Chain::new();
+        let mut inner = self.inner.lock();
+        while chain.len() < want {
+            let Some((pd, count)) = self.fullest_page(&inner) else {
+                // No free blocks anywhere: pull a fresh page in.
+                match self.acquire_page(&mut inner, vm) {
+                    Ok(()) => continue,
+                    Err(e) if !chain.is_empty() => {
+                        // Low memory: hand back what we gathered.
+                        let _ = e;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            self.take_blocks(&mut inner, pd, count, want, &mut chain);
+        }
+        Ok(chain)
+    }
+
+    /// Returns one block's worth of chain for each block in `chain` to the
+    /// per-page freelists; fully drained pages go back to the vmblk layer.
+    ///
+    /// "There is no reason to maintain a split freelist at the global
+    /// layer, since each block must be individually examined by the
+    /// coalesce-to-page layer in order to determine which page's freelist
+    /// it belongs on."
+    ///
+    /// # Safety
+    ///
+    /// Every block in `chain` must belong to this class (allocated through
+    /// it) and be free and unaliased.
+    pub unsafe fn free_chain(&self, vm: &VmblkLayer, mut chain: Chain) {
+        let mut inner = self.inner.lock();
+        while let Some(blk) = chain.pop() {
+            self.stats.block_frees.inc();
+            let pd = vm
+                .pd_of(blk as usize)
+                .expect("freed block not managed by this allocator");
+            debug_assert_eq!(pd.kind(), PdKind::BlockPage);
+            debug_assert_eq!(pd.class(), self.class);
+            let pd_ptr = pd as *const PageDesc as *mut PageDesc;
+            // SAFETY: page-layer lock held; this class owns the page.
+            let pdi = unsafe { pd.inner() };
+            // SAFETY: `blk` is free and ours per the function contract.
+            unsafe { block::write_next(blk, pdi.freelist) };
+            pdi.freelist = blk;
+            let count = pdi.free_count as usize + 1;
+            pdi.free_count = count as u32;
+            inner.free_blocks += 1;
+
+            if count == self.blocks_per_page {
+                // Whole page free: give it back immediately.
+                if count > 1 {
+                    // Pages with count 0 were unlisted; all others listed.
+                    // SAFETY: lock held; pd was in bucket (count - 1).
+                    unsafe { inner.buckets[self.bucket_of(count - 1)].remove(pd_ptr) };
+                }
+                self.release_page(&mut inner, vm, pd);
+            } else if count == 1 {
+                // Page had no free blocks: list it now.
+                // SAFETY: lock held; pd is unlisted.
+                unsafe { inner.buckets[self.bucket_of(1)].push_front(pd_ptr) };
+            } else if self.bucket_of(count) != self.bucket_of(count - 1) {
+                // SAFETY: lock held; pd is in bucket (count - 1).
+                unsafe {
+                    inner.buckets[self.bucket_of(count - 1)].remove(pd_ptr);
+                    inner.buckets[self.bucket_of(count)].push_front(pd_ptr);
+                }
+            }
+        }
+    }
+
+    /// Picks the page to allocate from. The paper's radix policy takes
+    /// the page with the *fewest* free blocks, so sparse pages get time
+    /// to drain; the ablation (`radix = false`) takes the page with the
+    /// *most* free blocks — the tempting "fewest page visits per refill"
+    /// optimization that destroys page drain.
+    fn fullest_page(&self, inner: &PageInner) -> Option<(*mut PageDesc, usize)> {
+        let counts: Box<dyn Iterator<Item = usize>> = if self.radix {
+            Box::new(1..=self.blocks_per_page)
+        } else {
+            Box::new((1..=self.blocks_per_page).rev())
+        };
+        for c in counts {
+            if let Some(pd) = inner.buckets[c].front() {
+                return Some((pd, c));
+            }
+        }
+        None
+    }
+
+    /// Pops blocks from `pd` (which has `count` free) into `chain` until
+    /// the page is exhausted or the chain reaches `want`.
+    fn take_blocks(
+        &self,
+        inner: &mut PageInner,
+        pd: *mut PageDesc,
+        count: usize,
+        want: usize,
+        chain: &mut Chain,
+    ) {
+        let take = count.min(want - chain.len());
+        // SAFETY: lock held; this class owns the page.
+        let pdi = unsafe { (*pd).inner() };
+        for _ in 0..take {
+            let blk = pdi.freelist;
+            debug_assert!(!blk.is_null());
+            // SAFETY: freelist blocks are free blocks of this page.
+            pdi.freelist = unsafe { block::read_next(blk) };
+            // SAFETY: as above; the block enters the outgoing chain.
+            unsafe { chain.push(blk) };
+        }
+        let left = count - take;
+        pdi.free_count = left as u32;
+        inner.free_blocks -= take;
+        if self.bucket_of(count) != self.bucket_of(left) || left == 0 {
+            // SAFETY: lock held; pd was in bucket(count).
+            unsafe { inner.buckets[self.bucket_of(count)].remove(pd) };
+            if left > 0 {
+                // SAFETY: lock held; pd is unlisted.
+                unsafe { inner.buckets[self.bucket_of(left)].push_front(pd) };
+            }
+        }
+    }
+
+    /// Takes one fresh page from the vmblk layer and splits it into
+    /// blocks.
+    fn acquire_page(&self, inner: &mut PageInner, vm: &VmblkLayer) -> Result<(), VmError> {
+        let (page, pd) = vm.alloc_span(1)?;
+        self.stats.page_acquires.inc();
+        let base = page.as_ptr();
+        pd.set_class(self.class);
+        pd.set_kind(PdKind::BlockPage);
+        let pd_ptr = pd as *const PageDesc as *mut PageDesc;
+        // SAFETY: the page is exclusively ours; lock held.
+        let pdi = unsafe { pd.inner() };
+        pdi.freelist = core::ptr::null_mut();
+        // Carve the page into blocks, building the page freelist in
+        // ascending address order.
+        for i in (0..self.blocks_per_page).rev() {
+            // SAFETY: offsets stay inside the page we own.
+            let blk = unsafe { base.add(i * self.block_size) };
+            // SAFETY: `blk` is a fresh free block of this page.
+            unsafe {
+                block::write_next(blk, pdi.freelist);
+                block::poison(blk);
+            }
+            pdi.freelist = blk;
+        }
+        pdi.free_count = self.blocks_per_page as u32;
+        inner.free_blocks += self.blocks_per_page;
+        inner.npages += 1;
+        // SAFETY: lock held; the fresh page descriptor is unlisted.
+        unsafe {
+            inner.buckets[self.bucket_of(self.blocks_per_page)].push_front(pd_ptr);
+        }
+        Ok(())
+    }
+
+    /// Returns a fully free page to the vmblk layer ("the physical memory
+    /// is returned to the system; the virtual memory is retained and
+    /// passed up").
+    fn release_page(&self, inner: &mut PageInner, vm: &VmblkLayer, pd: &PageDesc) {
+        self.stats.page_releases.inc();
+        // SAFETY: lock held; page fully free, so no block of it is
+        // reachable anywhere.
+        let pdi = unsafe { pd.inner() };
+        debug_assert_eq!(pdi.free_count as usize, self.blocks_per_page);
+        pdi.freelist = core::ptr::null_mut();
+        pdi.free_count = 0;
+        inner.free_blocks -= self.blocks_per_page;
+        inner.npages -= 1;
+        pd.set_kind(PdKind::Unused);
+        pd.set_class(0);
+        // Recover the page base address from the descriptor itself:
+        // descriptors live inside their vmblk, so the dope vector resolves
+        // them like any other managed address.
+        let page_addr = {
+            let hdr = vm
+                .header_of(pd as *const PageDesc as usize)
+                .expect("descriptor outside any vmblk");
+            hdr.data_page(hdr.pd_index_of(pd))
+        };
+        // SAFETY: the span is exactly the fully free page we own.
+        unsafe { vm.free_span(page_addr, 1) };
+    }
+
+    /// (owned pages, free blocks) — verification.
+    pub fn usage(&self) -> (usize, usize) {
+        let inner = self.inner.lock();
+        (inner.npages, inner.free_blocks)
+    }
+
+    /// Walks every listed page, calling `f(free_count, freelist_len)`
+    /// (verification).
+    pub fn for_each_page(&self, mut f: impl FnMut(usize, usize)) {
+        let inner = self.inner.lock();
+        for bucket in inner.buckets.iter() {
+            // SAFETY: page-layer lock held for the whole walk.
+            for pd in unsafe { bucket.iter() } {
+                // SAFETY: lock held.
+                let pdi = unsafe { (*pd).inner() };
+                let mut n = 0;
+                let mut blk = pdi.freelist;
+                while !blk.is_null() {
+                    n += 1;
+                    // SAFETY: page freelist blocks are free and linked.
+                    blk = unsafe { block::read_next(blk) };
+                }
+                f(pdi.free_count as usize, n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmem_vm::{KernelSpace, SpaceConfig};
+    use std::sync::Arc;
+
+    fn setup(block_size: usize, radix: bool, phys_pages: usize) -> (VmblkLayer, PageLayer) {
+        let space = Arc::new(KernelSpace::new(
+            SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(phys_pages),
+        ));
+        let vm = VmblkLayer::new(space, true);
+        let layer = PageLayer::new(3, block_size, radix);
+        (vm, layer)
+    }
+
+    fn chain_len_and_back(layer: &PageLayer, vm: &VmblkLayer, chain: Chain) -> usize {
+        let n = chain.len();
+        // SAFETY: blocks came from this layer moments ago.
+        unsafe { layer.free_chain(vm, chain) };
+        n
+    }
+
+    #[test]
+    fn refill_carves_a_page_into_blocks() {
+        let (vm, layer) = setup(512, true, 64);
+        assert_eq!(layer.blocks_per_page(), 8);
+        let chain = layer.alloc_chain(&vm, 3).unwrap();
+        assert_eq!(chain.len(), 3);
+        let (pages, free) = layer.usage();
+        assert_eq!((pages, free), (1, 5));
+        assert_eq!(chain_len_and_back(&layer, &vm, chain), 3);
+        // Fully drained: page returned, nothing owned.
+        assert_eq!(layer.usage(), (0, 0));
+        assert_eq!(vm.space().phys().in_use(), 0);
+    }
+
+    #[test]
+    fn blocks_are_disjoint_and_page_aligned_strides() {
+        let (vm, layer) = setup(256, true, 64);
+        let mut chain = layer.alloc_chain(&vm, 16).unwrap();
+        let mut addrs = Vec::new();
+        while let Some(b) = chain.pop() {
+            addrs.push(b as usize);
+        }
+        addrs.sort_unstable();
+        for w in addrs.windows(2) {
+            assert!(w[1] - w[0] >= 256, "blocks overlap");
+        }
+        for &a in &addrs {
+            assert_eq!(a % 256, 0, "block misaligned");
+        }
+        // Hand them back one chain at a time.
+        let mut back = Chain::new();
+        for a in addrs {
+            // SAFETY: these are the blocks we just took.
+            unsafe { back.push(a as *mut u8) };
+        }
+        // SAFETY: as above.
+        unsafe { layer.free_chain(&vm, back) };
+        assert_eq!(layer.usage(), (0, 0));
+    }
+
+    #[test]
+    fn radix_prefers_fullest_page() {
+        let (vm, layer) = setup(1024, true, 64);
+        // Two pages of 4 blocks each.
+        let mut c1 = layer.alloc_chain(&vm, 4).unwrap();
+        let c2 = layer.alloc_chain(&vm, 4).unwrap();
+        assert_eq!(layer.usage().0, 2);
+        // Free 1 block of page 1 and all 4 of page 2: page 2 drains and is
+        // released, page 1 has one free block.
+        let one = {
+            let mut c = Chain::new();
+            // SAFETY: block from c1.
+            unsafe { c.push(c1.pop().unwrap()) };
+            c
+        };
+        // SAFETY: blocks from this layer.
+        unsafe {
+            layer.free_chain(&vm, one);
+            layer.free_chain(&vm, c2);
+        }
+        assert_eq!(layer.usage(), (1, 1));
+        // Next refill must come from the page with the fewest free blocks
+        // (the 1-free page), not a fresh page.
+        let c3 = layer.alloc_chain(&vm, 1).unwrap();
+        assert_eq!(layer.usage(), (1, 0));
+        assert_eq!(layer.stats().page_acquires.get(), 2); // no new page
+        // Cleanup.
+        let mut rest = Chain::new();
+        let mut c3 = c3;
+        // SAFETY: blocks from this layer.
+        unsafe {
+            while let Some(b) = c1.pop() {
+                rest.push(b);
+            }
+            while let Some(b) = c3.pop() {
+                rest.push(b);
+            }
+            layer.free_chain(&vm, rest);
+        }
+        assert_eq!(layer.usage(), (0, 0));
+    }
+
+    #[test]
+    fn partial_chain_under_memory_pressure() {
+        // Pool: 1 header + 1 data page only.
+        let (vm, layer) = setup(2048, true, 2);
+        // A page holds 2 blocks; asking for 5 returns the 2 we can get.
+        let chain = layer.alloc_chain(&vm, 5).unwrap();
+        assert_eq!(chain.len(), 2);
+        // And with nothing at all we get the error.
+        let err = layer.alloc_chain(&vm, 1).unwrap_err();
+        assert!(matches!(err, VmError::OutOfPhysical { .. }));
+        // SAFETY: blocks from this layer.
+        unsafe { layer.free_chain(&vm, chain) };
+        assert_eq!(vm.space().phys().in_use(), 0);
+    }
+
+    #[test]
+    fn single_block_pages_release_on_every_free() {
+        let (vm, layer) = setup(4096, true, 16);
+        assert_eq!(layer.blocks_per_page(), 1);
+        let chain = layer.alloc_chain(&vm, 2).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(layer.usage(), (2, 0));
+        // SAFETY: blocks from this layer.
+        unsafe { layer.free_chain(&vm, chain) };
+        assert_eq!(layer.usage(), (0, 0));
+        assert_eq!(layer.stats().page_releases.get(), 2);
+    }
+
+    #[test]
+    fn most_free_first_ablation_prefers_sparse_pages() {
+        let (vm, layer) = setup(1024, false, 64);
+        // Two pages: drain one fully, the other partially.
+        let mut c1 = layer.alloc_chain(&vm, 4).unwrap();
+        let c2 = layer.alloc_chain(&vm, 2).unwrap();
+        // Free 1 block of page 1: counts are now {page1: 1, page2: 2}.
+        let mut one = Chain::new();
+        // SAFETY: block from c1.
+        unsafe { one.push(c1.pop().unwrap()) };
+        // SAFETY: blocks from this layer.
+        unsafe { layer.free_chain(&vm, one) };
+        // The ablation policy takes from the page with MORE free blocks.
+        let c3 = layer.alloc_chain(&vm, 1).unwrap();
+        let mut counts = Vec::new();
+        layer.for_each_page(|c, _| counts.push(c));
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 1]);
+        // Cleanup.
+        let mut rest = Chain::new();
+        let mut c3 = c3;
+        let mut c2 = c2;
+        // SAFETY: blocks from this layer.
+        unsafe {
+            while let Some(b) = c1.pop() {
+                rest.push(b);
+            }
+            while let Some(b) = c2.pop() {
+                rest.push(b);
+            }
+            while let Some(b) = c3.pop() {
+                rest.push(b);
+            }
+            layer.free_chain(&vm, rest);
+        }
+        assert_eq!(layer.usage(), (0, 0));
+    }
+
+    #[test]
+    fn page_walker_counts_match() {
+        let (vm, layer) = setup(256, true, 64);
+        let chain = layer.alloc_chain(&vm, 5).unwrap();
+        let mut seen = Vec::new();
+        layer.for_each_page(|count, listed| {
+            assert_eq!(count, listed);
+            seen.push(count);
+        });
+        assert_eq!(seen, vec![11]); // 16 per page - 5 taken
+        // SAFETY: blocks from this layer.
+        unsafe { layer.free_chain(&vm, chain) };
+    }
+}

@@ -1,0 +1,389 @@
+//! The per-CPU caching layer (paper Figure 2).
+//!
+//! "The only purpose of the per-CPU caching layer is to support high-speed
+//! allocation and deallocation in the common case." Each (CPU, size class)
+//! pair owns one [`CpuCache`]: a *split freelist* made of `main` and `aux`,
+//! each holding at most `target` blocks.
+//!
+//! * Allocation pops from `main`; if `main` is empty the contents of `aux`
+//!   are moved over (one O(1) chain move); only if both are empty does the
+//!   global layer get involved.
+//! * Freeing pushes onto `main`; when `main` already holds `target` blocks,
+//!   `aux` (if occupied) is returned to the global layer as a ready-made
+//!   `target`-sized chain and `main` is demoted to `aux` — again O(1).
+//!
+//! The split gives hysteresis: after any interaction with the global layer,
+//! at least `target` operations of the same kind must happen before the
+//! global layer is touched again, so "the global layer will be accessed at
+//! most one time per target-number of accesses".
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use kmem_smp::ExclusionFlag;
+
+use crate::chain::Chain;
+
+/// Per-cache hit/miss counters, readable from other threads.
+///
+/// These live *outside* the cache's `UnsafeCell` (in the per-CPU slot) so
+/// that a statistics snapshot taken by another thread never aliases the
+/// owner's exclusive borrow of the cache itself. `Relaxed` is sufficient:
+/// they are statistics, and each counter is only ever *written* by the
+/// owning CPU on its own cache-line-padded slot, so the increments stay
+/// local and cheap.
+#[derive(Default)]
+pub struct CacheStats {
+    /// Allocations served by this cache (including refills).
+    pub alloc: AtomicU64,
+    /// Allocations that needed a chain from the global layer.
+    pub alloc_miss: AtomicU64,
+    /// Frees handled by this cache (including overflows).
+    pub free: AtomicU64,
+    /// Frees that pushed a chain back to the global layer.
+    pub free_miss: AtomicU64,
+}
+
+impl CacheStats {
+    /// Single-writer increment: a plain load/store pair, not an RMW, since
+    /// only the owning CPU writes these.
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.store(counter.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+}
+
+/// One per-(CPU, class) cache: the split freelist plus its bookkeeping.
+pub struct CpuCache {
+    main: Chain,
+    aux: Chain,
+    /// Bound on each half of the split freelist.
+    target: usize,
+    /// `false` selects the single-list ablation (no `aux`; overflow walks
+    /// the list to split off a chain).
+    split: bool,
+    /// Simulated interrupt disabling: asserts the cache is never
+    /// re-entered.
+    excl: ExclusionFlag,
+}
+
+impl CpuCache {
+    /// Creates an empty cache with the given `target`.
+    pub fn new(target: usize, split: bool) -> Self {
+        CpuCache {
+            main: Chain::new(),
+            aux: Chain::new(),
+            target,
+            split,
+            excl: ExclusionFlag::new(),
+        }
+    }
+
+    /// This cache's `target` parameter.
+    #[inline]
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Total blocks currently cached.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.main.len() + self.aux.len()
+    }
+
+    /// Returns whether the cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fast-path allocation.
+    ///
+    /// Returns `None` when both halves are empty; the caller then fetches a
+    /// chain from the global layer and calls [`CpuCache::refill`] (and
+    /// charges the miss counter in its per-CPU slot).
+    #[inline]
+    pub fn alloc(&mut self) -> Option<*mut u8> {
+        let _irq = self.excl.enter();
+        if let Some(block) = self.main.pop() {
+            return Some(block);
+        }
+        if !self.aux.is_empty() {
+            // "If main is empty upon allocation, the contents of aux, if
+            // any, are moved to main."
+            self.main = self.aux.take();
+            return self.main.pop();
+        }
+        None
+    }
+
+    /// Installs a replenishment chain from the global layer and pops one
+    /// block from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is empty or the cache is not actually empty.
+    pub fn refill(&mut self, chain: Chain) -> *mut u8 {
+        let _irq = self.excl.enter();
+        assert!(!chain.is_empty(), "refill with empty chain");
+        debug_assert!(self.main.is_empty() && self.aux.is_empty());
+        self.main = chain;
+        self.main.pop().expect("chain was non-empty")
+    }
+
+    /// Fast-path free.
+    ///
+    /// Returns a `target`-sized chain to hand to the global layer when the
+    /// cache overflows, `None` otherwise.
+    ///
+    /// # Safety
+    ///
+    /// `block` must be a free block of this cache's size class, owned by
+    /// the caller, not in any list.
+    #[inline]
+    pub unsafe fn free(&mut self, block: *mut u8) -> Option<Chain> {
+        if !self.split {
+            // SAFETY: forwarded caller contract.
+            return unsafe { self.free_single_list(block) };
+        }
+        let _irq = self.excl.enter();
+        let mut overflow = None;
+        if self.main.len() == self.target {
+            // "If adding another block would cause the main list to exceed
+            // target, main is moved to aux. If aux is not empty, its
+            // contents are first returned to the global layer."
+            if !self.aux.is_empty() {
+                overflow = Some(self.aux.take());
+            }
+            self.aux = self.main.take();
+        }
+        // SAFETY: forwarded caller contract.
+        unsafe { self.main.push(block) };
+        overflow
+    }
+
+    /// Single-list ablation: bound `2 * target`, overflow splits off the
+    /// oldest `target` blocks by walking the list (the "unnecessary
+    /// linked-list operations" the split freelist avoids).
+    unsafe fn free_single_list(&mut self, block: *mut u8) -> Option<Chain> {
+        let _irq = self.excl.enter();
+        let mut overflow = None;
+        if self.main.len() == 2 * self.target {
+            overflow = Some(self.main.split_first(self.target));
+        }
+        // SAFETY: forwarded caller contract.
+        unsafe { self.main.push(block) };
+        overflow
+    }
+
+    /// Flushes the whole cache, returning every block as one chain.
+    ///
+    /// Used for low-memory draining and arena teardown. The chain's length
+    /// is arbitrary ("odd-sized"), so the global layer routes it through
+    /// its bucket list.
+    pub fn flush(&mut self) -> Chain {
+        let _irq = self.excl.enter();
+        let mut all = self.main.take();
+        let mut aux = self.aux.take();
+        all.append(&mut aux);
+        all
+    }
+
+    /// (len(main), len(aux)) — for tests and the invariant walker.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.main.len(), self.aux.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bag of fake blocks the tests can hand to the cache.
+    // Boxed so each block keeps a stable address while the Vec grows.
+    #[expect(clippy::vec_box)]
+    struct Blocks {
+        store: Vec<Box<[u8; 64]>>,
+        next: usize,
+    }
+
+    impl Blocks {
+        fn new(n: usize) -> Self {
+            Blocks {
+                store: (0..n).map(|_| Box::new([0u8; 64])).collect(),
+                next: 0,
+            }
+        }
+
+        fn take(&mut self) -> *mut u8 {
+            let p = self.store[self.next].as_mut_ptr();
+            self.next += 1;
+            p
+        }
+    }
+
+    fn drain_chain(mut c: Chain) -> usize {
+        let mut n = 0;
+        while c.pop().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn free_fills_main_then_demotes_to_aux() {
+        let mut blocks = Blocks::new(16);
+        let mut cache = CpuCache::new(3, true);
+        // 3 frees fill main.
+        for _ in 0..3 {
+            // SAFETY: fake blocks are owned and disjoint.
+            assert!(unsafe { cache.free(blocks.take()) }.is_none());
+        }
+        assert_eq!(cache.shape(), (3, 0));
+        // 4th free demotes main to aux (no overflow: aux was empty).
+        // SAFETY: as above.
+        assert!(unsafe { cache.free(blocks.take()) }.is_none());
+        assert_eq!(cache.shape(), (1, 3));
+        // Fill main again; the next free overflows aux as an exact chain.
+        for _ in 0..2 {
+            // SAFETY: as above.
+            assert!(unsafe { cache.free(blocks.take()) }.is_none());
+        }
+        assert_eq!(cache.shape(), (3, 3));
+        // SAFETY: as above.
+        let overflow = unsafe { cache.free(blocks.take()) }.unwrap();
+        assert_eq!(overflow.len(), 3);
+        assert_eq!(cache.shape(), (1, 3));
+        drain_chain(overflow);
+        drain_chain(cache.flush());
+    }
+
+    #[test]
+    fn paper_figure_2_walkthrough() {
+        // Reproduces the worked example under Figure 2: target = 3, main
+        // holds 1 block, aux holds 3.
+        let mut blocks = Blocks::new(16);
+        let mut cache = CpuCache::new(3, true);
+        for _ in 0..4 {
+            // SAFETY: fake blocks are owned and disjoint.
+            assert!(unsafe { cache.free(blocks.take()) }.is_none());
+        }
+        assert_eq!(cache.shape(), (1, 3));
+
+        // "Up to two additional blocks may be freed onto main."
+        // SAFETY: as above.
+        unsafe {
+            assert!(cache.free(blocks.take()).is_none());
+            assert!(cache.free(blocks.take()).is_none());
+        }
+        assert_eq!(cache.shape(), (3, 3));
+        // "Freeing a third block would cause the contents of aux to be
+        // returned to the global pool [...] At this point, the
+        // configuration would again be as shown in Figure 2."
+        // SAFETY: as above.
+        let spill = unsafe { cache.free(blocks.take()) }.unwrap();
+        assert_eq!(spill.len(), 3);
+        assert_eq!(cache.shape(), (1, 3));
+        drain_chain(spill);
+
+        // "One more block may be allocated from main, at which point main
+        // will be empty."
+        assert!(cache.alloc().is_some());
+        assert_eq!(cache.shape(), (0, 3));
+        // "A second allocation will result in the contents of aux being
+        // moved to main [...] main will contain two more blocks."
+        assert!(cache.alloc().is_some());
+        assert_eq!(cache.shape(), (2, 0));
+        // "allowing two additional allocations to be made from main."
+        assert!(cache.alloc().is_some());
+        assert!(cache.alloc().is_some());
+        // "The next allocation would find both main and aux empty."
+        assert!(cache.alloc().is_none());
+    }
+
+    #[test]
+    fn refill_then_alloc_hits() {
+        let mut blocks = Blocks::new(8);
+        let mut cache = CpuCache::new(2, true);
+        assert!(cache.alloc().is_none());
+        let mut chain = Chain::new();
+        for _ in 0..2 {
+            // SAFETY: fake blocks are owned and disjoint.
+            unsafe { chain.push(blocks.take()) };
+        }
+        let first = cache.refill(chain);
+        assert!(!first.is_null());
+        assert!(cache.alloc().is_some());
+        assert!(cache.alloc().is_none());
+    }
+
+    #[test]
+    fn miss_rate_is_bounded_by_one_over_target() {
+        // Steady-state alternating bursts: the global layer must be
+        // touched at most once per `target` operations.
+        let mut blocks = Blocks::new(600);
+        let target = 8;
+        let mut cache = CpuCache::new(target, true);
+        let mut spills = 0u64;
+        let mut held = Vec::new();
+        let mut ops = 0u64;
+        for round in 0..200 {
+            if round % 2 == 0 {
+                for _ in 0..5 {
+                    // SAFETY: blocks come from `blocks` or previous allocs.
+                    if unsafe { cache.free(held.pop().unwrap_or_else(|| blocks.take())) }
+                        .map(drain_chain)
+                        .is_some()
+                    {
+                        spills += 1;
+                    }
+                    ops += 1;
+                }
+            } else {
+                for _ in 0..4 {
+                    if let Some(b) = cache.alloc() {
+                        held.push(b);
+                    }
+                    ops += 1;
+                }
+            }
+        }
+        assert!(
+            spills <= ops / target as u64 + 1,
+            "{spills} spills in {ops} ops with target {target}"
+        );
+        drain_chain(cache.flush());
+    }
+
+    #[test]
+    fn flush_returns_everything() {
+        let mut blocks = Blocks::new(16);
+        let mut cache = CpuCache::new(3, true);
+        for _ in 0..5 {
+            // SAFETY: fake blocks are owned and disjoint.
+            unsafe { cache.free(blocks.take()) };
+        }
+        assert_eq!(cache.len(), 5);
+        let all = cache.flush();
+        assert_eq!(all.len(), 5);
+        assert!(cache.is_empty());
+        drain_chain(all);
+    }
+
+    #[test]
+    fn single_list_ablation_bounds_and_spills() {
+        let mut blocks = Blocks::new(32);
+        let target = 3;
+        let mut cache = CpuCache::new(target, false);
+        let mut spilled = 0;
+        for _ in 0..10 {
+            // SAFETY: fake blocks are owned and disjoint.
+            if let Some(c) = unsafe { cache.free(blocks.take()) } {
+                assert_eq!(c.len(), target);
+                spilled += drain_chain(c);
+            }
+            assert!(cache.len() <= 2 * target);
+        }
+        assert_eq!(spilled + cache.len(), 10);
+        drain_chain(cache.flush());
+    }
+
+}

@@ -1,0 +1,154 @@
+//! Size classes and the size-to-class mapping table.
+//!
+//! The paper contrasts two ways of mapping a request size to a freelist:
+//! the McKusick–Karels fully inlined binary search (fast only when the size
+//! is a compile-time constant; otherwise its unpredictable branches stall
+//! the pipeline) and "a subroutine call combined with a table lookup",
+//! which the standard interface uses: "Requests are converted to an index
+//! into the array of caches through use of a table indexed by size."
+//! This module is that table.
+
+use crate::config::ClassConfig;
+
+/// Granularity of the lookup table (one entry per 16 bytes of request
+/// size, since the smallest class is 16 bytes).
+const GRAIN_SHIFT: usize = 4;
+
+/// The arena's size classes plus the size→class lookup table.
+pub struct SizeClasses {
+    classes: Vec<ClassConfig>,
+    /// `table[(size - 1) >> GRAIN_SHIFT]` = class index for any
+    /// `1 <= size <= max_size`.
+    table: Box<[u8]>,
+    max_size: usize,
+}
+
+impl SizeClasses {
+    /// Builds the lookup table for `classes` (ascending, validated by
+    /// [`crate::KmemConfig::validate`]).
+    pub fn new(classes: Vec<ClassConfig>) -> Self {
+        assert!(classes.len() <= u8::MAX as usize, "too many classes");
+        let max_size = classes.last().expect("at least one class").size;
+        let entries = max_size >> GRAIN_SHIFT;
+        let mut table = vec![0u8; entries].into_boxed_slice();
+        for (entry, slot) in table.iter_mut().enumerate() {
+            // Largest size covered by this entry.
+            let size = (entry + 1) << GRAIN_SHIFT;
+            let class = classes
+                .iter()
+                .position(|c| c.size >= size)
+                .expect("table covers only sizes up to the largest class");
+            *slot = class as u8;
+        }
+        SizeClasses {
+            classes,
+            table,
+            max_size,
+        }
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns whether there are no classes (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Largest size served by a class; bigger requests go to the vmblk
+    /// layer directly.
+    #[inline]
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// Parameters of class `index`.
+    #[inline]
+    pub fn class(&self, index: usize) -> &ClassConfig {
+        &self.classes[index]
+    }
+
+    /// All classes, ascending by size.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassConfig> {
+        self.classes.iter()
+    }
+
+    /// Maps a request size to its class index: the table lookup on the
+    /// standard interface's fast path.
+    ///
+    /// Returns `None` for sizes above the largest class (the caller routes
+    /// those to the vmblk layer) and for zero.
+    #[inline]
+    pub fn class_for(&self, size: usize) -> Option<usize> {
+        if size == 0 || size > self.max_size {
+            return None;
+        }
+        Some(usize::from(self.table[(size - 1) >> GRAIN_SHIFT]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_classes() -> SizeClasses {
+        SizeClasses::new(
+            (4..=12)
+                .map(|s| ClassConfig::with_heuristics(1 << s))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn class_for_rounds_up_to_next_power_of_two() {
+        let sc = default_classes();
+        for (size, expect) in [
+            (1usize, 16usize),
+            (16, 16),
+            (17, 32),
+            (50, 64),
+            (64, 64),
+            (65, 128),
+            (4095, 4096),
+            (4096, 4096),
+        ] {
+            let idx = sc.class_for(size).unwrap();
+            assert_eq!(sc.class(idx).size, expect, "size {size}");
+        }
+    }
+
+    #[test]
+    fn class_for_matches_exhaustive_reference() {
+        let sc = default_classes();
+        for size in 1..=sc.max_size() {
+            let idx = sc.class_for(size).unwrap();
+            let got = sc.class(idx).size;
+            let want = size.next_power_of_two().max(16);
+            assert_eq!(got, want, "size {size}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_sizes_have_no_class() {
+        let sc = default_classes();
+        assert_eq!(sc.class_for(0), None);
+        assert_eq!(sc.class_for(4097), None);
+        assert_eq!(sc.class_for(1 << 20), None);
+    }
+
+    #[test]
+    fn sparse_class_sets_work() {
+        // Only 32 and 512: sizes in (32, 512] map to 512.
+        let sc = SizeClasses::new(vec![
+            ClassConfig::with_heuristics(32),
+            ClassConfig::with_heuristics(512),
+        ]);
+        assert_eq!(sc.class(sc.class_for(20).unwrap()).size, 32);
+        assert_eq!(sc.class(sc.class_for(33).unwrap()).size, 512);
+        assert_eq!(sc.class(sc.class_for(512).unwrap()).size, 512);
+        assert_eq!(sc.class_for(513), None);
+    }
+}

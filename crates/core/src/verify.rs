@@ -1,0 +1,94 @@
+//! Cross-layer invariant verification.
+//!
+//! The paper's worst-case benchmark works only because coalescing is
+//! *complete*: after every block of a size is freed, all memory must have
+//! flowed back through the page and vmblk layers so the next size can use
+//! it. These walkers make that property (and the bounds of every layer)
+//! checkable after any test workload. All functions require quiescence:
+//! no other thread may be using the arena during verification.
+
+use crate::arena::KmemArena;
+
+/// Checks the structural invariants of every layer.
+///
+/// * vmblk layer: spans well formed, fully coalesced, freelists and
+///   physical-frame accounting exact (see
+///   [`crate::vmblklayer::VmblkLayer::verify`]);
+/// * global layer: every pool within its `2 * gbltarget` bound;
+/// * page layer: every per-page free count matches its freelist length
+///   and lies within `1..=blocks_per_page - 1` for listed pages (fully
+///   free pages must have been released).
+///
+/// # Panics
+///
+/// Panics on any violation.
+pub fn verify_arena(arena: &KmemArena) {
+    let inner = arena.inner();
+    inner.vm().verify();
+    for pool in inner.globals().iter() {
+        let len = pool.len();
+        assert!(
+            len <= 2 * pool.gbltarget(),
+            "global pool holds {len} blocks, bound {}",
+            2 * pool.gbltarget()
+        );
+    }
+    for (idx, layer) in inner.pages().iter().enumerate() {
+        let bpp = layer.blocks_per_page();
+        layer.for_each_page(|count, listed| {
+            assert_eq!(count, listed, "class {idx}: page count != freelist length");
+            assert!(
+                count >= 1 && count < bpp,
+                "class {idx}: listed page with {count}/{bpp} free blocks"
+            );
+        });
+    }
+    for idx in 0..inner.classes().len() {
+        inner.check_cache_bounds(idx);
+    }
+}
+
+/// Checks block conservation per class, given how many blocks of each
+/// class the *caller* currently holds.
+///
+/// For every class: `pages_owned * blocks_per_page` must equal
+/// `page-layer free + global pool + per-CPU caches + user_held`.
+///
+/// # Panics
+///
+/// Panics on a conservation violation (a lost or duplicated block).
+pub fn verify_conservation(arena: &KmemArena, user_held: &[usize]) {
+    let inner = arena.inner();
+    assert_eq!(user_held.len(), inner.classes().len());
+    for (idx, &held) in user_held.iter().enumerate() {
+        let layer = &inner.pages()[idx];
+        let (pages, page_free) = layer.usage();
+        let global = inner.globals()[idx].len();
+        let cached = inner.cached_blocks(idx);
+        let capacity = pages * layer.blocks_per_page();
+        assert_eq!(
+            capacity,
+            page_free + global + cached + held,
+            "class {idx}: {pages} pages hold {capacity} blocks but \
+             {page_free} (page) + {global} (global) + {cached} (cached) + \
+             {held} (user) were found"
+        );
+    }
+}
+
+/// Convenience: full verification for a fully drained arena — no user
+/// blocks, no cached pages, no physical frames claimed.
+///
+/// # Panics
+///
+/// Panics if anything is still held.
+pub fn verify_empty(arena: &KmemArena) {
+    verify_arena(arena);
+    let zeros = vec![0; arena.inner().classes().len()];
+    verify_conservation(arena, &zeros);
+    assert_eq!(
+        arena.space().phys().in_use(),
+        0,
+        "drained arena still claims physical frames"
+    );
+}

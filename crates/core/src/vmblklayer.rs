@@ -1,0 +1,883 @@
+//! The coalesce-to-vmblk layer (paper Figure 6).
+//!
+//! This layer manages large blocks of virtual memory ("vmblks", 4 MB in the
+//! paper). Pages of virtual address space are allocated from vmblks as
+//! needed; adjacent spans of free pages are coalesced as they are freed
+//! using a boundary-tag-like scheme kept in the page descriptors; requests
+//! for blocks larger than one page bypass the lower layers and are handled
+//! here directly.
+//!
+//! Each vmblk is laid out as in Figure 6: a header (and the page-descriptor
+//! array) occupying the first pages, followed by the data pages the
+//! descriptors describe. The kernel space's dope vector maps any address in
+//! the vmblk — a data block *or* a descriptor — back to the header, which
+//! is the first level of the paper's two-level lookup; the second level is
+//! plain offset arithmetic.
+//!
+//! Physical-frame accounting: every *data* page is claimed from the
+//! [`kmem_vm::PhysPool`] when its span is allocated and credited back when
+//! its span is freed, so a fully drained allocator provably holds no
+//! physical memory beyond the headers of any vmblks it has retained (none,
+//! with `release_empty_vmblks`). Header pages are claimed for the life of
+//! the vmblk.
+
+use core::ptr::{self, NonNull};
+use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use kmem_smp::{EventCounter, SpinLock};
+use kmem_vm::{KernelSpace, VmError, VmblkRegion, PAGE_SHIFT, PAGE_SIZE};
+
+use crate::pagedesc::{PageDesc, PdKind, PdList, PD_STRIDE};
+
+/// Span lengths with exact-size freelists; longer spans share a first-fit
+/// list. 64 pages = 256 KB covers every multi-page request the benchmarks
+/// make while keeping the list array small.
+const MAX_SEG: usize = 64;
+
+/// Offset of the descriptor array within a vmblk.
+const PD_OFFSET: usize = {
+    let hdr = core::mem::size_of::<VmblkHeader>();
+    let align = core::mem::align_of::<PageDesc>();
+    (hdr + align - 1) & !(align - 1)
+};
+
+/// Per-vmblk header, stored at the base of the vmblk itself.
+///
+/// Fields written after initialization (`free_pages`, `next`) are atomics
+/// so that lock-free readers holding `&VmblkHeader` (the standard free
+/// path resolving a block address) never race a plain mutation.
+pub struct VmblkHeader {
+    region: VmblkRegion,
+    header_pages: usize,
+    ndata: usize,
+    free_pages: AtomicUsize,
+    next: AtomicPtr<VmblkHeader>,
+}
+
+impl VmblkHeader {
+    /// Number of data pages in this vmblk.
+    pub fn ndata(&self) -> usize {
+        self.ndata
+    }
+
+    /// Currently free data pages.
+    pub fn free_pages(&self) -> usize {
+        self.free_pages.load(Ordering::Relaxed)
+    }
+
+    /// Address of data page `idx`.
+    #[inline]
+    fn data_addr(&self, idx: usize) -> *mut u8 {
+        debug_assert!(idx < self.ndata);
+        // SAFETY: the offset stays inside this vmblk's region.
+        unsafe {
+            self.region
+                .base()
+                .as_ptr()
+                .add((self.header_pages + idx) << PAGE_SHIFT)
+        }
+    }
+
+    /// Descriptor of data page `idx`.
+    #[inline]
+    fn pd(&self, idx: usize) -> *mut PageDesc {
+        debug_assert!(idx < self.ndata);
+        // SAFETY: the descriptor array lies inside this vmblk's header
+        // area, sized for `ndata` descriptors.
+        unsafe {
+            self.region
+                .base()
+                .as_ptr()
+                .add(PD_OFFSET + idx * PD_STRIDE)
+        }
+        .cast()
+    }
+
+    /// Index of `pd` within this vmblk's descriptor array.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `pd` is not one of this vmblk's
+    /// descriptors.
+    pub fn pd_index_of(&self, pd: &PageDesc) -> usize {
+        let base = self.region.base().as_ptr() as usize + PD_OFFSET;
+        let addr = pd as *const PageDesc as usize;
+        debug_assert!(addr >= base && (addr - base).is_multiple_of(PD_STRIDE));
+        let idx = (addr - base) / PD_STRIDE;
+        debug_assert!(idx < self.ndata);
+        idx
+    }
+
+    /// Address of data page `idx`, as a `NonNull` for span calls.
+    pub fn data_page(&self, idx: usize) -> NonNull<u8> {
+        // SAFETY: data addresses are interior to the reservation, never
+        // null.
+        unsafe { NonNull::new_unchecked(self.data_addr(idx)) }
+    }
+
+    /// Index of the data page containing `addr`.
+    #[inline]
+    fn page_index(&self, addr: usize) -> usize {
+        let base = self.region.base().as_ptr() as usize;
+        debug_assert!(addr >= base && addr < base + self.region.size());
+        let page = (addr - base) >> PAGE_SHIFT;
+        debug_assert!(page >= self.header_pages, "address inside vmblk header");
+        page - self.header_pages
+    }
+}
+
+/// Computes `(header_pages, data_pages)` for a vmblk of `total_pages`.
+fn geometry(total_pages: usize) -> (usize, usize) {
+    let mut h = 1;
+    while h * PAGE_SIZE < PD_OFFSET + (total_pages - h) * PD_STRIDE {
+        h += 1;
+        assert!(h < total_pages, "vmblk too small for its own descriptors");
+    }
+    (h, total_pages - h)
+}
+
+/// Statistics for the vmblk layer.
+#[derive(Default)]
+pub struct VmblkStats {
+    /// vmblks carved out of the kernel space.
+    pub vmblks_created: EventCounter,
+    /// vmblks returned to the kernel space.
+    pub vmblks_released: EventCounter,
+    /// Page spans handed out (block pages and large allocations).
+    pub span_allocs: EventCounter,
+    /// Page spans returned.
+    pub span_frees: EventCounter,
+}
+
+struct VmInner {
+    /// `lists[k]` holds free spans of exactly `k` pages for `1 <= k <=
+    /// MAX_SEG`; `lists[0]` holds longer spans, searched first-fit.
+    lists: Box<[PdList]>,
+    /// All live vmblks (headers), for verification and teardown.
+    vmblks: *mut VmblkHeader,
+    nvmblks: usize,
+}
+
+// SAFETY: `VmInner` is only reachable through the layer's spinlock.
+unsafe impl Send for VmInner {}
+
+/// The coalesce-to-vmblk layer.
+pub struct VmblkLayer {
+    space: Arc<KernelSpace>,
+    inner: SpinLock<VmInner>,
+    release_empty: bool,
+    stats: VmblkStats,
+}
+
+impl VmblkLayer {
+    /// Creates an empty layer over `space`.
+    pub fn new(space: Arc<KernelSpace>, release_empty: bool) -> Self {
+        VmblkLayer {
+            space,
+            inner: SpinLock::new(VmInner {
+                lists: (0..=MAX_SEG).map(|_| PdList::new()).collect(),
+                vmblks: ptr::null_mut(),
+                nvmblks: 0,
+            }),
+            release_empty,
+            stats: VmblkStats::default(),
+        }
+    }
+
+    /// The kernel space this layer carves from.
+    pub fn space(&self) -> &KernelSpace {
+        &self.space
+    }
+
+    /// Layer statistics.
+    pub fn stats(&self) -> &VmblkStats {
+        &self.stats
+    }
+
+    /// The largest span (in pages) a single vmblk can serve.
+    pub fn max_span_pages(&self) -> usize {
+        let total = self.space.vmblk_size() >> PAGE_SHIFT;
+        geometry(total).1
+    }
+
+    /// Resolves the vmblk header covering `addr` via the dope vector.
+    ///
+    /// Returns `None` for addresses this allocator does not manage.
+    #[inline]
+    pub fn header_of(&self, addr: usize) -> Option<&VmblkHeader> {
+        let tag = self.space.dope_lookup(addr)?;
+        // SAFETY: dope tags are only ever header addresses of *published*
+        // vmblks; the header outlives its publication.
+        Some(unsafe { &*(tag as *const VmblkHeader) })
+    }
+
+    /// Resolves the page descriptor covering `addr`.
+    #[inline]
+    pub fn pd_of(&self, addr: usize) -> Option<&PageDesc> {
+        let hdr = self.header_of(addr)?;
+        let idx = hdr.page_index(addr);
+        // SAFETY: `pd` points into the live header area of `hdr`.
+        Some(unsafe { &*hdr.pd(idx) })
+    }
+
+    /// Allocates a span of `npages` data pages (claiming physical frames),
+    /// returning its base address and head descriptor.
+    pub fn alloc_span(&self, npages: usize) -> Result<(NonNull<u8>, &PageDesc), VmError> {
+        assert!(npages >= 1);
+        // Claim the frames first: on failure nothing needs undoing, and a
+        // span is never visible in an allocated-but-unbacked state.
+        self.space.phys().claim(npages)?;
+        let mut inner = self.inner.lock();
+        let found = match self.find_span(&mut inner, npages) {
+            Some(found) => found,
+            None => {
+                match self.create_vmblk(&mut inner) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        drop(inner);
+                        self.space.phys().release(npages);
+                        return Err(e);
+                    }
+                }
+                match self.find_span(&mut inner, npages) {
+                    Some(found) => found,
+                    None => {
+                        // Fresh vmblk still too small: the request exceeds
+                        // a vmblk's data capacity.
+                        drop(inner);
+                        self.space.phys().release(npages);
+                        return Err(VmError::OutOfVirtual);
+                    }
+                }
+            }
+        };
+        let (hdr, idx, len) = found;
+        // SAFETY: vm lock held; the span was found in our lists.
+        unsafe {
+            self.remove_free_span(&mut inner, hdr, idx, len);
+            if len > npages {
+                self.insert_free_span(&mut inner, hdr, idx + npages, len - npages);
+            }
+        }
+        // SAFETY: `hdr` is a live published header.
+        let hdr_ref = unsafe { &*hdr };
+        hdr_ref.free_pages.fetch_sub(npages, Ordering::Relaxed);
+        self.stats.span_allocs.inc();
+        let addr = hdr_ref.data_addr(idx);
+        // SAFETY: data addresses are non-null (interior of a reservation).
+        let nn = unsafe { NonNull::new_unchecked(addr) };
+        // SAFETY: `pd` points into the live header area.
+        let pd = unsafe { &*hdr_ref.pd(idx) };
+        Ok((nn, pd))
+    }
+
+    /// Frees a span of `npages` starting at `addr`, coalescing with free
+    /// neighbours and releasing the physical frames.
+    ///
+    /// # Safety
+    ///
+    /// `addr` must be the base of a span previously returned by
+    /// [`VmblkLayer::alloc_span`] with the same `npages` (or a whole
+    /// sub-span the caller split out itself, with consistent accounting),
+    /// with no remaining references into it.
+    pub unsafe fn free_span(&self, addr: NonNull<u8>, npages: usize) {
+        self.space.phys().release(npages);
+        self.stats.span_frees.inc();
+        let hdr = self
+            .header_of(addr.as_ptr() as usize)
+            .expect("span address not managed by this allocator");
+        let hdr_ptr = hdr as *const VmblkHeader as *mut VmblkHeader;
+        let mut idx = hdr.page_index(addr.as_ptr() as usize);
+        let mut len = npages;
+        debug_assert!(idx + len <= hdr.ndata);
+
+        let mut inner = self.inner.lock();
+        // Coalesce forward: does a free span start right after ours?
+        if idx + len < hdr.ndata {
+            // SAFETY: descriptor of a data page of a live vmblk.
+            let after = unsafe { &*hdr.pd(idx + len) };
+            if after.kind() == PdKind::SpanFreeHead {
+                // SAFETY: vm lock held.
+                let alen = unsafe { after.inner() }.span_pages as usize;
+                // SAFETY: vm lock held; (idx+len, alen) is a listed span.
+                unsafe { self.remove_free_span(&mut inner, hdr_ptr, idx + len, alen) };
+                len += alen;
+            }
+        }
+        // Coalesce backward: does a free span end right before ours?
+        if idx > 0 {
+            // SAFETY: descriptor of a data page of a live vmblk.
+            let before = unsafe { &*hdr.pd(idx - 1) };
+            match before.kind() {
+                PdKind::SpanFreeTail => {
+                    // SAFETY: vm lock held.
+                    let blen = unsafe { before.inner() }.span_pages as usize;
+                    let bstart = idx - blen;
+                    // SAFETY: vm lock held; (bstart, blen) is a listed span.
+                    unsafe { self.remove_free_span(&mut inner, hdr_ptr, bstart, blen) };
+                    idx = bstart;
+                    len += blen;
+                }
+                PdKind::SpanFreeHead => {
+                    // A head with no tail after it is a one-page span.
+                    // SAFETY: vm lock held.
+                    debug_assert_eq!(unsafe { before.inner() }.span_pages, 1);
+                    // SAFETY: vm lock held; (idx-1, 1) is a listed span.
+                    unsafe { self.remove_free_span(&mut inner, hdr_ptr, idx - 1, 1) };
+                    idx -= 1;
+                    len += 1;
+                }
+                _ => {}
+            }
+        }
+        // SAFETY: vm lock held; the merged span is wholly ours.
+        unsafe { self.insert_free_span(&mut inner, hdr_ptr, idx, len) };
+        let now_free = hdr.free_pages.fetch_add(npages, Ordering::Relaxed) + npages;
+
+        if self.release_empty && now_free == hdr.ndata {
+            // SAFETY: vm lock held; the vmblk is entirely free.
+            unsafe { self.release_vmblk(&mut inner, hdr_ptr) };
+        }
+    }
+
+    /// Allocates a block larger than the largest size class: a dedicated
+    /// span with its head descriptor marked [`PdKind::Large`], as in the
+    /// paper ("requests for blocks of memory larger than one page bypass
+    /// layers 1 through 3").
+    pub fn alloc_large(&self, bytes: usize) -> Result<NonNull<u8>, VmError> {
+        let npages = bytes.div_ceil(PAGE_SIZE);
+        let (addr, pd) = self.alloc_span(npages)?;
+        // SAFETY: we own the span; vm lock not required for a page no
+        // other layer can see yet.
+        unsafe { pd.inner() }.span_pages = npages as u32;
+        pd.set_kind(PdKind::Large);
+        Ok(addr)
+    }
+
+    /// Frees a block obtained from [`VmblkLayer::alloc_large`], returning
+    /// the span size in pages.
+    ///
+    /// # Safety
+    ///
+    /// `addr` must come from `alloc_large` on this layer, not yet freed,
+    /// with no remaining references into the block.
+    pub unsafe fn free_large(&self, addr: NonNull<u8>) -> usize {
+        let pd = self
+            .pd_of(addr.as_ptr() as usize)
+            .expect("large-block address not managed by this allocator");
+        assert_eq!(
+            pd.kind(),
+            PdKind::Large,
+            "free of a non-large (or corrupted) block"
+        );
+        // SAFETY: the caller owns the allocated span; its descriptor is
+        // not reachable by any layer until we free it below.
+        let npages = unsafe { pd.inner() }.span_pages as usize;
+        pd.set_kind(PdKind::Unused);
+        // SAFETY: forwarded caller contract; span covers `npages`.
+        unsafe { self.free_span(addr, npages) };
+        npages
+    }
+
+    /// Number of live vmblks.
+    pub fn nvmblks(&self) -> usize {
+        self.inner.lock().nvmblks
+    }
+
+    /// Sums free-span pages across all lists (verification).
+    pub fn free_span_pages(&self) -> usize {
+        let inner = self.inner.lock();
+        let mut total = 0;
+        for list in inner.lists.iter() {
+            // SAFETY: vm lock held for the whole iteration.
+            for pd in unsafe { list.iter() } {
+                // SAFETY: vm lock held.
+                total += unsafe { (*pd).inner() }.span_pages as usize;
+            }
+        }
+        total
+    }
+
+    /// Runs `f` on every live vmblk header (verification).
+    pub fn for_each_vmblk(&self, mut f: impl FnMut(&VmblkHeader)) {
+        let inner = self.inner.lock();
+        let mut cur = inner.vmblks;
+        while !cur.is_null() {
+            // SAFETY: headers on the list are live while the lock is held.
+            let hdr = unsafe { &*cur };
+            f(hdr);
+            cur = hdr.next.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Exhaustively checks the layer's structural invariants.
+    ///
+    /// Walks every vmblk page by page and asserts: spans are well formed
+    /// (head/tail tags consistent, interiors unmarked), **no two free
+    /// spans are adjacent** (i.e. coalescing never missed a merge), the
+    /// per-vmblk free-page counts match the walk, the span freelists
+    /// account for exactly the free pages, and the physical pool's claimed
+    /// frames equal headers plus in-use data pages.
+    ///
+    /// Callers must be quiesced (no concurrent allocator traffic), since
+    /// the physical-pool comparison spans multiple locks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation.
+    pub fn verify(&self) {
+        let inner = self.inner.lock();
+        let mut walked_free = 0usize;
+        let mut expected_phys = 0usize;
+        let mut cur = inner.vmblks;
+        while !cur.is_null() {
+            // SAFETY: headers on the list are live while the lock is held.
+            let hdr = unsafe { &*cur };
+            let mut idx = 0;
+            let mut free_here = 0;
+            while idx < hdr.ndata {
+                // SAFETY: descriptor of a data page of a live vmblk.
+                let pd = unsafe { &*hdr.pd(idx) };
+                match pd.kind() {
+                    PdKind::BlockPage => idx += 1,
+                    PdKind::Large => {
+                        // SAFETY: vm lock held.
+                        let l = unsafe { pd.inner() }.span_pages as usize;
+                        assert!(l >= 1 && idx + l <= hdr.ndata, "bad large span");
+                        idx += l;
+                    }
+                    PdKind::SpanFreeHead => {
+                        // SAFETY: vm lock held.
+                        let l = unsafe { pd.inner() }.span_pages as usize;
+                        assert!(l >= 1 && idx + l <= hdr.ndata, "bad free span");
+                        for j in idx + 1..idx + l - 1 {
+                            // SAFETY: descriptor of a live vmblk.
+                            let interior = unsafe { &*hdr.pd(j) };
+                            assert_eq!(
+                                interior.kind(),
+                                PdKind::Unused,
+                                "marked descriptor inside a free span"
+                            );
+                        }
+                        if l >= 2 {
+                            // SAFETY: descriptor of a live vmblk.
+                            let tail = unsafe { &*hdr.pd(idx + l - 1) };
+                            assert_eq!(tail.kind(), PdKind::SpanFreeTail, "missing tail tag");
+                            // SAFETY: vm lock held.
+                            assert_eq!(
+                                unsafe { tail.inner() }.span_pages as usize,
+                                l,
+                                "tail tag length mismatch"
+                            );
+                        }
+                        if idx + l < hdr.ndata {
+                            // SAFETY: descriptor of a live vmblk.
+                            let after = unsafe { &*hdr.pd(idx + l) };
+                            assert_ne!(
+                                after.kind(),
+                                PdKind::SpanFreeHead,
+                                "adjacent free spans were not coalesced"
+                            );
+                        }
+                        free_here += l;
+                        idx += l;
+                    }
+                    other => panic!("unexpected descriptor kind {other:?} at page {idx}"),
+                }
+            }
+            assert_eq!(free_here, hdr.free_pages(), "free-page count drifted");
+            walked_free += free_here;
+            expected_phys += hdr.header_pages + hdr.ndata - free_here;
+            cur = hdr.next.load(Ordering::Relaxed);
+        }
+        // Span lists account for exactly the walked free pages.
+        let mut listed_free = 0usize;
+        for list in inner.lists.iter() {
+            // SAFETY: vm lock held for the whole iteration.
+            for pd in unsafe { list.iter() } {
+                // SAFETY: vm lock held.
+                listed_free += unsafe { (*pd).inner() }.span_pages as usize;
+            }
+        }
+        assert_eq!(listed_free, walked_free, "span freelists out of sync");
+        assert_eq!(
+            self.space.phys().in_use(),
+            expected_phys,
+            "physical-frame accounting drifted"
+        );
+    }
+
+    fn bucket(len: usize) -> usize {
+        if len <= MAX_SEG {
+            len
+        } else {
+            0
+        }
+    }
+
+    /// Finds (without detaching) a free span of at least `npages`.
+    /// Returns `(header, start index, span length)`.
+    fn find_span(
+        &self,
+        inner: &mut VmInner,
+        npages: usize,
+    ) -> Option<(*mut VmblkHeader, usize, usize)> {
+        // Exact and near-exact lists first.
+        for k in npages..=MAX_SEG {
+            if let Some(pd) = inner.lists[k].front() {
+                return Some(self.locate(pd, k));
+            }
+        }
+        // First fit among the long spans.
+        // SAFETY: vm lock held (we have `&mut VmInner`).
+        for pd in unsafe { inner.lists[0].iter() } {
+            // SAFETY: vm lock held.
+            let len = unsafe { (*pd).inner() }.span_pages as usize;
+            if len >= npages {
+                return Some(self.locate(pd, len));
+            }
+        }
+        None
+    }
+
+    /// Maps a descriptor pointer back to `(header, page index, len)` using
+    /// the dope vector (descriptors live inside their vmblk, so the same
+    /// two-level lookup that resolves blocks resolves them).
+    fn locate(&self, pd: *mut PageDesc, len: usize) -> (*mut VmblkHeader, usize, usize) {
+        let tag = self
+            .space
+            .dope_lookup(pd as usize)
+            .expect("descriptor of an unpublished vmblk");
+        let hdr = tag as *mut VmblkHeader;
+        let idx = (pd as usize - (hdr as usize + PD_OFFSET)) / PD_STRIDE;
+        (hdr, idx, len)
+    }
+
+    /// Links a free span into the lists and writes its boundary tags.
+    ///
+    /// # Safety
+    ///
+    /// vm lock held; the pages `[idx, idx + len)` of `hdr` are free and in
+    /// no list.
+    unsafe fn insert_free_span(
+        &self,
+        inner: &mut VmInner,
+        hdr: *mut VmblkHeader,
+        idx: usize,
+        len: usize,
+    ) {
+        debug_assert!(len >= 1);
+        // SAFETY: `hdr` is live; `idx` in range per contract.
+        let hdr_ref = unsafe { &*hdr };
+        let head = hdr_ref.pd(idx);
+        // SAFETY: vm lock held per contract.
+        unsafe {
+            (*head).inner().span_pages = len as u32;
+            inner.lists[Self::bucket(len)].push_front(head);
+        }
+        // SAFETY: as above.
+        unsafe { &*head }.set_kind(PdKind::SpanFreeHead);
+        if len >= 2 {
+            let tail = hdr_ref.pd(idx + len - 1);
+            // SAFETY: vm lock held per contract.
+            unsafe { (*tail).inner().span_pages = len as u32 };
+            // SAFETY: as above.
+            unsafe { &*tail }.set_kind(PdKind::SpanFreeTail);
+        }
+    }
+
+    /// Detaches a free span from the lists and clears its boundary tags.
+    ///
+    /// # Safety
+    ///
+    /// vm lock held; `(hdr, idx, len)` is a listed free span.
+    unsafe fn remove_free_span(
+        &self,
+        inner: &mut VmInner,
+        hdr: *mut VmblkHeader,
+        idx: usize,
+        len: usize,
+    ) {
+        // SAFETY: `hdr` is live; `idx` in range per contract.
+        let hdr_ref = unsafe { &*hdr };
+        let head = hdr_ref.pd(idx);
+        debug_assert_eq!(unsafe { &*head }.kind(), PdKind::SpanFreeHead);
+        // SAFETY: vm lock held; `head` is listed per contract.
+        unsafe { inner.lists[Self::bucket(len)].remove(head) };
+        // SAFETY: as above.
+        unsafe { &*head }.set_kind(PdKind::Unused);
+        if len >= 2 {
+            let tail = hdr_ref.pd(idx + len - 1);
+            debug_assert_eq!(unsafe { &*tail }.kind(), PdKind::SpanFreeTail);
+            // SAFETY: as above.
+            unsafe { &*tail }.set_kind(PdKind::Unused);
+        }
+    }
+
+    /// Carves, initializes, and publishes a new vmblk; its whole data area
+    /// becomes one free span.
+    fn create_vmblk(&self, inner: &mut VmInner) -> Result<(), VmError> {
+        let region = self.space.alloc_vmblk()?;
+        let total_pages = region.size() >> PAGE_SHIFT;
+        let (header_pages, ndata) = geometry(total_pages);
+        if let Err(e) = self.space.phys().claim(header_pages) {
+            self.space.free_vmblk(region);
+            return Err(e);
+        }
+        let base = region.base().as_ptr();
+        // SAFETY: the region is ours; the header fits in the header pages.
+        unsafe {
+            base.cast::<VmblkHeader>().write(VmblkHeader {
+                region,
+                header_pages,
+                ndata,
+                free_pages: AtomicUsize::new(ndata),
+                next: AtomicPtr::new(inner.vmblks),
+            });
+        }
+        let hdr = base.cast::<VmblkHeader>();
+        for i in 0..ndata {
+            // SAFETY: descriptor slots are inside the header area we own.
+            unsafe { PageDesc::init((*hdr).pd(i)) };
+        }
+        inner.vmblks = hdr;
+        inner.nvmblks += 1;
+        // Publish *before* inserting the span: `locate` resolves
+        // descriptors through the dope vector.
+        self.space.set_dope(region.index(), hdr as usize);
+        // SAFETY: vm lock held; the whole data area is free and unlisted.
+        unsafe { self.insert_free_span(inner, hdr, 0, ndata) };
+        self.stats.vmblks_created.inc();
+        Ok(())
+    }
+
+    /// Returns a fully free vmblk to the kernel space.
+    ///
+    /// # Safety
+    ///
+    /// vm lock held; every data page of `hdr` is free (one listed span).
+    unsafe fn release_vmblk(&self, inner: &mut VmInner, hdr: *mut VmblkHeader) {
+        // SAFETY: `hdr` is live until `free_vmblk` below.
+        let hdr_ref = unsafe { &*hdr };
+        let region = hdr_ref.region;
+        let header_pages = hdr_ref.header_pages;
+        let ndata = hdr_ref.ndata;
+        // SAFETY: vm lock held; the vmblk-wide span is listed per contract.
+        unsafe { self.remove_free_span(inner, hdr, 0, ndata) };
+        // Unlink from the vmblk list.
+        let mut cur = &mut inner.vmblks;
+        loop {
+            debug_assert!(!cur.is_null(), "vmblk missing from its own list");
+            if *cur == hdr {
+                // SAFETY: `*cur` is live while on the list.
+                *cur = unsafe { (**cur).next.load(Ordering::Relaxed) };
+                break;
+            }
+            // SAFETY: list members are live.
+            cur = unsafe { &mut *(**cur).next.as_ptr() };
+        }
+        inner.nvmblks -= 1;
+        self.stats.vmblks_released.inc();
+        self.space.phys().release(header_pages);
+        self.space.free_vmblk(region);
+    }
+}
+
+impl Drop for VmblkLayer {
+    fn drop(&mut self) {
+        // Nothing to do: the reservation and the accounting pool belong to
+        // the kernel space, which outlives this layer via the `Arc`.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmem_vm::SpaceConfig;
+
+    fn layer() -> VmblkLayer {
+        // 16 KB vmblks (4 pages) inside a 1 MB space.
+        let space = Arc::new(KernelSpace::new(
+            SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(256),
+        ));
+        VmblkLayer::new(space, true)
+    }
+
+    #[test]
+    fn geometry_single_header_page_for_tiny_vmblks() {
+        // 4 pages: header 1, data 3.
+        assert_eq!(geometry(4), (1, 3));
+        // The paper's 4 MB vmblk: 1024 pages, 64-byte descriptors fit in
+        // 16 pages alongside the header.
+        let (h, d) = geometry(1024);
+        assert_eq!(h + d, 1024);
+        assert!(h * PAGE_SIZE >= PD_OFFSET + d * PD_STRIDE);
+        assert!((h - 1) * PAGE_SIZE < PD_OFFSET + (d + 1) * PD_STRIDE);
+    }
+
+    #[test]
+    fn alloc_free_single_page_round_trip() {
+        let l = layer();
+        let before = l.space().phys().in_use();
+        assert_eq!(before, 0);
+        let (addr, pd) = l.alloc_span(1).unwrap();
+        assert_eq!(pd.kind(), PdKind::Unused);
+        // One data frame plus one header frame.
+        assert_eq!(l.space().phys().in_use(), 2);
+        assert_eq!(l.nvmblks(), 1);
+        // SAFETY: span just allocated, unreferenced.
+        unsafe { l.free_span(addr, 1) };
+        // Fully free vmblk is released: all frames returned.
+        assert_eq!(l.space().phys().in_use(), 0);
+        assert_eq!(l.nvmblks(), 0);
+    }
+
+    #[test]
+    fn spans_coalesce_in_any_free_order() {
+        let l = layer();
+        // Three single pages from one 3-page data area.
+        let (a, _) = l.alloc_span(1).unwrap();
+        let (b, _) = l.alloc_span(1).unwrap();
+        let (c, _) = l.alloc_span(1).unwrap();
+        assert_eq!(l.nvmblks(), 1);
+        // Free in middle-last-first order: must coalesce back to one span
+        // and release the vmblk.
+        // SAFETY: spans just allocated, unreferenced.
+        unsafe {
+            l.free_span(b, 1);
+            l.free_span(c, 1);
+            assert_eq!(l.nvmblks(), 1);
+            l.free_span(a, 1);
+        }
+        assert_eq!(l.nvmblks(), 0);
+        assert_eq!(l.space().phys().in_use(), 0);
+    }
+
+    #[test]
+    fn multi_page_span_and_split() {
+        let l = layer();
+        let (a, _) = l.alloc_span(2).unwrap();
+        let (b, _) = l.alloc_span(1).unwrap();
+        // Same vmblk: 3 data pages split 2 + 1.
+        assert_eq!(l.nvmblks(), 1);
+        // SAFETY: spans just allocated, unreferenced.
+        unsafe {
+            l.free_span(a, 2);
+            l.free_span(b, 1);
+        }
+        assert_eq!(l.nvmblks(), 0);
+    }
+
+    #[test]
+    fn spills_into_second_vmblk() {
+        let l = layer();
+        let mut spans = Vec::new();
+        for _ in 0..4 {
+            spans.push(l.alloc_span(1).unwrap().0);
+        }
+        assert_eq!(l.nvmblks(), 2);
+        for s in spans {
+            // SAFETY: spans just allocated, unreferenced.
+            unsafe { l.free_span(s, 1) };
+        }
+        assert_eq!(l.nvmblks(), 0);
+        assert_eq!(l.space().phys().in_use(), 0);
+    }
+
+    #[test]
+    fn large_alloc_round_trip_and_pd_marking() {
+        let l = layer();
+        let addr = l.alloc_large(2 * PAGE_SIZE + 1).unwrap();
+        let pd = l.pd_of(addr.as_ptr() as usize).unwrap();
+        assert_eq!(pd.kind(), PdKind::Large);
+        // 3 data frames + 1 header frame.
+        assert_eq!(l.space().phys().in_use(), 4);
+        // SAFETY: block just allocated, unreferenced.
+        let pages = unsafe { l.free_large(addr) };
+        assert_eq!(pages, 3);
+        assert_eq!(l.space().phys().in_use(), 0);
+    }
+
+    #[test]
+    fn request_beyond_vmblk_capacity_fails_cleanly() {
+        let l = layer();
+        // Data capacity is 3 pages.
+        assert_eq!(l.max_span_pages(), 3);
+        let err = l.alloc_span(4).unwrap_err();
+        assert_eq!(err, VmError::OutOfVirtual);
+        // Nothing leaked: the probe vmblk stays but holds no claimed data
+        // frames beyond its header... in fact the failed path releases
+        // everything it claimed.
+        let in_use = l.space().phys().in_use();
+        // One empty vmblk may remain cached (created during the attempt).
+        l.for_each_vmblk(|h| assert_eq!(h.free_pages(), h.ndata()));
+        assert!(in_use <= 1);
+    }
+
+    #[test]
+    fn phys_exhaustion_fails_before_touching_spans() {
+        let space = Arc::new(KernelSpace::new(
+            SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(3),
+        ));
+        let l = VmblkLayer::new(space, true);
+        // Header takes 1 frame; 2 data frames remain.
+        let (a, _) = l.alloc_span(1).unwrap();
+        let (_b, _) = l.alloc_span(1).unwrap();
+        assert!(matches!(
+            l.alloc_span(1),
+            Err(VmError::OutOfPhysical { .. })
+        ));
+        // Freeing lets allocation succeed again.
+        // SAFETY: span just allocated, unreferenced.
+        unsafe { l.free_span(a, 1) };
+        let (_c, _) = l.alloc_span(1).unwrap();
+    }
+
+    #[test]
+    fn header_and_pd_lookup_resolve_interior_addresses() {
+        let l = layer();
+        let (addr, _) = l.alloc_span(2).unwrap();
+        let mid = addr.as_ptr() as usize + PAGE_SIZE + 17;
+        let hdr = l.header_of(mid).unwrap();
+        assert_eq!(hdr.ndata(), 3);
+        assert!(l.pd_of(mid).is_some());
+        // Unmanaged addresses resolve to None.
+        let foreign = Box::new(0u8);
+        assert!(l.header_of(&*foreign as *const u8 as usize).is_none());
+        // SAFETY: span just allocated, unreferenced.
+        unsafe { l.free_span(addr, 2) };
+    }
+
+    #[test]
+    fn keep_empty_vmblks_when_configured() {
+        let space = Arc::new(KernelSpace::new(
+            SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(256),
+        ));
+        let l = VmblkLayer::new(space, false);
+        let (a, _) = l.alloc_span(1).unwrap();
+        // SAFETY: span just allocated, unreferenced.
+        unsafe { l.free_span(a, 1) };
+        assert_eq!(l.nvmblks(), 1);
+        // Data frames returned; header frame retained.
+        assert_eq!(l.space().phys().in_use(), 1);
+        // And the retained vmblk is reused, not leaked.
+        let (_b, _) = l.alloc_span(2).unwrap();
+        assert_eq!(l.nvmblks(), 1);
+    }
+
+    #[test]
+    fn free_span_accounting_matches_walker() {
+        let l = layer();
+        let (a, _) = l.alloc_span(1).unwrap();
+        assert_eq!(l.free_span_pages(), 2);
+        let (b, _) = l.alloc_span(2).unwrap();
+        assert_eq!(l.free_span_pages(), 0);
+        // SAFETY: spans just allocated, unreferenced.
+        unsafe {
+            l.free_span(a, 1);
+            l.free_span(b, 2);
+        }
+        assert_eq!(l.free_span_pages(), 0); // vmblk released entirely
+    }
+}

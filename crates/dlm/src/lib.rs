@@ -1,0 +1,21 @@
+//! A distributed-lock-manager substrate driven by `kmem`.
+//!
+//! The paper's realistic benchmark is "a distributed lock manager, which
+//! makes heavy use of `kmem_alloc` in order to build data structures needed
+//! to track lock requests and ownership", as used by OLTP clusters. This
+//! crate reproduces that substrate: a VMS-style lock manager whose resource
+//! blocks and lock blocks are allocated from a [`kmem::KmemArena`] — sized
+//! so resource blocks land in the **512-byte** class and lock blocks in the
+//! **256-byte** class, the two classes whose miss rates the paper reports.
+//!
+//! Six lock modes with the standard compatibility matrix, a hashed resource
+//! table, per-resource grant and FIFO wait queues, conversions, and
+//! cancellation. Waiting is cooperative (poll/cancel) rather than
+//! thread-blocking, which keeps the benchmark workload deterministic.
+
+pub mod manager;
+pub mod modes;
+pub mod workload;
+
+pub use manager::{AstFn, Dlm, DlmStats, LockHandle, LockStatus, LVB_LEN};
+pub use modes::Mode;

@@ -1,0 +1,760 @@
+//! The lock manager: resource table, grant/wait queues, conversions.
+//!
+//! Resource blocks (RSBs) and lock blocks (LKBs) are plain kernel records
+//! living in `kmem` memory, linked intrusively, exactly the allocation
+//! pattern the paper's DLM benchmark measures: a lock request allocates,
+//! a release frees, and records routinely pass between CPUs.
+
+use core::ptr::{self, NonNull};
+use std::sync::Arc;
+
+use kmem::{Cookie, CpuHandle, KmemArena};
+use kmem_smp::{EventCounter, SpinLock};
+
+use crate::modes::Mode;
+
+/// Bytes in a lock value block.
+pub const LVB_LEN: usize = 16;
+
+/// Resource block. Padded so the whole record lands in the 512-byte size
+/// class (the class whose allocation miss rates the paper reports).
+#[repr(C)]
+struct Rsb {
+    name: u64,
+    hash_next: *mut Rsb,
+    granted: *mut Lkb,
+    wait_head: *mut Lkb,
+    wait_tail: *mut Lkb,
+    /// Granted + waiting locks on this resource.
+    nlocks: u32,
+    /// The lock value block: 16 bytes of state that travels with the
+    /// resource (VMS-style; OLTP clusters use it for, e.g., cache
+    /// sequence numbers).
+    lvb: [u8; LVB_LEN],
+    _pad: [u8; 448],
+}
+
+/// Completion routine invoked (via [`Dlm::run_asts`]) when a waiting lock
+/// is granted — the VMS "AST" delivered at a safe point, kernel-style: a
+/// plain function pointer plus one context word, so it fits in the LKB.
+pub type AstFn = fn(ctx: usize);
+
+/// Lock block. Padded so the record lands in the 256-byte class (the
+/// class whose free miss rates the paper reports).
+#[repr(C)]
+struct Lkb {
+    res: *mut Rsb,
+    next: *mut Lkb,
+    /// Completion AST (0 = none) and its context word.
+    ast_fn: usize,
+    ast_ctx: usize,
+    mode: u8,
+    state: u8,
+    _pad: [u8; 222],
+}
+
+const STATE_GRANTED: u8 = 0;
+const STATE_WAITING: u8 = 1;
+
+/// Status of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockStatus {
+    /// The lock is granted.
+    Granted,
+    /// The lock sits on the resource's FIFO wait queue; poll or cancel.
+    Waiting,
+}
+
+/// An owned reference to a lock block.
+///
+/// Must be resolved by [`Dlm::unlock`] (which also cancels waiting
+/// requests); dropping it without unlocking leaks the lock.
+#[derive(Debug)]
+pub struct LockHandle {
+    lkb: NonNull<Lkb>,
+}
+
+// SAFETY: the handle is a capability; all dereferences happen inside the
+// manager under the resource's bucket lock.
+unsafe impl Send for LockHandle {}
+
+/// Counters for the DLM itself.
+#[derive(Default)]
+pub struct DlmStats {
+    /// Requests granted immediately.
+    pub grants: EventCounter,
+    /// Requests that had to wait.
+    pub waits: EventCounter,
+    /// Waiters promoted to granted by a release or down-convert.
+    pub promotions: EventCounter,
+    /// Conversions performed.
+    pub converts: EventCounter,
+    /// Conversions denied (incompatible).
+    pub converts_denied: EventCounter,
+    /// Unlocks (including cancellations of waiting requests).
+    pub unlocks: EventCounter,
+    /// Resource blocks created.
+    pub resources_created: EventCounter,
+    /// Resource blocks freed (last lock gone).
+    pub resources_freed: EventCounter,
+}
+
+/// One hash bucket: the head of a chain of RSBs.
+struct Bucket(*mut Rsb);
+
+// SAFETY: bucket contents are only touched under the bucket's spinlock.
+unsafe impl Send for Bucket {}
+
+/// The lock manager.
+pub struct Dlm {
+    arena: KmemArena,
+    buckets: Box<[SpinLock<Bucket>]>,
+    rsb_cookie: Cookie,
+    lkb_cookie: Cookie,
+    /// Pending completion ASTs (function, context), delivered by
+    /// [`Dlm::run_asts`].
+    asts: SpinLock<Vec<(AstFn, usize)>>,
+    stats: DlmStats,
+}
+
+impl Dlm {
+    /// Creates a manager with `nbuckets` hash buckets over `arena`.
+    pub fn new(arena: KmemArena, nbuckets: usize) -> Arc<Self> {
+        assert!(nbuckets.is_power_of_two(), "bucket count must be 2^k");
+        let rsb_cookie = arena
+            .cookie_for(core::mem::size_of::<Rsb>())
+            .expect("RSB fits a class");
+        let lkb_cookie = arena
+            .cookie_for(core::mem::size_of::<Lkb>())
+            .expect("LKB fits a class");
+        // The records are padded to match the classes the paper measured.
+        debug_assert_eq!(rsb_cookie.block_size(), 512);
+        debug_assert_eq!(lkb_cookie.block_size(), 256);
+        Arc::new(Dlm {
+            arena,
+            buckets: (0..nbuckets)
+                .map(|_| SpinLock::new(Bucket(ptr::null_mut())))
+                .collect(),
+            rsb_cookie,
+            lkb_cookie,
+            asts: SpinLock::new(Vec::new()),
+            stats: DlmStats::default(),
+        })
+    }
+
+    /// The arena whose miss rates the benchmark reads.
+    pub fn arena(&self) -> &KmemArena {
+        &self.arena
+    }
+
+    /// Manager statistics.
+    pub fn stats(&self) -> &DlmStats {
+        &self.stats
+    }
+
+    fn bucket_of(&self, name: u64) -> &SpinLock<Bucket> {
+        let h = name.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.buckets[(h as usize) & (self.buckets.len() - 1)]
+    }
+
+    /// Requests `mode` on resource `name`.
+    ///
+    /// Returns the handle plus whether it was granted immediately or
+    /// queued. Fails only on memory exhaustion.
+    pub fn lock(
+        &self,
+        cpu: &CpuHandle,
+        name: u64,
+        mode: Mode,
+    ) -> Result<(LockHandle, LockStatus), kmem::AllocError> {
+        let lkb = cpu.alloc_cookie(self.lkb_cookie)?.cast::<Lkb>();
+        let bucket = self.bucket_of(name);
+        let mut guard = bucket.lock();
+        // Find or create the resource.
+        let mut rsb = guard.0;
+        // SAFETY: chain members are live RSBs guarded by this bucket lock.
+        while !rsb.is_null() && unsafe { (*rsb).name } != name {
+            rsb = unsafe { (*rsb).hash_next };
+        }
+        if rsb.is_null() {
+            let new = match cpu.alloc_cookie(self.rsb_cookie) {
+                Ok(p) => p.cast::<Rsb>().as_ptr(),
+                Err(e) => {
+                    drop(guard);
+                    // SAFETY: the LKB was just allocated and never shared.
+                    unsafe { cpu.free_cookie(lkb.cast(), self.lkb_cookie) };
+                    return Err(e);
+                }
+            };
+            // SAFETY: fresh RSB-sized allocation.
+            unsafe {
+                new.write(Rsb {
+                    name,
+                    hash_next: guard.0,
+                    granted: ptr::null_mut(),
+                    wait_head: ptr::null_mut(),
+                    wait_tail: ptr::null_mut(),
+                    nlocks: 0,
+                    lvb: [0; LVB_LEN],
+                    _pad: [0; 448],
+                });
+            }
+            guard.0 = new;
+            rsb = new;
+            self.stats.resources_created.inc();
+        }
+        // Grant if nothing waits (FIFO fairness) and the mode is
+        // compatible with every granted lock.
+        // SAFETY: `rsb` is live under the bucket lock.
+        let can_grant = unsafe { (*rsb).wait_head.is_null() && compatible_with_granted(rsb, mode, ptr::null_mut()) };
+        // SAFETY: fresh LKB-sized allocation.
+        unsafe {
+            lkb.as_ptr().write(Lkb {
+                res: rsb,
+                next: ptr::null_mut(),
+                ast_fn: 0,
+                ast_ctx: 0,
+                mode: mode as u8,
+                state: if can_grant { STATE_GRANTED } else { STATE_WAITING },
+                _pad: [0; 222],
+            });
+        }
+        // SAFETY: `rsb` and `lkb` are live under the bucket lock.
+        unsafe {
+            if can_grant {
+                (*lkb.as_ptr()).next = (*rsb).granted;
+                (*rsb).granted = lkb.as_ptr();
+            } else {
+                // FIFO append.
+                if (*rsb).wait_tail.is_null() {
+                    (*rsb).wait_head = lkb.as_ptr();
+                } else {
+                    (*(*rsb).wait_tail).next = lkb.as_ptr();
+                }
+                (*rsb).wait_tail = lkb.as_ptr();
+            }
+            (*rsb).nlocks += 1;
+        }
+        if can_grant {
+            self.stats.grants.inc();
+            Ok((LockHandle { lkb }, LockStatus::Granted))
+        } else {
+            self.stats.waits.inc();
+            Ok((LockHandle { lkb }, LockStatus::Waiting))
+        }
+    }
+
+    /// Current status of a lock.
+    pub fn poll(&self, handle: &LockHandle) -> LockStatus {
+        // SAFETY: handles keep their LKB live until unlock; the name and
+        // state are read under the bucket lock.
+        let name = {
+            let lkb = handle.lkb.as_ptr();
+            // Resource name is immutable after creation; reading it
+            // requires knowing the bucket, which requires the name — so
+            // read it through the LKB's resource pointer, which is
+            // immutable too.
+            unsafe { (*(*lkb).res).name }
+        };
+        let _guard = self.bucket_of(name).lock();
+        // SAFETY: bucket lock held.
+        let state = unsafe { (*handle.lkb.as_ptr()).state };
+        if state == STATE_GRANTED {
+            LockStatus::Granted
+        } else {
+            LockStatus::Waiting
+        }
+    }
+
+    /// Converts a granted lock to `newmode`.
+    ///
+    /// Returns `false` (leaving the old mode) if the new mode conflicts
+    /// with another granted lock or the lock is still waiting. A
+    /// down-convert may promote waiters.
+    pub fn convert(&self, cpu: &CpuHandle, handle: &LockHandle, newmode: Mode) -> bool {
+        let lkb = handle.lkb.as_ptr();
+        // SAFETY: the resource pointer is immutable while the handle lives.
+        let (rsb, name) = unsafe { ((*lkb).res, (*(*lkb).res).name) };
+        let _guard = self.bucket_of(name).lock();
+        // SAFETY: bucket lock held; rsb/lkb live.
+        unsafe {
+            if (*lkb).state != STATE_GRANTED {
+                self.stats.converts_denied.inc();
+                return false;
+            }
+            if !compatible_with_granted(rsb, newmode, lkb) {
+                self.stats.converts_denied.inc();
+                return false;
+            }
+            let down = (newmode as u8) < (*lkb).mode;
+            (*lkb).mode = newmode as u8;
+            self.stats.converts.inc();
+            if down {
+                self.promote_waiters(cpu, rsb);
+            }
+        }
+        true
+    }
+
+    /// Releases a lock (or cancels a waiting request), frees its LKB, and
+    /// promotes any waiters that became grantable. The resource block is
+    /// freed when its last lock goes.
+    pub fn unlock(&self, cpu: &CpuHandle, handle: LockHandle) {
+        self.stats.unlocks.inc();
+        let lkb = handle.lkb.as_ptr();
+        // SAFETY: the resource pointer is immutable while the handle lives.
+        let (rsb, name) = unsafe { ((*lkb).res, (*(*lkb).res).name) };
+        let bucket = self.bucket_of(name);
+        let mut guard = bucket.lock();
+        // SAFETY: bucket lock held; all records live.
+        let free_rsb = unsafe {
+            if (*lkb).state == STATE_GRANTED {
+                remove_from_list(&mut (*rsb).granted, lkb);
+            } else {
+                remove_from_wait_queue(rsb, lkb);
+            }
+            (*rsb).nlocks -= 1;
+            self.promote_waiters(cpu, rsb);
+            if (*rsb).nlocks == 0 {
+                // Unlink from the hash chain.
+                let mut cur = &mut guard.0;
+                while *cur != rsb {
+                    debug_assert!(!(*cur).is_null(), "RSB missing from chain");
+                    cur = &mut (**cur).hash_next;
+                }
+                *cur = (*rsb).hash_next;
+                true
+            } else {
+                false
+            }
+        };
+        drop(guard);
+        if free_rsb {
+            self.stats.resources_freed.inc();
+            // SAFETY: the RSB was ours and is now unreachable.
+            unsafe { cpu.free_cookie(NonNull::new_unchecked(rsb.cast()), self.rsb_cookie) };
+        }
+        // SAFETY: the LKB is unlinked and the handle consumed.
+        unsafe { cpu.free_cookie(handle.lkb.cast(), self.lkb_cookie) };
+    }
+
+    /// Promotes waiters in FIFO order while they are compatible.
+    ///
+    /// # Safety
+    ///
+    /// Caller holds the bucket lock covering `rsb`.
+    unsafe fn promote_waiters(&self, _cpu: &CpuHandle, rsb: *mut Rsb) {
+        // SAFETY: bucket lock held per contract.
+        unsafe {
+            loop {
+                let head = (*rsb).wait_head;
+                if head.is_null() {
+                    break;
+                }
+                let mode = Mode::from_u8((*head).mode);
+                if !compatible_with_granted(rsb, mode, ptr::null_mut()) {
+                    break;
+                }
+                // Dequeue and grant.
+                (*rsb).wait_head = (*head).next;
+                if (*rsb).wait_head.is_null() {
+                    (*rsb).wait_tail = ptr::null_mut();
+                }
+                (*head).next = (*rsb).granted;
+                (*rsb).granted = head;
+                (*head).state = STATE_GRANTED;
+                self.stats.promotions.inc();
+                if (*head).ast_fn != 0 {
+                    // SAFETY: ast_fn was written from a valid `AstFn` in
+                    // `set_ast` and never mutated elsewhere.
+                    let f: AstFn = core::mem::transmute::<usize, AstFn>((*head).ast_fn);
+                    self.asts.lock().push((f, (*head).ast_ctx));
+                }
+            }
+        }
+    }
+
+    /// Registers a completion AST on a waiting lock: when a release or
+    /// down-convert grants it, `(ast)(ctx)` is queued and delivered by the
+    /// next [`Dlm::run_asts`] — the cooperative form of VMS's asynchronous
+    /// system traps. Registering on an already-granted lock queues the AST
+    /// immediately.
+    pub fn set_ast(&self, handle: &LockHandle, ast: AstFn, ctx: usize) {
+        let lkb = handle.lkb.as_ptr();
+        // SAFETY: the resource pointer is immutable while the handle lives.
+        let name = unsafe { (*(*lkb).res).name };
+        let _guard = self.bucket_of(name).lock();
+        // SAFETY: bucket lock held; the LKB is live.
+        unsafe {
+            if (*lkb).state == STATE_GRANTED {
+                self.asts.lock().push((ast, ctx));
+            } else {
+                (*lkb).ast_fn = ast as usize;
+                (*lkb).ast_ctx = ctx;
+            }
+        }
+    }
+
+    /// Delivers every queued completion AST; returns how many ran.
+    ///
+    /// Call from a scheduling point (the kernel would deliver these at
+    /// quantum boundaries); ASTs run outside all manager locks.
+    pub fn run_asts(&self) -> usize {
+        let pending = core::mem::take(&mut *self.asts.lock());
+        let n = pending.len();
+        for (f, ctx) in pending {
+            f(ctx);
+        }
+        n
+    }
+
+    /// Pending, undelivered ASTs.
+    pub fn pending_asts(&self) -> usize {
+        self.asts.lock().len()
+    }
+
+    /// Reads the resource's lock value block.
+    ///
+    /// Any granted lock may read (as in VMS, where the LVB is returned on
+    /// grant at CR or above); a waiting handle gets `None`.
+    pub fn read_lvb(&self, handle: &LockHandle) -> Option<[u8; LVB_LEN]> {
+        let lkb = handle.lkb.as_ptr();
+        // SAFETY: the resource pointer is immutable while the handle lives.
+        let (rsb, name) = unsafe { ((*lkb).res, (*(*lkb).res).name) };
+        let _guard = self.bucket_of(name).lock();
+        // SAFETY: bucket lock held; records live.
+        unsafe {
+            if (*lkb).state != STATE_GRANTED {
+                return None;
+            }
+            Some((*rsb).lvb)
+        }
+    }
+
+    /// Writes the resource's lock value block.
+    ///
+    /// Requires a granted lock at PW or EX (the modes allowed to update
+    /// the value in VMS); returns `false` otherwise.
+    pub fn write_lvb(&self, handle: &LockHandle, value: [u8; LVB_LEN]) -> bool {
+        let lkb = handle.lkb.as_ptr();
+        // SAFETY: the resource pointer is immutable while the handle lives.
+        let (rsb, name) = unsafe { ((*lkb).res, (*(*lkb).res).name) };
+        let _guard = self.bucket_of(name).lock();
+        // SAFETY: bucket lock held; records live.
+        unsafe {
+            if (*lkb).state != STATE_GRANTED
+                || Mode::from_u8((*lkb).mode) < Mode::Pw
+            {
+                return false;
+            }
+            (*rsb).lvb = value;
+        }
+        true
+    }
+
+    /// Total locks on a resource (tests).
+    pub fn lock_count(&self, name: u64) -> usize {
+        let guard = self.bucket_of(name).lock();
+        let mut rsb = guard.0;
+        // SAFETY: bucket lock held.
+        unsafe {
+            while !rsb.is_null() && (*rsb).name != name {
+                rsb = (*rsb).hash_next;
+            }
+            if rsb.is_null() {
+                0
+            } else {
+                (*rsb).nlocks as usize
+            }
+        }
+    }
+}
+
+/// Whether `mode` is compatible with every granted lock except `skip`.
+///
+/// # Safety
+///
+/// Caller holds the bucket lock covering `rsb`.
+unsafe fn compatible_with_granted(rsb: *mut Rsb, mode: Mode, skip: *mut Lkb) -> bool {
+    // SAFETY: bucket lock held per contract; list members are live.
+    unsafe {
+        let mut cur = (*rsb).granted;
+        while !cur.is_null() {
+            if cur != skip && !mode.compatible_with(Mode::from_u8((*cur).mode)) {
+                return false;
+            }
+            cur = (*cur).next;
+        }
+    }
+    true
+}
+
+/// Removes `lkb` from a singly linked list headed at `head`.
+///
+/// # Safety
+///
+/// Caller holds the bucket lock; `lkb` is on the list.
+unsafe fn remove_from_list(head: &mut *mut Lkb, lkb: *mut Lkb) {
+    // SAFETY: bucket lock held per contract.
+    unsafe {
+        let mut cur = head as *mut *mut Lkb;
+        while *cur != lkb {
+            debug_assert!(!(*cur).is_null(), "LKB missing from list");
+            cur = &mut (**cur).next;
+        }
+        *cur = (*lkb).next;
+    }
+}
+
+/// Removes `lkb` from the wait queue, maintaining the tail pointer.
+///
+/// # Safety
+///
+/// Caller holds the bucket lock; `lkb` waits on `rsb`.
+unsafe fn remove_from_wait_queue(rsb: *mut Rsb, lkb: *mut Lkb) {
+    // SAFETY: bucket lock held per contract.
+    unsafe {
+        let mut prev: *mut Lkb = ptr::null_mut();
+        let mut cur = (*rsb).wait_head;
+        while cur != lkb {
+            debug_assert!(!cur.is_null(), "LKB missing from wait queue");
+            prev = cur;
+            cur = (*cur).next;
+        }
+        if prev.is_null() {
+            (*rsb).wait_head = (*lkb).next;
+        } else {
+            (*prev).next = (*lkb).next;
+        }
+        if (*rsb).wait_tail == lkb {
+            (*rsb).wait_tail = prev;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmem::KmemConfig;
+
+    fn setup() -> (Arc<Dlm>, CpuHandle) {
+        let arena = KmemArena::new(KmemConfig::small()).unwrap();
+        let cpu = arena.register_cpu().unwrap();
+        (Dlm::new(arena, 64), cpu)
+    }
+
+    #[test]
+    fn record_sizes_hit_the_papers_classes() {
+        assert!(core::mem::size_of::<Rsb>() > 256 && core::mem::size_of::<Rsb>() <= 512);
+        assert!(core::mem::size_of::<Lkb>() > 128 && core::mem::size_of::<Lkb>() <= 256);
+    }
+
+    #[test]
+    fn grant_and_unlock_free_everything() {
+        let (dlm, cpu) = setup();
+        let (h, st) = dlm.lock(&cpu, 42, Mode::Ex).unwrap();
+        assert_eq!(st, LockStatus::Granted);
+        assert_eq!(dlm.lock_count(42), 1);
+        dlm.unlock(&cpu, h);
+        assert_eq!(dlm.lock_count(42), 0);
+        assert_eq!(dlm.stats().resources_created.get(), 1);
+        assert_eq!(dlm.stats().resources_freed.get(), 1);
+        cpu.flush();
+        dlm.arena().reclaim();
+        kmem::verify::verify_empty(dlm.arena());
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_waits() {
+        let (dlm, cpu) = setup();
+        let (r1, s1) = dlm.lock(&cpu, 7, Mode::Pr).unwrap();
+        let (r2, s2) = dlm.lock(&cpu, 7, Mode::Pr).unwrap();
+        assert_eq!((s1, s2), (LockStatus::Granted, LockStatus::Granted));
+        let (w, sw) = dlm.lock(&cpu, 7, Mode::Ex).unwrap();
+        assert_eq!(sw, LockStatus::Waiting);
+        // FIFO fairness: a PR arriving after the EX waiter also waits.
+        let (r3, s3) = dlm.lock(&cpu, 7, Mode::Pr).unwrap();
+        assert_eq!(s3, LockStatus::Waiting);
+        // Releasing both readers grants the EX (but not the PR behind it).
+        dlm.unlock(&cpu, r1);
+        dlm.unlock(&cpu, r2);
+        assert_eq!(dlm.poll(&w), LockStatus::Granted);
+        assert_eq!(dlm.poll(&r3), LockStatus::Waiting);
+        // Releasing EX grants the queued PR.
+        dlm.unlock(&cpu, w);
+        assert_eq!(dlm.poll(&r3), LockStatus::Granted);
+        dlm.unlock(&cpu, r3);
+        assert_eq!(dlm.lock_count(7), 0);
+    }
+
+    #[test]
+    fn cancel_waiting_request() {
+        let (dlm, cpu) = setup();
+        let (ex, _) = dlm.lock(&cpu, 1, Mode::Ex).unwrap();
+        let (w, st) = dlm.lock(&cpu, 1, Mode::Pw).unwrap();
+        assert_eq!(st, LockStatus::Waiting);
+        // Unlock on a waiting handle cancels it.
+        dlm.unlock(&cpu, w);
+        assert_eq!(dlm.lock_count(1), 1);
+        dlm.unlock(&cpu, ex);
+    }
+
+    #[test]
+    fn conversion_up_and_down() {
+        let (dlm, cpu) = setup();
+        let (a, _) = dlm.lock(&cpu, 9, Mode::Cr).unwrap();
+        let (b, _) = dlm.lock(&cpu, 9, Mode::Cr).unwrap();
+        // CR → PW: compatible with the other CR.
+        assert!(dlm.convert(&cpu, &a, Mode::Pw));
+        // CR → PR while a PW is granted: denied.
+        assert!(!dlm.convert(&cpu, &b, Mode::Pr));
+        // Down-convert PW → NL; now the PR conversion succeeds.
+        assert!(dlm.convert(&cpu, &a, Mode::Nl));
+        assert!(dlm.convert(&cpu, &b, Mode::Pr));
+        dlm.unlock(&cpu, a);
+        dlm.unlock(&cpu, b);
+    }
+
+    #[test]
+    fn down_convert_promotes_waiters() {
+        let (dlm, cpu) = setup();
+        let (a, _) = dlm.lock(&cpu, 3, Mode::Ex).unwrap();
+        let (w, st) = dlm.lock(&cpu, 3, Mode::Pr).unwrap();
+        assert_eq!(st, LockStatus::Waiting);
+        assert!(dlm.convert(&cpu, &a, Mode::Cr));
+        assert_eq!(dlm.poll(&w), LockStatus::Granted);
+        dlm.unlock(&cpu, a);
+        dlm.unlock(&cpu, w);
+    }
+
+    #[test]
+    fn asts_fire_on_promotion_only_when_delivered() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static FIRED: AtomicUsize = AtomicUsize::new(0);
+        fn on_grant(ctx: usize) {
+            FIRED.fetch_add(ctx, Ordering::Relaxed);
+        }
+        let (dlm, cpu) = setup();
+        let (ex, _) = dlm.lock(&cpu, 11, Mode::Ex).unwrap();
+        let (w, st) = dlm.lock(&cpu, 11, Mode::Pr).unwrap();
+        assert_eq!(st, LockStatus::Waiting);
+        dlm.set_ast(&w, on_grant, 5);
+        assert_eq!(dlm.pending_asts(), 0);
+        // Release promotes the waiter and queues the AST...
+        dlm.unlock(&cpu, ex);
+        assert_eq!(dlm.poll(&w), LockStatus::Granted);
+        assert_eq!(dlm.pending_asts(), 1);
+        assert_eq!(FIRED.load(Ordering::Relaxed), 0);
+        // ...which runs only at the delivery point.
+        assert_eq!(dlm.run_asts(), 1);
+        assert_eq!(FIRED.load(Ordering::Relaxed), 5);
+        assert_eq!(dlm.pending_asts(), 0);
+        dlm.unlock(&cpu, w);
+    }
+
+    #[test]
+    fn ast_on_granted_lock_is_queued_immediately() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static FIRED: AtomicUsize = AtomicUsize::new(0);
+        fn on_grant(_ctx: usize) {
+            FIRED.fetch_add(1, Ordering::Relaxed);
+        }
+        let (dlm, cpu) = setup();
+        let (h, st) = dlm.lock(&cpu, 12, Mode::Cr).unwrap();
+        assert_eq!(st, LockStatus::Granted);
+        dlm.set_ast(&h, on_grant, 0);
+        assert_eq!(dlm.run_asts(), 1);
+        assert_eq!(FIRED.load(Ordering::Relaxed), 1);
+        dlm.unlock(&cpu, h);
+    }
+
+    #[test]
+    fn lock_value_blocks_travel_with_the_resource() {
+        let (dlm, cpu) = setup();
+        // The anchor keeps the resource (and its LVB) alive throughout.
+        let (anchor, _) = dlm.lock(&cpu, 5, Mode::Nl).unwrap();
+        let (w, _) = dlm.lock(&cpu, 5, Mode::Ex).unwrap();
+        // Fresh resources carry a zeroed LVB.
+        assert_eq!(dlm.read_lvb(&w), Some([0; LVB_LEN]));
+        let mut v = [0u8; LVB_LEN];
+        v[..4].copy_from_slice(b"seq1");
+        assert!(dlm.write_lvb(&w, v));
+        dlm.unlock(&cpu, w);
+        // The value survives while other locks keep the resource alive...
+        let (r, _) = dlm.lock(&cpu, 5, Mode::Cr).unwrap();
+        assert_eq!(dlm.read_lvb(&r).unwrap()[..4], *b"seq1");
+        // ...readers cannot write it...
+        assert!(!dlm.write_lvb(&r, [9; LVB_LEN]));
+        dlm.unlock(&cpu, r);
+        dlm.unlock(&cpu, anchor);
+        // ...and it resets when the last lock goes and the resource is
+        // recreated from scratch.
+        let (fresh, _) = dlm.lock(&cpu, 5, Mode::Pr).unwrap();
+        assert_eq!(dlm.read_lvb(&fresh), Some([0; LVB_LEN]));
+        dlm.unlock(&cpu, fresh);
+    }
+
+    #[test]
+    fn waiting_handles_cannot_touch_the_lvb() {
+        let (dlm, cpu) = setup();
+        let (ex, _) = dlm.lock(&cpu, 3, Mode::Ex).unwrap();
+        let (w, st) = dlm.lock(&cpu, 3, Mode::Pw).unwrap();
+        assert_eq!(st, LockStatus::Waiting);
+        assert_eq!(dlm.read_lvb(&w), None);
+        assert!(!dlm.write_lvb(&w, [1; LVB_LEN]));
+        dlm.unlock(&cpu, w);
+        dlm.unlock(&cpu, ex);
+    }
+
+    #[test]
+    fn many_resources_hash_independently() {
+        let (dlm, cpu) = setup();
+        let handles: Vec<_> = (0..500u64)
+            .map(|n| dlm.lock(&cpu, n, Mode::Ex).unwrap().0)
+            .collect();
+        assert_eq!(dlm.stats().resources_created.get(), 500);
+        for h in handles {
+            dlm.unlock(&cpu, h);
+        }
+        assert_eq!(dlm.stats().resources_freed.get(), 500);
+        cpu.flush();
+        dlm.arena().reclaim();
+        kmem::verify::verify_empty(dlm.arena());
+    }
+
+    #[test]
+    fn cross_thread_lock_traffic() {
+        let arena = KmemArena::new(KmemConfig::small()).unwrap();
+        let dlm = Dlm::new(arena.clone(), 64);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let dlm = Arc::clone(&dlm);
+                let arena = arena.clone();
+                s.spawn(move || {
+                    let cpu = arena.register_cpu().unwrap();
+                    let mut held: Vec<LockHandle> = Vec::new();
+                    for i in 0..2000u64 {
+                        let res = (i * 37 + t) % 50;
+                        let mode = Mode::ALL[(i % 6) as usize];
+                        if let Ok((h, _)) = dlm.lock(&cpu, res, mode) {
+                            held.push(h);
+                        }
+                        if held.len() > 8 {
+                            let h = held.swap_remove((i as usize) % held.len());
+                            dlm.unlock(&cpu, h);
+                        }
+                    }
+                    for h in held {
+                        dlm.unlock(&cpu, h);
+                    }
+                });
+            }
+        });
+        // Everything released: no locks remain on any resource.
+        for n in 0..50 {
+            assert_eq!(dlm.lock_count(n), 0, "resource {n}");
+        }
+        dlm.arena().reclaim();
+        kmem::verify::verify_arena(dlm.arena());
+    }
+}

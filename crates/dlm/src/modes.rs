@@ -1,0 +1,96 @@
+//! VMS-style lock modes and the compatibility matrix.
+
+/// The six classic lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Mode {
+    /// Null: placeholder interest, compatible with everything.
+    Nl = 0,
+    /// Concurrent read.
+    Cr = 1,
+    /// Concurrent write.
+    Cw = 2,
+    /// Protected read (shared).
+    Pr = 3,
+    /// Protected write (update).
+    Pw = 4,
+    /// Exclusive.
+    Ex = 5,
+}
+
+impl Mode {
+    /// All modes, weakest first.
+    pub const ALL: [Mode; 6] = [Mode::Nl, Mode::Cr, Mode::Cw, Mode::Pr, Mode::Pw, Mode::Ex];
+
+    /// The standard compatibility matrix (rows = held, columns =
+    /// requested).
+    #[rustfmt::skip]
+    const COMPAT: [[bool; 6]; 6] = [
+        // NL     CR     CW     PR     PW     EX
+        [ true,  true,  true,  true,  true,  true ], // NL
+        [ true,  true,  true,  true,  true,  false], // CR
+        [ true,  true,  true,  false, false, false], // CW
+        [ true,  true,  false, true,  false, false], // PR
+        [ true,  true,  false, false, false, false], // PW
+        [ true,  false, false, false, false, false], // EX
+    ];
+
+    /// Whether a request for `self` can be granted while `held` is
+    /// granted.
+    #[inline]
+    pub fn compatible_with(self, held: Mode) -> bool {
+        Self::COMPAT[held as usize][self as usize]
+    }
+
+    /// Builds a mode from its wire value.
+    pub fn from_u8(v: u8) -> Mode {
+        Mode::ALL[usize::from(v)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for a in Mode::ALL {
+            for b in Mode::ALL {
+                assert_eq!(
+                    a.compatible_with(b),
+                    b.compatible_with(a),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn null_is_compatible_with_everything() {
+        for m in Mode::ALL {
+            assert!(Mode::Nl.compatible_with(m));
+        }
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_everything_but_null() {
+        for m in Mode::ALL {
+            assert_eq!(Mode::Ex.compatible_with(m), m == Mode::Nl);
+        }
+    }
+
+    #[test]
+    fn shared_read_self_compatible() {
+        assert!(Mode::Pr.compatible_with(Mode::Pr));
+        assert!(!Mode::Pr.compatible_with(Mode::Pw));
+        assert!(Mode::Cw.compatible_with(Mode::Cw));
+        assert!(!Mode::Cw.compatible_with(Mode::Pr));
+    }
+
+    #[test]
+    fn round_trip_u8() {
+        for m in Mode::ALL {
+            assert_eq!(Mode::from_u8(m as u8), m);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! OLTP-style lock workload for the miss-rate experiment.
+//!
+//! The paper's DLM benchmark drives the lock manager the way an OLTP
+//! cluster would: "huge numbers of small blocks of memory to track
+//! database locking". Crucially, in such a system the CPU that releases a
+//! lock is usually *not* the CPU that acquired it — requests for one
+//! transaction are serviced by whichever CPU takes the network interrupt —
+//! which is precisely the traffic pattern the allocator's global layer
+//! exists for ("one CPU allocates buffers of a given size, which are then
+//! passed to other CPUs that free them").
+//!
+//! Workers therefore share a pool of granted [`LockHandle`]s: each worker
+//! pushes the locks it acquires and releases locks acquired by anyone,
+//! so LKBs (256 B) and RSBs (512 B) continually migrate between CPUs.
+
+use kmem::CpuHandle;
+use kmem_smp::SpinLock;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::manager::{Dlm, LockHandle, LockStatus};
+use crate::modes::Mode;
+
+/// Parameters for one worker.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of distinct resources (database objects).
+    pub resources: u64,
+    /// Lock operations to issue.
+    pub ops: usize,
+    /// Bound on the *shared* pool of held locks.
+    pub working_set: usize,
+    /// Locks acquired per transaction before the matching release burst.
+    /// Transactions acquire all their locks up front and release at
+    /// commit, so allocator traffic comes in bursts larger than `target`.
+    pub burst: usize,
+    /// RNG seed (combined with the worker id).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            resources: 512,
+            ops: 100_000,
+            working_set: 256,
+            burst: 24,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The cross-CPU hand-off pool: locks granted by any worker, released by
+/// any worker.
+pub struct SharedLocks {
+    held: SpinLock<Vec<LockHandle>>,
+}
+
+impl Default for SharedLocks {
+    fn default() -> Self {
+        SharedLocks::new()
+    }
+}
+
+impl SharedLocks {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        SharedLocks {
+            held: SpinLock::new(Vec::new()),
+        }
+    }
+
+    /// Deposits a granted lock.
+    pub fn push(&self, h: LockHandle) {
+        self.held.lock().push(h);
+    }
+
+    /// Withdraws an arbitrary lock (pseudo-randomly chosen).
+    pub fn pop(&self, rng: &mut SmallRng) -> Option<LockHandle> {
+        let mut held = self.held.lock();
+        if held.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..held.len());
+        Some(held.swap_remove(idx))
+    }
+
+    /// Current pool size.
+    pub fn len(&self) -> usize {
+        self.held.lock().len()
+    }
+
+    /// Returns whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Releases every pooled lock through `cpu`.
+    pub fn drain(&self, dlm: &Dlm, cpu: &CpuHandle) {
+        let handles = core::mem::take(&mut *self.held.lock());
+        for h in handles {
+            dlm.unlock(cpu, h);
+        }
+    }
+}
+
+/// What one worker observed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkerReport {
+    /// Requests granted immediately.
+    pub granted: usize,
+    /// Requests queued (cancelled on the spot).
+    pub waited: usize,
+    /// Conversions attempted.
+    pub converts: usize,
+    /// Locks this worker released on behalf of the pool.
+    pub released: usize,
+}
+
+/// OLTP-ish mode mix: mostly reads, some updates, few exclusives.
+fn pick_mode(rng: &mut SmallRng) -> Mode {
+    match rng.gen_range(0..100u32) {
+        0..=44 => Mode::Cr,
+        45..=69 => Mode::Pr,
+        70..=84 => Mode::Cw,
+        85..=94 => Mode::Pw,
+        95..=97 => Mode::Ex,
+        _ => Mode::Nl,
+    }
+}
+
+/// Runs the lock workload on the calling thread's CPU handle, exchanging
+/// granted locks through `shared`.
+pub fn run_worker(
+    dlm: &Dlm,
+    cpu: &CpuHandle,
+    shared: &SharedLocks,
+    cfg: WorkloadConfig,
+    worker: u64,
+) -> WorkerReport {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (worker.wrapping_mul(0x9E37_79B9)));
+    let mut report = WorkerReport::default();
+    let mut remaining = cfg.ops;
+    while remaining > 0 {
+        // Transaction body: acquire a burst of locks.
+        let burst = cfg.burst.min(remaining);
+        for _ in 0..burst {
+            let res = rng.gen_range(0..cfg.resources);
+            let mode = pick_mode(&mut rng);
+            match dlm.lock(cpu, res, mode) {
+                Ok((h, LockStatus::Granted)) => {
+                    report.granted += 1;
+                    // Occasionally convert, as real callers do.
+                    if rng.gen_ratio(1, 8) {
+                        report.converts += 1;
+                        let _ = dlm.convert(cpu, &h, pick_mode(&mut rng));
+                    }
+                    shared.push(h);
+                }
+                Ok((h, LockStatus::Waiting)) => {
+                    report.waited += 1;
+                    // Impatient caller: cancel rather than block.
+                    dlm.unlock(cpu, h);
+                }
+                Err(_) => {
+                    // Memory pressure: shed the shared set and continue.
+                    shared.drain(dlm, cpu);
+                }
+            }
+        }
+        remaining -= burst;
+        // Commit: release a burst of (anyone's) locks, keeping the shared
+        // pool bounded.
+        // While the shared pool is below its working set, commits release
+        // less than they acquired (the database's lock population is
+        // growing); at steady state they release a full burst. Occasionally
+        // a large transaction commits and releases a gust — the sustained
+        // one-sided flow that pushes traffic through the global layer.
+        let base_release = if shared.len() < cfg.working_set / 2 {
+            burst / 2
+        } else {
+            burst
+        };
+        let gust = if rng.gen_ratio(1, 64) {
+            shared.len() / 4
+        } else {
+            0
+        };
+        let to_release = base_release + gust + shared.len().saturating_sub(cfg.working_set);
+        for _ in 0..to_release {
+            match shared.pop(&mut rng) {
+                Some(h) => {
+                    dlm.unlock(cpu, h);
+                    report.released += 1;
+                }
+                None => break,
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmem::{KmemArena, KmemConfig};
+
+    #[test]
+    fn workload_runs_and_releases_everything() {
+        let arena = KmemArena::new(KmemConfig::small()).unwrap();
+        let dlm = Dlm::new(arena.clone(), 64);
+        let cpu = arena.register_cpu().unwrap();
+        let shared = SharedLocks::new();
+        let cfg = WorkloadConfig {
+            resources: 32,
+            ops: 5_000,
+            working_set: 16,
+            burst: 8,
+            seed: 42,
+        };
+        let report = run_worker(&dlm, &cpu, &shared, cfg, 0);
+        assert_eq!(report.granted + report.waited, 5_000);
+        shared.drain(&dlm, &cpu);
+        for n in 0..32 {
+            assert_eq!(dlm.lock_count(n), 0);
+        }
+        // The workload really does hit the 256 B and 512 B classes.
+        let stats = arena.stats();
+        let c256 = stats.classes.iter().find(|c| c.size == 256).unwrap();
+        let c512 = stats.classes.iter().find(|c| c.size == 512).unwrap();
+        assert!(c256.cpu_alloc.accesses >= 5_000);
+        assert!(c512.cpu_alloc.accesses > 0);
+        cpu.flush();
+        arena.reclaim();
+        kmem::verify::verify_empty(&arena);
+    }
+
+    #[test]
+    fn multi_worker_workload_is_clean() {
+        let arena = KmemArena::new(KmemConfig::small()).unwrap();
+        let dlm = Dlm::new(arena.clone(), 128);
+        let shared = SharedLocks::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let dlm = std::sync::Arc::clone(&dlm);
+                let arena = arena.clone();
+                let shared = &shared;
+                s.spawn(move || {
+                    let cpu = arena.register_cpu().unwrap();
+                    let cfg = WorkloadConfig {
+                        resources: 64,
+                        ops: 10_000,
+                        working_set: 32,
+                        burst: 12,
+                        seed: 7,
+                    };
+                    run_worker(&dlm, &cpu, shared, cfg, t);
+                });
+            }
+        });
+        let cpu = arena.register_cpu().unwrap();
+        shared.drain(&dlm, &cpu);
+        for n in 0..64 {
+            assert_eq!(dlm.lock_count(n), 0);
+        }
+        arena.reclaim();
+        kmem::verify::verify_arena(&arena);
+    }
+}

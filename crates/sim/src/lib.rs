@@ -1,0 +1,33 @@
+//! Discrete-event SMP simulation for the kmem reproduction.
+//!
+//! The paper measured its allocators on a 25-CPU Sequent Symmetry 2000 and
+//! a logic analyzer; this environment has neither. What the paper's
+//! Figures 7–9 actually demonstrate, though, is a property of the
+//! *algorithms*: per-CPU fast paths touch only CPU-private cache lines, so
+//! throughput scales with CPU count, while lock-based allocators serialize
+//! on the lock and ping-pong shared lines, so their throughput is capped
+//! regardless of CPU count. Those effects are reproducible from first
+//! principles:
+//!
+//! * [`coherence::Coherence`] prices every shared-memory access with a
+//!   MESI-style invalidation protocol (hit / memory miss / remote-cache
+//!   transfer / atomic RMW), using 80486-era relative costs.
+//! * [`des::Simulator`] runs the **real allocator implementations** on N
+//!   virtual CPUs from one host thread. Each operation executes for real
+//!   (the data structures really are shared), while its *timing* comes
+//!   from the probe events the slow paths emit (`kmem_smp::probe`) plus a
+//!   calibrated constant for the probe-free per-CPU fast path.
+//! * [`analysis`] reproduces the paper's Analysis section: the measured
+//!   allocb/freeb cost distribution under the old allocator, where a
+//!   handful of off-chip accesses dominate elapsed time.
+//!
+//! The simulator is deterministic: virtual CPUs are stepped in
+//! min-clock order with index tie-breaking, so identical inputs give
+//! identical curves.
+
+pub mod analysis;
+pub mod coherence;
+pub mod des;
+
+pub use coherence::{AccessKind, Coherence, CostModel};
+pub use des::{SimConfig, SimResult, Simulator};

@@ -1,0 +1,70 @@
+//! CPU identities.
+
+use core::fmt;
+
+/// Maximum number of virtual CPUs supported by the substrate.
+///
+/// The paper's measurements run on a 26-CPU Sequent Symmetry 2000; 64 leaves
+/// headroom for parameter sweeps while keeping per-CPU tables small.
+pub const MAX_CPUS: usize = 64;
+
+/// Identity of one virtual CPU.
+///
+/// A `CpuId` is only a name; exclusive ownership of the per-CPU state behind
+/// it is granted by [`crate::registry::CpuRegistry`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuId(u16);
+
+impl CpuId {
+    /// Creates a `CpuId` from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_CPUS`.
+    pub fn new(index: usize) -> Self {
+        assert!(index < MAX_CPUS, "cpu index {index} out of range");
+        CpuId(index as u16)
+    }
+
+    /// Returns the raw index of this CPU.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Debug for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in [0usize, 1, 7, MAX_CPUS - 1] {
+            assert_eq!(CpuId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = CpuId::new(MAX_CPUS);
+    }
+
+    #[test]
+    fn display_names_cpu() {
+        assert_eq!(CpuId::new(3).to_string(), "cpu3");
+        assert_eq!(format!("{:?}", CpuId::new(12)), "cpu12");
+    }
+}

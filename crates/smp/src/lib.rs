@@ -1,0 +1,40 @@
+//! SMP substrate for the kmem allocator reproduction.
+//!
+//! This crate models the pieces of a shared-memory multiprocessor that the
+//! allocator in McKenney & Slingwine (USENIX Winter 1993) assumes from the
+//! surrounding kernel:
+//!
+//! * CPU identities and a registry that grants each execution context
+//!   exclusive ownership of one virtual CPU ([`cpu::CpuId`],
+//!   [`registry::CpuRegistry`]).
+//! * Per-CPU storage with false-sharing avoidance ([`percpu::PerCpu`],
+//!   [`pad::CachePadded`]).
+//! * A simulated interrupt-disable primitive ([`irq::ExclusionFlag`]) that
+//!   asserts the non-reentrancy the paper's per-CPU caches rely on.
+//! * A test-and-test-and-set spinlock with exponential backoff and
+//!   contention statistics ([`spinlock::SpinLock`]) — used by the global and
+//!   coalescing layers of the new allocator and by the naive
+//!   parallelizations of the baseline allocators.
+//! * Relaxed-atomic event counters for layer hit/miss statistics
+//!   ([`counter::EventCounter`]).
+//! * A probe layer ([`probe`]) through which allocator slow paths report
+//!   lock and shared-cache-line events to the discrete-event SMP simulator
+//!   (`kmem-sim`), standing in for the logic analyzer and 25-CPU Symmetry
+//!   hardware used in the paper.
+
+pub mod counter;
+pub mod cpu;
+pub mod irq;
+pub mod pad;
+pub mod percpu;
+pub mod probe;
+pub mod registry;
+pub mod spinlock;
+
+pub use counter::EventCounter;
+pub use cpu::{CpuId, MAX_CPUS};
+pub use irq::ExclusionFlag;
+pub use pad::CachePadded;
+pub use percpu::PerCpu;
+pub use registry::{ClaimError, CpuClaim, CpuRegistry};
+pub use spinlock::{SpinLock, SpinLockGuard};

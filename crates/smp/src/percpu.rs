@@ -1,0 +1,80 @@
+//! Per-CPU slot arrays.
+
+use crate::cpu::CpuId;
+use crate::pad::CachePadded;
+
+/// An array of `T`, one cache-line-padded slot per virtual CPU.
+///
+/// This is the storage shape behind Figure 4 of the paper ("Each CPU has a
+/// pointer to an array of per-CPU caches"): indexing is by [`CpuId`], and
+/// padding guarantees that CPU *i* touching its slot never invalidates a
+/// line holding CPU *j*'s slot.
+///
+/// `PerCpu` hands out only shared references; interior mutability (and the
+/// proof that it is exclusive) is the responsibility of the element type —
+/// the allocator stores `UnsafeCell`s here and uses [`crate::CpuClaim`]
+/// ownership as the exclusion argument.
+pub struct PerCpu<T> {
+    slots: Box<[CachePadded<T>]>,
+}
+
+impl<T> PerCpu<T> {
+    /// Builds a per-CPU array with `ncpus` slots, initializing each with
+    /// `init(cpu)`.
+    pub fn new(ncpus: usize, mut init: impl FnMut(CpuId) -> T) -> Self {
+        let slots = (0..ncpus)
+            .map(|i| CachePadded::new(init(CpuId::new(i))))
+            .collect();
+        PerCpu { slots }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns whether the array is empty (it never is in practice).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns the slot for `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is outside the array.
+    #[inline]
+    pub fn get(&self, cpu: CpuId) -> &T {
+        &self.slots[cpu.index()]
+    }
+
+    /// Iterates over `(CpuId, &T)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CpuId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| (CpuId::new(i), &**slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_receives_cpu_ids() {
+        let p = PerCpu::new(4, |cpu| cpu.index() * 10);
+        assert_eq!(p.len(), 4);
+        assert_eq!(*p.get(CpuId::new(2)), 20);
+        let collected: Vec<_> = p.iter().map(|(c, v)| (c.index(), *v)).collect();
+        assert_eq!(collected, vec![(0, 0), (1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn slots_are_padded() {
+        let p = PerCpu::new(2, |_| 0u8);
+        let a = p.get(CpuId::new(0)) as *const u8 as usize;
+        let b = p.get(CpuId::new(1)) as *const u8 as usize;
+        assert!(b - a >= crate::pad::CACHE_LINE);
+    }
+}

@@ -1,0 +1,175 @@
+//! CPU ownership registry.
+//!
+//! The paper's fast path is safe *because* "CPUs are prohibited from
+//! accessing other CPUs' per-CPU caches". In the kernel that prohibition is
+//! structural (code runs *on* a CPU); in userspace we must grant it. A
+//! [`CpuRegistry`] hands out at most one live [`CpuClaim`] per virtual CPU,
+//! and the allocator only reaches per-CPU state through a claim. One OS
+//! thread may hold several claims (the discrete-event simulator drives all
+//! virtual CPUs from one thread), which is sound because a single thread
+//! provides the required mutual exclusion by itself.
+
+use core::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::cpu::CpuId;
+
+/// Error returned when a CPU claim cannot be granted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimError {
+    /// The requested CPU is already claimed by another context.
+    AlreadyClaimed(usize),
+    /// Every CPU in the registry is claimed.
+    Exhausted,
+}
+
+impl core::fmt::Display for ClaimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClaimError::AlreadyClaimed(i) => write!(f, "cpu{i} is already claimed"),
+            ClaimError::Exhausted => write!(f, "all CPUs are claimed"),
+        }
+    }
+}
+
+impl std::error::Error for ClaimError {}
+
+/// Tracks which virtual CPUs are currently owned by a claim.
+pub struct CpuRegistry {
+    claimed: Box<[AtomicBool]>,
+}
+
+impl CpuRegistry {
+    /// Creates a registry for `ncpus` virtual CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncpus` is zero or exceeds [`crate::MAX_CPUS`].
+    pub fn new(ncpus: usize) -> Arc<Self> {
+        assert!(ncpus > 0, "need at least one CPU");
+        assert!(ncpus <= crate::MAX_CPUS, "too many CPUs");
+        let claimed = (0..ncpus).map(|_| AtomicBool::new(false)).collect();
+        Arc::new(CpuRegistry { claimed })
+    }
+
+    /// Number of virtual CPUs in the registry.
+    pub fn ncpus(&self) -> usize {
+        self.claimed.len()
+    }
+
+    /// Claims a specific CPU.
+    pub fn claim(self: &Arc<Self>, cpu: CpuId) -> Result<CpuClaim, ClaimError> {
+        let idx = cpu.index();
+        assert!(idx < self.claimed.len(), "cpu index out of range");
+        if self.claimed[idx]
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Ok(CpuClaim {
+                registry: Arc::clone(self),
+                cpu,
+            })
+        } else {
+            Err(ClaimError::AlreadyClaimed(idx))
+        }
+    }
+
+    /// Claims the lowest-numbered free CPU.
+    pub fn claim_any(self: &Arc<Self>) -> Result<CpuClaim, ClaimError> {
+        for idx in 0..self.claimed.len() {
+            if let Ok(claim) = self.claim(CpuId::new(idx)) {
+                return Ok(claim);
+            }
+        }
+        Err(ClaimError::Exhausted)
+    }
+
+    /// Returns whether `cpu` is currently claimed.
+    pub fn is_claimed(&self, cpu: CpuId) -> bool {
+        self.claimed[cpu.index()].load(Ordering::Acquire)
+    }
+}
+
+/// Exclusive ownership of one virtual CPU; released on drop.
+///
+/// A claim is `Send` (ownership may migrate to another thread) but not
+/// `Sync`: two threads may never operate as the same CPU concurrently.
+pub struct CpuClaim {
+    registry: Arc<CpuRegistry>,
+    cpu: CpuId,
+}
+
+// A `CpuClaim` contains no interior mutability reachable through `&self`,
+// but we still suppress `Sync` so shared references cannot be used to smuggle
+// the same CPU identity onto two threads at once via future API additions.
+impl CpuClaim {
+    /// The CPU this claim owns.
+    #[inline]
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+}
+
+impl Drop for CpuClaim {
+    fn drop(&mut self) {
+        self.registry.claimed[self.cpu.index()].store(false, Ordering::Release);
+    }
+}
+
+impl core::fmt::Debug for CpuClaim {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "CpuClaim({})", self.cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_release_cycle() {
+        let r = CpuRegistry::new(2);
+        let c0 = r.claim(CpuId::new(0)).unwrap();
+        assert!(r.is_claimed(CpuId::new(0)));
+        assert_eq!(
+            r.claim(CpuId::new(0)).unwrap_err(),
+            ClaimError::AlreadyClaimed(0)
+        );
+        drop(c0);
+        assert!(!r.is_claimed(CpuId::new(0)));
+        let _c0 = r.claim(CpuId::new(0)).unwrap();
+    }
+
+    #[test]
+    fn claim_any_fills_in_order_and_exhausts() {
+        let r = CpuRegistry::new(3);
+        let a = r.claim_any().unwrap();
+        let b = r.claim_any().unwrap();
+        let c = r.claim_any().unwrap();
+        assert_eq!(a.cpu().index(), 0);
+        assert_eq!(b.cpu().index(), 1);
+        assert_eq!(c.cpu().index(), 2);
+        assert_eq!(r.claim_any().unwrap_err(), ClaimError::Exhausted);
+        drop(b);
+        assert_eq!(r.claim_any().unwrap().cpu().index(), 1);
+    }
+
+    #[test]
+    fn concurrent_claims_are_exclusive() {
+        let r = CpuRegistry::new(1);
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    if let Ok(claim) = r.claim(CpuId::new(0)) {
+                        winners.fetch_add(1, Ordering::Relaxed);
+                        // Hold briefly so the others observe the claim.
+                        std::thread::yield_now();
+                        drop(claim);
+                    }
+                });
+            }
+        });
+        assert!(winners.load(Ordering::Relaxed) >= 1);
+    }
+}

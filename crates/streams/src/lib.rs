@@ -1,0 +1,677 @@
+//! STREAMS buffer allocation (`allocb`/`freeb`) on top of `kmem`.
+//!
+//! The paper's investigation *started* with STREAMS: `allocb` "returns a
+//! pointer to a message, which consists of a message block, data block, and
+//! STREAMS buffer", and its measured cost was dominated by cache misses in
+//! the old global allocator. The paper also uses STREAMS as the example of
+//! special-purpose allocators reusing the general-purpose one "at the
+//! binary level, so that a proliferation of special-purpose allocators can
+//! be accommodated without undue kernel bloat".
+//!
+//! This crate is that special-purpose allocator: the classic `msgb` /
+//! `datab` / buffer triplet (Ritchie's stream I/O system), where every
+//! piece — message block, data block, and the data buffer itself — comes
+//! from a [`kmem::KmemArena`] through the cookie interface. Reference
+//! counting on data blocks supports `dupb` (e.g. retaining data for
+//! retransmission), and `freemsg` walks `b_cont` chains of segmented
+//! messages.
+//!
+//! All block handles are raw, kernel-style: the caller frees exactly once
+//! via this module, with the usual `unsafe` contracts.
+
+use core::ptr::{self, NonNull};
+use core::sync::atomic::{AtomicU32, Ordering};
+
+use kmem::{Cookie, CpuHandle, KmemArena};
+
+/// A STREAMS data block descriptor (`struct datab`).
+#[repr(C)]
+pub struct Datab {
+    /// Base of the data buffer.
+    pub db_base: *mut u8,
+    /// One past the end of the data buffer.
+    pub db_lim: *mut u8,
+    /// Reference count: number of message blocks pointing here.
+    db_ref: AtomicU32,
+    /// Cookie that frees the buffer.
+    buf_cookie: Cookie,
+}
+
+/// A STREAMS message block descriptor (`struct msgb`).
+#[repr(C)]
+pub struct Msgb {
+    /// Next message on a queue (unused by the allocator itself).
+    pub b_next: *mut Msgb,
+    /// Next block of the same (segmented) message.
+    pub b_cont: *mut Msgb,
+    /// First unread byte.
+    pub b_rptr: *mut u8,
+    /// First unwritten byte.
+    pub b_wptr: *mut u8,
+    /// The shared data block.
+    pub b_datap: *mut Datab,
+}
+
+/// A raw handle to an allocated message block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MsgPtr(pub NonNull<Msgb>);
+
+// SAFETY: a `MsgPtr` is an owned capability to a message block; the STREAMS
+// discipline (one owner frees once) is carried by the unsafe contracts.
+unsafe impl Send for MsgPtr {}
+
+impl MsgPtr {
+    /// The message block.
+    ///
+    /// # Safety
+    ///
+    /// The handle must still be allocated (not passed to `freeb`), and the
+    /// caller must respect the usual aliasing rules on the block.
+    #[expect(clippy::mut_from_ref)]
+    pub unsafe fn msgb(&self) -> &mut Msgb {
+        // SAFETY: per contract.
+        unsafe { &mut *self.0.as_ptr() }
+    }
+}
+
+/// A deferred allocation request registered with [`StreamsAlloc::bufcall`].
+type BufCallback = Box<dyn FnOnce(&StreamsAlloc, &CpuHandle) + Send>;
+
+/// The STREAMS buffer allocator: cookies resolved once, then every
+/// `allocb` is three cookie allocations.
+pub struct StreamsAlloc {
+    arena: KmemArena,
+    msgb_cookie: Cookie,
+    datab_cookie: Cookie,
+    /// Pending `bufcall` continuations, run when memory may be available
+    /// again.
+    bufcalls: kmem_smp::SpinLock<Vec<(usize, BufCallback)>>,
+}
+
+impl StreamsAlloc {
+    /// Largest supported buffer (one page, as in the measured system).
+    pub fn max_buffer(&self) -> usize {
+        4096
+    }
+
+    /// Builds the allocator over `arena`.
+    pub fn new(arena: KmemArena) -> Self {
+        let msgb_cookie = arena
+            .cookie_for(core::mem::size_of::<Msgb>())
+            .expect("msgb fits a class");
+        let datab_cookie = arena
+            .cookie_for(core::mem::size_of::<Datab>())
+            .expect("datab fits a class");
+        StreamsAlloc {
+            arena,
+            msgb_cookie,
+            datab_cookie,
+            bufcalls: kmem_smp::SpinLock::new(Vec::new()),
+        }
+    }
+
+    /// The underlying arena.
+    pub fn arena(&self) -> &KmemArena {
+        &self.arena
+    }
+
+    /// `allocb(size)`: allocates a message block, data block, and a buffer
+    /// of at least `size` bytes, linked together. Returns `None` when
+    /// memory is exhausted (the caller would use `bufcall` in a kernel).
+    pub fn allocb(&self, cpu: &CpuHandle, size: usize) -> Option<MsgPtr> {
+        let size = size.max(1);
+        let buf_cookie = self.arena.cookie_for(size)?;
+        let buf = cpu.alloc_cookie(buf_cookie).ok()?;
+        let datap = match cpu.alloc_cookie(self.datab_cookie) {
+            Ok(p) => p.cast::<Datab>(),
+            Err(_) => {
+                // SAFETY: `buf` was just allocated with `buf_cookie`.
+                unsafe { cpu.free_cookie(buf, buf_cookie) };
+                return None;
+            }
+        };
+        let mp = match cpu.alloc_cookie(self.msgb_cookie) {
+            Ok(p) => p.cast::<Msgb>(),
+            Err(_) => {
+                // SAFETY: both were just allocated with their cookies.
+                unsafe {
+                    cpu.free_cookie(datap.cast(), self.datab_cookie);
+                    cpu.free_cookie(buf, buf_cookie);
+                }
+                return None;
+            }
+        };
+        // SAFETY: fresh, exclusively owned allocations of the right sizes.
+        unsafe {
+            datap.as_ptr().write(Datab {
+                db_base: buf.as_ptr(),
+                db_lim: buf.as_ptr().add(buf_cookie.block_size()),
+                db_ref: AtomicU32::new(1),
+                buf_cookie,
+            });
+            mp.as_ptr().write(Msgb {
+                b_next: ptr::null_mut(),
+                b_cont: ptr::null_mut(),
+                b_rptr: buf.as_ptr(),
+                b_wptr: buf.as_ptr(),
+                b_datap: datap.as_ptr(),
+            });
+        }
+        Some(MsgPtr(mp))
+    }
+
+    /// `bufcall(size, f)`: registers `f` to run when an `allocb(size)`
+    /// that failed may succeed again — the classic STREAMS answer to
+    /// transient buffer exhaustion. Continuations run inside
+    /// [`StreamsAlloc::run_bufcalls`], which a driver calls from its
+    /// service routine (here: whenever the caller has freed memory).
+    pub fn bufcall(&self, size: usize, f: impl FnOnce(&StreamsAlloc, &CpuHandle) + Send + 'static) {
+        self.bufcalls.lock().push((size, Box::new(f)));
+    }
+
+    /// Number of pending bufcall continuations.
+    pub fn pending_bufcalls(&self) -> usize {
+        self.bufcalls.lock().len()
+    }
+
+    /// Runs every pending continuation whose size can now be allocated
+    /// (probed with a real allocation that is immediately freed). Returns
+    /// how many ran.
+    pub fn run_bufcalls(&self, cpu: &CpuHandle) -> usize {
+        let pending = core::mem::take(&mut *self.bufcalls.lock());
+        let mut ran = 0;
+        for (size, f) in pending {
+            // Probe: can an allocb of this size succeed right now?
+            match self.allocb(cpu, size) {
+                Some(probe) => {
+                    // SAFETY: probe was just allocated and never shared.
+                    unsafe { self.freeb(cpu, probe) };
+                    f(self, cpu);
+                    ran += 1;
+                }
+                None => self.bufcalls.lock().push((size, f)),
+            }
+        }
+        ran
+    }
+
+    /// `dupb(mp)`: a second message block sharing `mp`'s data block (e.g.
+    /// to retain data for possible later retransmission).
+    ///
+    /// # Safety
+    ///
+    /// `mp` must be live (allocated by this allocator, not yet freed).
+    pub unsafe fn dupb(&self, cpu: &CpuHandle, mp: MsgPtr) -> Option<MsgPtr> {
+        let new = cpu.alloc_cookie(self.msgb_cookie).ok()?.cast::<Msgb>();
+        // SAFETY: `mp` is live per contract.
+        let src = unsafe { &*mp.0.as_ptr() };
+        // SAFETY: `b_datap` of a live message is a live data block.
+        unsafe { &*src.b_datap }.db_ref.fetch_add(1, Ordering::AcqRel);
+        // SAFETY: fresh allocation of msgb size.
+        unsafe {
+            new.as_ptr().write(Msgb {
+                b_next: ptr::null_mut(),
+                b_cont: ptr::null_mut(),
+                b_rptr: src.b_rptr,
+                b_wptr: src.b_wptr,
+                b_datap: src.b_datap,
+            });
+        }
+        Some(MsgPtr(new))
+    }
+
+    /// `freeb(mp)`: frees one message block; the data block and buffer go
+    /// when the last reference drops.
+    ///
+    /// # Safety
+    ///
+    /// `mp` must be live and is consumed by this call. Any `b_cont` chain
+    /// is *not* freed (use [`StreamsAlloc::freemsg`]).
+    pub unsafe fn freeb(&self, cpu: &CpuHandle, mp: MsgPtr) {
+        // SAFETY: `mp` is live per contract.
+        let datap = unsafe { (*mp.0.as_ptr()).b_datap };
+        // SAFETY: live message ⇒ live data block.
+        let last = unsafe { &*datap }.db_ref.fetch_sub(1, Ordering::AcqRel) == 1;
+        if last {
+            // SAFETY: we hold the final reference; base/cookie were set at
+            // allocation.
+            unsafe {
+                let db = &*datap;
+                let base = db.db_base;
+                let cookie = db.buf_cookie;
+                cpu.free_cookie(NonNull::new_unchecked(base), cookie);
+                cpu.free_cookie(NonNull::new_unchecked(datap.cast()), self.datab_cookie);
+            }
+        }
+        // SAFETY: consuming the caller's ownership of the msgb.
+        unsafe { cpu.free_cookie(mp.0.cast(), self.msgb_cookie) };
+    }
+
+    /// `freemsg(mp)`: frees a whole `b_cont` chain.
+    ///
+    /// # Safety
+    ///
+    /// As for [`StreamsAlloc::freeb`], applied to every block on the
+    /// chain.
+    pub unsafe fn freemsg(&self, cpu: &CpuHandle, mp: MsgPtr) {
+        let mut cur = mp.0.as_ptr();
+        while !cur.is_null() {
+            // SAFETY: chain blocks are live per contract.
+            let next = unsafe { (*cur).b_cont };
+            // SAFETY: as above; NonNull because it came from a MsgPtr or a
+            // non-null b_cont.
+            unsafe { self.freeb(cpu, MsgPtr(NonNull::new_unchecked(cur))) };
+            cur = next;
+        }
+    }
+
+    /// Appends `cont` to `mp`'s continuation chain (`linkb`).
+    ///
+    /// # Safety
+    ///
+    /// Both must be live; `cont` must not already be on a chain.
+    pub unsafe fn linkb(&self, mp: MsgPtr, cont: MsgPtr) {
+        // SAFETY: live per contract.
+        let mut cur = mp.0.as_ptr();
+        unsafe {
+            while !(*cur).b_cont.is_null() {
+                cur = (*cur).b_cont;
+            }
+            (*cur).b_cont = cont.0.as_ptr();
+        }
+    }
+
+    /// Copies `data` into the message's buffer at `b_wptr`, advancing it.
+    /// Returns `false` (writing nothing) if the buffer lacks room.
+    ///
+    /// # Safety
+    ///
+    /// `mp` must be live, and no other reference may concurrently use its
+    /// buffer region.
+    pub unsafe fn put(&self, mp: MsgPtr, data: &[u8]) -> bool {
+        // SAFETY: live per contract.
+        let m = unsafe { &mut *mp.0.as_ptr() };
+        // SAFETY: wptr/lim point into the same buffer.
+        let room = unsafe { (*m.b_datap).db_lim.offset_from(m.b_wptr) } as usize;
+        if data.len() > room {
+            return false;
+        }
+        // SAFETY: room was checked; regions cannot overlap (freshly
+        // allocated kernel buffer vs caller slice).
+        unsafe {
+            ptr::copy_nonoverlapping(data.as_ptr(), m.b_wptr, data.len());
+            m.b_wptr = m.b_wptr.add(data.len());
+        }
+        true
+    }
+
+    /// `copyb(mp)`: a deep copy of one message block — new buffer, new
+    /// data block, data bytes duplicated (unlike [`StreamsAlloc::dupb`],
+    /// which shares the buffer).
+    ///
+    /// # Safety
+    ///
+    /// `mp` must be live.
+    pub unsafe fn copyb(&self, cpu: &CpuHandle, mp: MsgPtr) -> Option<MsgPtr> {
+        // SAFETY: `mp` is live per contract.
+        let src = unsafe { &*mp.0.as_ptr() };
+        // SAFETY: live message ⇒ live data block with a valid buffer.
+        let cap = unsafe {
+            (*src.b_datap).db_lim.offset_from((*src.b_datap).db_base)
+        } as usize;
+        let new = self.allocb(cpu, cap)?;
+        // SAFETY: both buffers are live and disjoint; rptr/wptr lie
+        // within the source buffer.
+        unsafe {
+            let n = src.b_wptr.offset_from(src.b_rptr) as usize;
+            let m = &mut *new.0.as_ptr();
+            ptr::copy_nonoverlapping(src.b_rptr, m.b_rptr, n);
+            m.b_wptr = m.b_rptr.add(n);
+        }
+        Some(new)
+    }
+
+    /// `copymsg(mp)`: deep-copies a whole `b_cont` chain. On allocation
+    /// failure the partial copy is freed and `None` is returned.
+    ///
+    /// # Safety
+    ///
+    /// `mp` must be live (whole chain).
+    pub unsafe fn copymsg(&self, cpu: &CpuHandle, mp: MsgPtr) -> Option<MsgPtr> {
+        // SAFETY: forwarded contract; head is live.
+        let head = unsafe { self.copyb(cpu, mp)? };
+        let mut src_cur = unsafe { (*mp.0.as_ptr()).b_cont };
+        let mut dst_tail = head.0.as_ptr();
+        while !src_cur.is_null() {
+            // SAFETY: chain members are live per contract.
+            let seg = unsafe {
+                self.copyb(cpu, MsgPtr(NonNull::new_unchecked(src_cur)))
+            };
+            let Some(seg) = seg else {
+                // SAFETY: the partial chain is ours; free it all.
+                unsafe { self.freemsg(cpu, head) };
+                return None;
+            };
+            // SAFETY: `dst_tail` is the live end of our new chain.
+            unsafe {
+                (*dst_tail).b_cont = seg.0.as_ptr();
+                dst_tail = seg.0.as_ptr();
+                src_cur = (*src_cur).b_cont;
+            }
+        }
+        Some(head)
+    }
+
+    /// `adjmsg(mp, len)`: trims `len` bytes — from the head of the chain
+    /// when positive, from the tail when negative. Returns `false`
+    /// (trimming nothing) if the chain holds fewer data bytes than
+    /// requested.
+    ///
+    /// # Safety
+    ///
+    /// `mp` must be live (whole chain).
+    pub unsafe fn adjmsg(&self, mp: MsgPtr, len: isize) -> bool {
+        // SAFETY: forwarded contract.
+        let total = unsafe { self.msgdsize(mp) };
+        let trim = len.unsigned_abs();
+        if trim > total {
+            return false;
+        }
+        if len >= 0 {
+            let mut remaining = trim;
+            let mut cur = mp.0.as_ptr();
+            while remaining > 0 {
+                // SAFETY: chain members are live; msgdsize bounded `trim`.
+                unsafe {
+                    let avail = (*cur).b_wptr.offset_from((*cur).b_rptr) as usize;
+                    let here = avail.min(remaining);
+                    (*cur).b_rptr = (*cur).b_rptr.add(here);
+                    remaining -= here;
+                    cur = (*cur).b_cont;
+                }
+            }
+        } else {
+            // Trim from the tail: walk from the front each time (chains
+            // are short; this is what the reference implementation does).
+            let mut remaining = trim;
+            while remaining > 0 {
+                // Find the last block with data.
+                let mut cur = mp.0.as_ptr();
+                let mut last = ptr::null_mut();
+                while !cur.is_null() {
+                    // SAFETY: chain members are live.
+                    unsafe {
+                        if (*cur).b_wptr > (*cur).b_rptr {
+                            last = cur;
+                        }
+                        cur = (*cur).b_cont;
+                    }
+                }
+                debug_assert!(!last.is_null());
+                // SAFETY: `last` holds at least one byte.
+                unsafe {
+                    let avail = (*last).b_wptr.offset_from((*last).b_rptr) as usize;
+                    let here = avail.min(remaining);
+                    (*last).b_wptr = (*last).b_wptr.sub(here);
+                    remaining -= here;
+                }
+            }
+        }
+        true
+    }
+
+    /// `msgdsize(mp)`: total unread data bytes across the chain.
+    ///
+    /// # Safety
+    ///
+    /// `mp` must be live.
+    pub unsafe fn msgdsize(&self, mp: MsgPtr) -> usize {
+        let mut total = 0usize;
+        let mut cur = mp.0.as_ptr();
+        while !cur.is_null() {
+            // SAFETY: chain blocks are live per contract.
+            unsafe {
+                total += (*cur).b_wptr.offset_from((*cur).b_rptr) as usize;
+                cur = (*cur).b_cont;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmem::KmemConfig;
+
+    fn setup() -> (StreamsAlloc, CpuHandle) {
+        let arena = KmemArena::new(KmemConfig::small()).unwrap();
+        let cpu = arena.register_cpu().unwrap();
+        (StreamsAlloc::new(arena), cpu)
+    }
+
+    #[test]
+    fn allocb_wires_the_triplet() {
+        let (sa, cpu) = setup();
+        let mp = sa.allocb(&cpu, 100).unwrap();
+        // SAFETY: just allocated.
+        unsafe {
+            let m = mp.msgb();
+            assert_eq!(m.b_rptr, m.b_wptr);
+            let db = &*m.b_datap;
+            assert_eq!(db.db_base, m.b_rptr);
+            // 100 bytes lands in the 128-byte class.
+            assert_eq!(db.db_lim.offset_from(db.db_base), 128);
+            sa.freeb(&cpu, mp);
+        }
+        cpu.flush();
+        sa.arena().reclaim();
+        kmem::verify::verify_empty(sa.arena());
+    }
+
+    #[test]
+    fn put_and_msgdsize_track_data() {
+        let (sa, cpu) = setup();
+        let mp = sa.allocb(&cpu, 64).unwrap();
+        // SAFETY: just allocated; exclusive.
+        unsafe {
+            assert!(sa.put(mp, b"hello "));
+            assert!(sa.put(mp, b"world"));
+            assert_eq!(sa.msgdsize(mp), 11);
+            // Reading back what was written.
+            let m = mp.msgb();
+            let got = core::slice::from_raw_parts(m.b_rptr, 11);
+            assert_eq!(got, b"hello world");
+            // Overfill is refused.
+            assert!(!sa.put(mp, &[0u8; 64]));
+            assert_eq!(sa.msgdsize(mp), 11);
+            sa.freeb(&cpu, mp);
+        }
+    }
+
+    #[test]
+    fn dupb_shares_until_last_freeb() {
+        let (sa, cpu) = setup();
+        let mp = sa.allocb(&cpu, 50).unwrap();
+        // SAFETY: mp live; dup lives until freed below.
+        unsafe {
+            assert!(sa.put(mp, b"retain me"));
+            let dup = sa.dupb(&cpu, mp).unwrap();
+            assert_eq!(sa.msgdsize(dup), 9);
+            // Free the original: the data must survive via dup.
+            sa.freeb(&cpu, mp);
+            let m = dup.msgb();
+            let got = core::slice::from_raw_parts(m.b_rptr, 9);
+            assert_eq!(got, b"retain me");
+            sa.freeb(&cpu, dup);
+        }
+        cpu.flush();
+        sa.arena().reclaim();
+        kmem::verify::verify_empty(sa.arena());
+    }
+
+    #[test]
+    fn freemsg_walks_segmented_messages() {
+        let (sa, cpu) = setup();
+        let head = sa.allocb(&cpu, 32).unwrap();
+        // SAFETY: all blocks live; linkb invariants respected.
+        unsafe {
+            for i in 0..5 {
+                let seg = sa.allocb(&cpu, 32).unwrap();
+                assert!(sa.put(seg, &[i as u8; 10]));
+                sa.linkb(head, seg);
+            }
+            assert_eq!(sa.msgdsize(head), 50);
+            sa.freemsg(&cpu, head);
+        }
+        cpu.flush();
+        sa.arena().reclaim();
+        kmem::verify::verify_empty(sa.arena());
+    }
+
+    #[test]
+    fn exhaustion_yields_none_and_cleans_up() {
+        let arena = KmemArena::new(KmemConfig::new(
+            1,
+            kmem_vm_space_small(),
+        ))
+        .unwrap();
+        let cpu = arena.register_cpu().unwrap();
+        let sa = StreamsAlloc::new(arena);
+        let mut held = Vec::new();
+        // 4 KB buffers exhaust the tiny pool quickly.
+        while let Some(mp) = sa.allocb(&cpu, 4096) {
+            held.push(mp);
+            assert!(held.len() < 10_000, "pool never exhausted");
+        }
+        // Failure left nothing half-allocated: free everything and the
+        // arena drains to zero.
+        for mp in held {
+            // SAFETY: allocated above, freed once.
+            unsafe { sa.freeb(&cpu, mp) };
+        }
+        cpu.flush();
+        sa.arena().reclaim();
+        kmem::verify::verify_empty(sa.arena());
+    }
+
+    /// A tiny space for the exhaustion test.
+    fn kmem_vm_space_small() -> kmem_vm::SpaceConfig {
+        kmem_vm::SpaceConfig::new(1 << 20)
+            .vmblk_shift(16)
+            .phys_pages(12)
+    }
+
+    #[test]
+    fn oversized_buffers_are_refused() {
+        let (sa, cpu) = setup();
+        assert!(sa.allocb(&cpu, sa.max_buffer() + 1).is_none());
+    }
+
+    #[test]
+    fn bufcall_defers_until_memory_returns() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let arena = KmemArena::new(KmemConfig::new(1, kmem_vm_space_small())).unwrap();
+        let cpu = arena.register_cpu().unwrap();
+        let sa = StreamsAlloc::new(arena);
+        // Exhaust the pool with large buffers.
+        let mut held = Vec::new();
+        while let Some(m) = sa.allocb(&cpu, 4096) {
+            held.push(m);
+        }
+        // The failed caller registers a continuation instead of spinning.
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&fired);
+        sa.bufcall(4096, move |sa, cpu| {
+            let m = sa.allocb(cpu, 4096).expect("memory was probed available");
+            // SAFETY: just allocated, freed once.
+            unsafe { sa.freeb(cpu, m) };
+            f2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(sa.pending_bufcalls(), 1);
+        // Still exhausted: the continuation stays queued.
+        assert_eq!(sa.run_bufcalls(&cpu), 0);
+        assert_eq!(fired.load(Ordering::Relaxed), 0);
+        // Free a message; the driver's service routine runs bufcalls.
+        // SAFETY: allocated above, freed once.
+        unsafe { sa.freeb(&cpu, held.pop().unwrap()) };
+        assert_eq!(sa.run_bufcalls(&cpu), 1);
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        assert_eq!(sa.pending_bufcalls(), 0);
+        for m in held {
+            // SAFETY: allocated above, freed once.
+            unsafe { sa.freeb(&cpu, m) };
+        }
+    }
+
+    #[test]
+    fn copyb_duplicates_data_independently() {
+        let (sa, cpu) = setup();
+        let orig = sa.allocb(&cpu, 32).unwrap();
+        // SAFETY: all handles live; each freed exactly once.
+        unsafe {
+            assert!(sa.put(orig, b"original"));
+            let copy = sa.copyb(&cpu, orig).unwrap();
+            assert_eq!(sa.msgdsize(copy), 8);
+            // Mutating the original must not affect the copy.
+            *orig.msgb().b_rptr = b'X';
+            let c = copy.msgb();
+            let got = core::slice::from_raw_parts(c.b_rptr, 8);
+            assert_eq!(got, b"original");
+            sa.freeb(&cpu, orig);
+            sa.freeb(&cpu, copy);
+        }
+        cpu.flush();
+        sa.arena().reclaim();
+        kmem::verify::verify_empty(sa.arena());
+    }
+
+    #[test]
+    fn copymsg_copies_whole_chains() {
+        let (sa, cpu) = setup();
+        let head = sa.allocb(&cpu, 16).unwrap();
+        // SAFETY: all handles live; each freed exactly once.
+        unsafe {
+            sa.put(head, b"h");
+            for i in 0..3u8 {
+                let seg = sa.allocb(&cpu, 16).unwrap();
+                sa.put(seg, &[i; 5]);
+                sa.linkb(head, seg);
+            }
+            let copy = sa.copymsg(&cpu, head).unwrap();
+            assert_eq!(sa.msgdsize(copy), sa.msgdsize(head));
+            sa.freemsg(&cpu, head);
+            assert_eq!(sa.msgdsize(copy), 16);
+            sa.freemsg(&cpu, copy);
+        }
+        cpu.flush();
+        sa.arena().reclaim();
+        kmem::verify::verify_empty(sa.arena());
+    }
+
+    #[test]
+    fn adjmsg_trims_head_and_tail_across_segments() {
+        let (sa, cpu) = setup();
+        let head = sa.allocb(&cpu, 16).unwrap();
+        // SAFETY: all handles live; freed exactly once at the end.
+        unsafe {
+            sa.put(head, b"aaaa"); // 4
+            let seg = sa.allocb(&cpu, 16).unwrap();
+            sa.put(seg, b"bbbbbb"); // 6
+            sa.linkb(head, seg);
+            assert_eq!(sa.msgdsize(head), 10);
+            // Trim 5 from the front: eats all of block 1 and one byte of
+            // block 2.
+            assert!(sa.adjmsg(head, 5));
+            assert_eq!(sa.msgdsize(head), 5);
+            // Trim 3 from the tail.
+            assert!(sa.adjmsg(head, -3));
+            assert_eq!(sa.msgdsize(head), 2);
+            // Over-trim refused, nothing changed.
+            assert!(!sa.adjmsg(head, 3));
+            assert_eq!(sa.msgdsize(head), 2);
+            sa.freemsg(&cpu, head);
+        }
+    }
+}

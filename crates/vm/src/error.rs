@@ -1,0 +1,50 @@
+//! VM substrate errors.
+
+use core::fmt;
+
+/// Errors reported by the virtual-memory substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// The kernel virtual address space has no free vmblk left.
+    OutOfVirtual,
+    /// The physical page pool cannot supply the requested frames.
+    OutOfPhysical {
+        /// Frames requested.
+        requested: usize,
+        /// Frames currently available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfVirtual => write!(f, "kernel virtual address space exhausted"),
+            VmError::OutOfPhysical {
+                requested,
+                available,
+            } => write!(
+                f,
+                "physical page pool exhausted ({requested} requested, {available} available)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(VmError::OutOfVirtual.to_string().contains("virtual"));
+        let e = VmError::OutOfPhysical {
+            requested: 4,
+            available: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains('4') && s.contains('1'));
+    }
+}

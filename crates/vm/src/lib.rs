@@ -1,0 +1,33 @@
+//! Virtual-memory substrate for the kmem allocator reproduction.
+//!
+//! The paper's allocator sits on top of the DYNIX/ptx virtual-memory
+//! system: it carves 4 MB *vmblks* out of the kernel virtual address space,
+//! maps physical pages into them on demand, returns physical pages to the
+//! system when the coalesce-to-page layer drains a page, and locates page
+//! descriptors from block addresses through a *dope vector* indexed by the
+//! upper address bits (Figure 6).
+//!
+//! This crate is the stand-in for that VM system:
+//!
+//! * [`space::KernelSpace`] reserves one contiguous, lazily committed span
+//!   of host memory as the "kernel virtual address space" and carves
+//!   vmblk-sized regions from it, so dope-vector indexing by
+//!   `(addr - base) >> vmblk_shift` works exactly as in the paper.
+//! * [`phys::PhysPool`] is an explicitly accounted pool of physical page
+//!   frames. Mapping a page claims a frame; unmapping credits it back.
+//!   The accounting is what makes the paper's observable behaviours —
+//!   "allocate until memory is exhausted" (worst-case benchmark) and "the
+//!   physical memory is returned to the system" — real and testable in
+//!   userspace, where the host kernel owns the actual page tables.
+//! * the dope vector inside [`space::KernelSpace`] maps any managed
+//!   address back to its vmblk.
+
+pub mod error;
+pub mod page;
+pub mod phys;
+pub mod space;
+
+pub use error::VmError;
+pub use page::{PAGE_SHIFT, PAGE_SIZE};
+pub use phys::PhysPool;
+pub use space::{KernelSpace, SpaceConfig, VmblkRegion};

@@ -1,0 +1,47 @@
+//! Page-size constants and address helpers.
+
+/// Log2 of the page size.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Size of one page in bytes (4 KB, as on the paper's 80486 systems).
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Rounds `bytes` up to a whole number of pages.
+#[inline]
+pub const fn pages_for(bytes: usize) -> usize {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+/// Rounds `addr` down to its page base.
+#[inline]
+pub const fn page_base(addr: usize) -> usize {
+    addr & !(PAGE_SIZE - 1)
+}
+
+/// Returns whether `addr` is page-aligned.
+#[inline]
+pub const fn page_aligned(addr: usize) -> bool {
+    addr & (PAGE_SIZE - 1) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(PAGE_SIZE), 1);
+        assert_eq!(pages_for(PAGE_SIZE + 1), 2);
+        assert_eq!(pages_for(10 * PAGE_SIZE), 10);
+    }
+
+    #[test]
+    fn page_base_masks_offset() {
+        assert_eq!(page_base(0x12345), 0x12000);
+        assert_eq!(page_base(0x12000), 0x12000);
+        assert!(page_aligned(0x12000));
+        assert!(!page_aligned(0x12001));
+    }
+}

@@ -1,0 +1,183 @@
+//! Accounted physical page pool.
+//!
+//! On the paper's hardware, "returning the physical memory to the system"
+//! unmaps frames so that user processes can have them. In this userspace
+//! reproduction the host kernel owns the real frames, so the pool tracks
+//! them by *accounting*: the allocator must claim a frame before treating a
+//! virtual page as mapped and credits it back when the coalesce-to-page
+//! layer drains a page. A bounded pool is what makes the worst-case
+//! benchmark ("allocate blocks of a given size until memory is exhausted")
+//! meaningful, and the `in_use == 0` check after a full drain is the
+//! observable form of the paper's claim that every fully freed page leaves
+//! the allocator.
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::VmError;
+
+/// A bounded pool of physical page frames.
+pub struct PhysPool {
+    capacity: usize,
+    in_use: AtomicUsize,
+    /// High-water mark of frames simultaneously in use.
+    peak: AtomicUsize,
+    /// Total map operations, for stats.
+    maps: AtomicUsize,
+    /// Total unmap operations, for stats.
+    unmaps: AtomicUsize,
+}
+
+impl PhysPool {
+    /// Creates a pool of `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        PhysPool {
+            capacity,
+            in_use: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            maps: AtomicUsize::new(0),
+            unmaps: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total frames in the pool.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Frames currently claimed.
+    pub fn in_use(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Frames currently available.
+    pub fn available(&self) -> usize {
+        self.capacity - self.in_use()
+    }
+
+    /// High-water mark of simultaneously claimed frames.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Total successful [`PhysPool::claim`] page-count.
+    pub fn total_mapped(&self) -> usize {
+        self.maps.load(Ordering::Relaxed)
+    }
+
+    /// Total [`PhysPool::release`] page-count.
+    pub fn total_unmapped(&self) -> usize {
+        self.unmaps.load(Ordering::Relaxed)
+    }
+
+    /// Claims `n` frames, failing (with no partial claim) if fewer are free.
+    pub fn claim(&self, n: usize) -> Result<(), VmError> {
+        let mut cur = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let new = cur + n;
+            if new > self.capacity {
+                return Err(VmError::OutOfPhysical {
+                    requested: n,
+                    available: self.capacity - cur,
+                });
+            }
+            match self.in_use.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.maps.fetch_add(n, Ordering::Relaxed);
+                    self.peak.fetch_max(new, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Releases `n` previously claimed frames back to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more frames are released than were claimed — that is a
+    /// double-unmap bug in the caller.
+    pub fn release(&self, n: usize) {
+        self.unmaps.fetch_add(n, Ordering::Relaxed);
+        let prev = self.in_use.fetch_sub(n, Ordering::AcqRel);
+        assert!(prev >= n, "physical page pool: released more than claimed");
+    }
+}
+
+impl core::fmt::Debug for PhysPool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PhysPool")
+            .field("capacity", &self.capacity)
+            .field("in_use", &self.in_use())
+            .field("peak", &self.peak())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_and_release_account_exactly() {
+        let p = PhysPool::new(10);
+        p.claim(4).unwrap();
+        assert_eq!(p.in_use(), 4);
+        assert_eq!(p.available(), 6);
+        p.claim(6).unwrap();
+        assert_eq!(p.available(), 0);
+        p.release(10);
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.peak(), 10);
+        assert_eq!(p.total_mapped(), 10);
+        assert_eq!(p.total_unmapped(), 10);
+    }
+
+    #[test]
+    fn exhaustion_reports_availability_and_leaves_state_intact() {
+        let p = PhysPool::new(5);
+        p.claim(3).unwrap();
+        let err = p.claim(4).unwrap_err();
+        assert_eq!(
+            err,
+            VmError::OutOfPhysical {
+                requested: 4,
+                available: 2
+            }
+        );
+        // The failed claim must not consume frames.
+        assert_eq!(p.in_use(), 3);
+        p.claim(2).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "released more than claimed")]
+    fn over_release_is_caught() {
+        let p = PhysPool::new(2);
+        p.claim(1).unwrap();
+        p.release(2);
+    }
+
+    #[test]
+    fn concurrent_claims_never_oversubscribe() {
+        let p = PhysPool::new(100);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        if p.claim(3).is_ok() {
+                            assert!(p.in_use() <= 100);
+                            p.release(3);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(p.in_use(), 0);
+    }
+}

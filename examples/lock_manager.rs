@@ -1,0 +1,82 @@
+//! The distributed lock manager over kmem — the paper's realistic
+//! workload.
+//!
+//! Four workers hammer a shared resource space with OLTP-style lock
+//! traffic (mostly reads, some updates, occasional exclusives), handing
+//! granted locks between CPUs, then the allocator's per-layer miss rates
+//! are printed. Run with `cargo run --release --example lock_manager`.
+
+use std::sync::Arc;
+
+use kmem::{KmemArena, KmemConfig};
+use kmem_dlm::workload::{run_worker, SharedLocks, WorkloadConfig};
+use kmem_dlm::{Dlm, LockStatus, Mode};
+
+fn main() {
+    let arena = KmemArena::new(KmemConfig::small()).expect("arena");
+    let dlm = Dlm::new(arena.clone(), 128);
+
+    // --- Direct API tour --------------------------------------------------
+    let cpu = arena.register_cpu().expect("cpu");
+    let (h1, st1) = dlm.lock(&cpu, 42, Mode::Pr).expect("lock");
+    let (h2, st2) = dlm.lock(&cpu, 42, Mode::Pr).expect("lock");
+    println!("two protected-read locks on resource 42: {st1:?}, {st2:?}");
+    let (hx, stx) = dlm.lock(&cpu, 42, Mode::Ex).expect("lock");
+    println!("an exclusive must wait behind them:      {stx:?}");
+    dlm.unlock(&cpu, h1);
+    dlm.unlock(&cpu, h2);
+    println!(
+        "after the readers release, the exclusive is {:?}",
+        dlm.poll(&hx)
+    );
+    assert_eq!(dlm.poll(&hx), LockStatus::Granted);
+    // Down-convert to concurrent-read; others could now share.
+    assert!(dlm.convert(&cpu, &hx, Mode::Cr));
+    dlm.unlock(&cpu, hx);
+    drop(cpu);
+
+    // --- The paper's benchmark workload -----------------------------------
+    let shared = SharedLocks::new();
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let dlm = Arc::clone(&dlm);
+            let arena = arena.clone();
+            let shared = &shared;
+            s.spawn(move || {
+                let cpu = arena.register_cpu().expect("worker cpu");
+                let cfg = WorkloadConfig {
+                    resources: 256,
+                    ops: 30_000,
+                    ..WorkloadConfig::default()
+                };
+                let report = run_worker(&dlm, &cpu, shared, cfg, t);
+                println!(
+                    "worker {t}: {} granted, {} waited, {} converts, {} releases",
+                    report.granted, report.waited, report.converts, report.released
+                );
+            });
+        }
+    });
+    let cpu = arena.register_cpu().expect("drain cpu");
+    shared.drain(&dlm, &cpu);
+
+    println!(
+        "\nlock manager totals: {} grants, {} waits, {} promotions",
+        dlm.stats().grants.get(),
+        dlm.stats().waits.get(),
+        dlm.stats().promotions.get()
+    );
+    println!("\nallocator miss rates (the paper's E6 measurement):");
+    for c in arena.stats().classes.iter() {
+        if c.cpu_alloc.accesses == 0 {
+            continue;
+        }
+        println!(
+            "  {:4}-byte class: per-CPU {:.2}% / global {:.2}% / combined {:.4}%",
+            c.size,
+            100.0 * c.cpu_alloc.miss_rate(),
+            100.0 * c.gbl_alloc.miss_rate(),
+            100.0 * c.combined_alloc_miss_rate(),
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the kmem reproduction workspace.
+//!
+//! Re-exports the component crates so examples and integration tests can
+//! use one dependency. The interesting code lives in:
+//!
+//! * [`kmem`] — the four-layer allocator (the paper's contribution);
+//! * [`kmem_vm`] / [`kmem_smp`] — the VM and SMP substrates;
+//! * [`kmem_baselines`] — McKusick–Karels and "oldkma" (Fast Fits);
+//! * [`kmem_streams`] — the STREAMS buffer allocator;
+//! * [`kmem_dlm`] — the distributed lock manager workload;
+//! * [`kmem_sim`] — the discrete-event SMP simulator;
+//! * [`kmem_bench`] — the experiment harnesses (see `DESIGN.md` §4).
+
+pub use kmem;
+pub use kmem_baselines;
+pub use kmem_bench;
+pub use kmem_dlm;
+pub use kmem_sim;
+pub use kmem_smp;
+pub use kmem_streams;
+pub use kmem_vm;

@@ -1,0 +1,234 @@
+//! Integration: traffic that exercises all four layers across CPUs.
+
+use kmem::verify::{verify_arena, verify_conservation, verify_empty};
+use kmem::{AllocError, KmemArena, KmemConfig};
+use kmem_vm::SpaceConfig;
+
+fn arena(ncpus: usize) -> KmemArena {
+    KmemArena::new(KmemConfig::new(
+        ncpus,
+        SpaceConfig::new(32 << 20).vmblk_shift(20),
+    ))
+    .unwrap()
+}
+
+/// The pattern the global layer exists for: a producer CPU allocates,
+/// consumer CPUs free, at high volume, across every size class.
+#[test]
+fn producer_consumer_rings() {
+    /// A block in flight between CPUs: ownership moves with the message.
+    struct Block(std::ptr::NonNull<u8>, usize);
+    // SAFETY: the pointer is an owned, unaliased allocation; sending it
+    // transfers that ownership (exactly how kernel subsystems hand buffers
+    // between CPUs).
+    unsafe impl Send for Block {}
+
+    let a = arena(3);
+    let producer = a.register_cpu().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel::<Block>();
+    let rx = std::sync::Mutex::new(rx);
+
+    std::thread::scope(|s| {
+        let a2 = a.clone();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let a = a2.clone();
+                let rx = &rx;
+                s.spawn(move || {
+                    let cpu = a.register_cpu().unwrap();
+                    let mut freed = 0usize;
+                    loop {
+                        let msg = rx.lock().unwrap().recv();
+                        let Ok(Block(ptr, size)) = msg else { break };
+                        // SAFETY: ownership arrived through the channel;
+                        // freed exactly once.
+                        unsafe { cpu.free_sized(ptr, size) };
+                        freed += 1;
+                    }
+                    cpu.flush();
+                    freed
+                })
+            })
+            .collect();
+
+        for i in 0..30_000usize {
+            let size = 16 << (i % 9); // every class
+            let p = producer.alloc(size).unwrap();
+            // Write a signature over the whole block; the consumer's free
+            // path must tolerate arbitrary contents.
+            // SAFETY: freshly allocated block of at least `size` bytes.
+            unsafe { core::ptr::write_bytes(p.as_ptr(), (i % 251) as u8, size) };
+            tx.send(Block(p, size)).unwrap();
+        }
+        drop(tx);
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 30_000);
+    });
+
+    producer.flush();
+    a.reclaim();
+    verify_empty(&a);
+}
+
+/// Every CPU both allocates and frees random sizes; conservation and
+/// structural invariants must hold afterwards.
+#[test]
+fn all_cpu_mixed_traffic_conserves_blocks() {
+    let a = arena(4);
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let a = a.clone();
+            s.spawn(move || {
+                let cpu = a.register_cpu().unwrap();
+                let mut held: Vec<(std::ptr::NonNull<u8>, usize)> = Vec::new();
+                let mut x = t as u64;
+                for i in 0..50_000usize {
+                    // Cheap xorshift for determinism without rand.
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let size = 16 << (x % 9);
+                    if held.len() > 64 || (x.is_multiple_of(3) && !held.is_empty()) {
+                        let (p, s) = held.swap_remove((x as usize) % held.len());
+                        // SAFETY: allocated below, freed exactly once.
+                        unsafe { cpu.free_sized(p, s) };
+                    }
+                    match cpu.alloc(size) {
+                        Ok(p) => held.push((p, size)),
+                        Err(e) => panic!("iteration {i}: {e}"),
+                    }
+                }
+                for (p, s) in held {
+                    // SAFETY: allocated above, freed exactly once.
+                    unsafe { cpu.free_sized(p, s) };
+                }
+                cpu.flush();
+            });
+        }
+    });
+    a.reclaim();
+    verify_arena(&a);
+    verify_conservation(&a, &[0; 9]);
+    verify_empty(&a);
+}
+
+/// Exhaustion, cooperative draining, recovery — goal 5 of the paper:
+/// "any given CPU [must] be able to allocate the last remaining buffer".
+#[test]
+fn one_cpu_can_take_everything_with_cooperation() {
+    let cfg = KmemConfig::new(
+        2,
+        SpaceConfig::new(4 << 20).vmblk_shift(16).phys_pages(64),
+    );
+    let a = KmemArena::new(cfg).unwrap();
+    let hog = a.register_cpu().unwrap();
+    let other = a.register_cpu().unwrap();
+
+    // The other CPU populates its caches, then goes idle.
+    let mut warm = Vec::new();
+    for _ in 0..32 {
+        warm.push(other.alloc(1024).unwrap());
+    }
+    for p in warm {
+        // SAFETY: allocated above, freed once.
+        unsafe { other.free(p) };
+    }
+    assert!(other.cached_blocks() > 0);
+
+    // The hog grabs every 1024-byte block the machine can back.
+    let mut got = Vec::new();
+    let mut stalled = 0;
+    loop {
+        match hog.alloc(1024) {
+            Ok(p) => {
+                stalled = 0;
+                got.push(p);
+            }
+            Err(AllocError::OutOfMemory { .. }) => {
+                other.poll(); // services the drain request (the "IPI")
+                stalled += 1;
+                if stalled > 2 {
+                    break;
+                }
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+    // The pool holds 64 frames; headers take some, the rest must all be
+    // in the hog's hands as 4 blocks per page.
+    assert!(got.len() >= 200, "only got {} blocks", got.len());
+    assert_eq!(other.cached_blocks(), 0);
+
+    for p in got {
+        // SAFETY: allocated above, freed once.
+        unsafe { hog.free(p) };
+    }
+    hog.flush();
+    other.flush();
+    a.reclaim();
+    verify_empty(&a);
+}
+
+/// Handles migrate between threads (Send), and per-class split-freelist
+/// bounds hold at every step.
+#[test]
+fn handle_migration_and_cache_bounds() {
+    let a = arena(1);
+    let cpu = a.register_cpu().unwrap();
+    // Addresses rather than pointers so the vector is plainly `Send`;
+    // ownership of the blocks still moves with it.
+    let mut held: Vec<usize> = Vec::new();
+    for _ in 0..100 {
+        held.push(cpu.alloc(64).unwrap().as_ptr() as usize);
+    }
+    // Move the handle (and the obligation to free) to another thread.
+    let cpu = std::thread::spawn(move || {
+        for addr in held {
+            let p = std::ptr::NonNull::new(addr as *mut u8).unwrap();
+            // SAFETY: allocated above, freed once; the address round-trip
+            // does not change the provenance-relevant allocation.
+            unsafe { cpu.free(p) };
+        }
+        let class = 2; // 64-byte class in the default ladder
+        let (main, aux) = cpu.cache_shape(class);
+        let target = 10; // heuristic target for 64 B
+        assert!(main <= target && aux <= target, "bounds: {main}/{aux}");
+        cpu
+    })
+    .join()
+    .unwrap();
+    cpu.flush();
+    a.reclaim();
+    verify_empty(&a);
+}
+
+/// Large allocations interleaved with class allocations share the same
+/// vmblks without corrupting each other.
+#[test]
+fn large_and_small_interleave() {
+    let a = arena(1);
+    let cpu = a.register_cpu().unwrap();
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    for i in 0..200usize {
+        small.push(cpu.alloc(256).unwrap());
+        if i % 10 == 0 {
+            let p = cpu.alloc(2 * 4096 + 123).unwrap();
+            // SAFETY: a 3-page span was allocated.
+            unsafe { core::ptr::write_bytes(p.as_ptr(), 0xC3, 2 * 4096 + 123) };
+            large.push(p);
+        }
+    }
+    // Free in the awkward order: large first.
+    for p in large {
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(p) };
+    }
+    for p in small {
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free_sized(p, 256) };
+    }
+    cpu.flush();
+    a.reclaim();
+    verify_empty(&a);
+}

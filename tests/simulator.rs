@@ -1,0 +1,98 @@
+//! Integration: the discrete-event SMP simulator reproduces the paper's
+//! scaling shapes from the real allocator implementations.
+
+use kmem::{KmemArena, KmemConfig};
+use kmem_baselines::{KmemCookieAlloc, KmemStdAlloc, MkAllocator, OldKma};
+use kmem_bench::{sim_pairs_per_sec, BASE_COOKIE, BASE_MK, BASE_NEWKMA, BASE_OLDKMA};
+use kmem_sim::analysis::{allocb_pattern, profile_two_cpu};
+use kmem_sim::CostModel;
+use kmem_vm::SpaceConfig;
+
+fn kmem_arena(ncpus: usize) -> KmemArena {
+    KmemArena::new(KmemConfig::new(ncpus, SpaceConfig::new(32 << 20))).unwrap()
+}
+
+/// Figure 7 shape: the new allocator scales near-linearly; the lock-based
+/// baselines plateau or decline; the headline ratios hold.
+#[test]
+fn figure7_shapes_hold() {
+    let ops = 2_000u64;
+    let cookie = |n: usize| {
+        let a = KmemCookieAlloc::new(kmem_arena(n));
+        sim_pairs_per_sec(&a, 256, n, ops, BASE_COOKIE).pairs_per_sec
+    };
+    let newkma = |n: usize| {
+        let a = KmemStdAlloc::new(kmem_arena(n));
+        sim_pairs_per_sec(&a, 256, n, ops, BASE_NEWKMA).pairs_per_sec
+    };
+    let mk = |n: usize| {
+        let a = MkAllocator::new(32 << 20, 8192);
+        sim_pairs_per_sec(&a, 256, n, ops, BASE_MK).pairs_per_sec
+    };
+    let oldkma = |n: usize| {
+        let a = OldKma::new(32 << 20, 8192);
+        sim_pairs_per_sec(&a, 256, n, ops, BASE_OLDKMA).pairs_per_sec
+    };
+
+    let (c1, c12) = (cookie(1), cookie(12));
+    let (s1, s12) = (newkma(1), newkma(12));
+    let (m1, m12) = (mk(1), mk(12));
+    let (o1, o12) = (oldkma(1), oldkma(12));
+
+    // Near-linear speedup for both new interfaces.
+    assert!(c12 / c1 > 10.0, "cookie speedup {:.1}", c12 / c1);
+    assert!(s12 / s1 > 10.0, "newkma speedup {:.1}", s12 / s1);
+    // Standard interface roughly half the cookie rate.
+    let ratio = s12 / c12;
+    assert!((0.3..0.8).contains(&ratio), "newkma/cookie = {ratio:.2}");
+    // Baselines do not scale; their best is at or near 1 CPU.
+    assert!(m12 < m1 * 1.3, "mk scaled: {m1:.0} -> {m12:.0}");
+    assert!(o12 < o1 * 1.3, "oldkma scaled: {o1:.0} -> {o12:.0}");
+    // Paper's single-CPU ratio: cookie ≈ 15x oldkma (±30 %).
+    let r1 = c1 / o1;
+    assert!((10.0..20.0).contains(&r1), "cookie/oldkma @1 = {r1:.1}");
+    // And the gap explodes with CPUs (three orders of magnitude at 25;
+    // already >100x at 12).
+    let r12 = c12 / o12;
+    assert!(r12 > 100.0, "cookie/oldkma @12 = {r12:.1}");
+}
+
+/// Determinism: identical runs produce identical simulated results.
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let a = KmemCookieAlloc::new(kmem_arena(4));
+        let p = sim_pairs_per_sec(&a, 128, 4, 1_000, BASE_COOKIE);
+        p.pairs_per_sec.to_bits()
+    };
+    assert_eq!(run(), run());
+    let run_mk = || {
+        let a = MkAllocator::new(16 << 20, 4096);
+        sim_pairs_per_sec(&a, 128, 3, 1_000, BASE_MK)
+            .pairs_per_sec
+            .to_bits()
+    };
+    assert_eq!(run_mk(), run_mk());
+}
+
+/// The Analysis-section profile: contended allocb is several times slower
+/// than nominal, and its off-chip accesses dominate elapsed time.
+#[test]
+fn analysis_profile_matches_paper_shape() {
+    let profile = profile_two_cpu(&allocb_pattern(287), 3, CostModel::default());
+    assert_eq!(profile.accesses, 304); // the paper's traced access count
+    assert!(profile.slowdown() > 2.0);
+    assert!(profile.worst_offchip_share(1.0) > 0.5);
+    // The worst *half* of the misses still carries a large share — the
+    // distribution is top-heavy, as in the paper's table.
+    assert!(profile.worst_offchip_share(0.5) > 0.25);
+}
+
+/// The sim must be able to drive every allocator via real threads too
+/// (smoke test for the `--threads` mode used on real SMP hosts).
+#[test]
+fn thread_mode_smoke() {
+    let a = KmemCookieAlloc::new(kmem_arena(2));
+    let rate = kmem_bench::thread_pairs_per_sec(&a, 256, 2, std::time::Duration::from_millis(40));
+    assert!(rate > 0.0);
+}

@@ -1,0 +1,129 @@
+//! Integration: multiple kernel subsystems sharing one allocator.
+//!
+//! The paper's point about special-purpose allocators is that they reuse
+//! the general-purpose allocator "at the binary level": STREAMS and the
+//! lock manager both draw from the same arena here, concurrently, and the
+//! arena must stay consistent and fully reclaimable.
+
+use std::sync::Arc;
+
+use kmem::verify::{verify_arena, verify_empty};
+use kmem::{KmemArena, KmemConfig};
+use kmem_dlm::workload::{run_worker, SharedLocks, WorkloadConfig};
+use kmem_dlm::{Dlm, Mode};
+use kmem_streams::StreamsAlloc;
+
+#[test]
+fn streams_and_dlm_share_one_arena() {
+    let arena = KmemArena::new(KmemConfig::small()).unwrap();
+    let dlm = Dlm::new(arena.clone(), 64);
+    let sa = StreamsAlloc::new(arena.clone());
+    let shared = SharedLocks::new();
+
+    std::thread::scope(|s| {
+        // Thread 1: lock-manager traffic.
+        {
+            let dlm = Arc::clone(&dlm);
+            let arena = arena.clone();
+            let shared = &shared;
+            s.spawn(move || {
+                let cpu = arena.register_cpu().unwrap();
+                let cfg = WorkloadConfig {
+                    resources: 64,
+                    ops: 20_000,
+                    ..WorkloadConfig::default()
+                };
+                run_worker(&dlm, &cpu, shared, cfg, 1);
+            });
+        }
+        // Thread 2: STREAMS message churn.
+        {
+            let arena = arena.clone();
+            let sa = &sa;
+            s.spawn(move || {
+                let cpu = arena.register_cpu().unwrap();
+                for i in 0..20_000usize {
+                    let m = sa.allocb(&cpu, 16 + (i % 1500)).expect("allocb");
+                    // SAFETY: fresh message, exclusively ours; freed once.
+                    unsafe {
+                        assert!(sa.put(m, &[i as u8; 16]));
+                        if i % 7 == 0 {
+                            let dup = sa.dupb(&cpu, m).expect("dupb");
+                            sa.freeb(&cpu, dup);
+                        }
+                        sa.freemsg(&cpu, m);
+                    }
+                }
+            });
+        }
+        // Thread 3: raw allocator traffic in between.
+        {
+            let arena = arena.clone();
+            s.spawn(move || {
+                let cpu = arena.register_cpu().unwrap();
+                let mut held = Vec::new();
+                for i in 0..20_000usize {
+                    held.push(cpu.alloc(16 << (i % 6)).unwrap());
+                    if held.len() > 40 {
+                        let p = held.swap_remove(i % held.len());
+                        // SAFETY: allocated above, freed once.
+                        unsafe { cpu.free(p) };
+                    }
+                }
+                for p in held {
+                    // SAFETY: allocated above, freed once.
+                    unsafe { cpu.free(p) };
+                }
+                cpu.flush();
+            });
+        }
+    });
+
+    let cpu = arena.register_cpu().unwrap();
+    shared.drain(&dlm, &cpu);
+    cpu.flush();
+    arena.reclaim();
+    verify_arena(&arena);
+    verify_empty(&arena);
+}
+
+#[test]
+fn dlm_contention_semantics_survive_shared_arena_pressure() {
+    // A small arena forces the DLM and a memory hog to compete.
+    let arena = KmemArena::new(KmemConfig::new(
+        2,
+        kmem_vm::SpaceConfig::new(4 << 20)
+            .vmblk_shift(16)
+            .phys_pages(96),
+    ))
+    .unwrap();
+    let dlm = Dlm::new(arena.clone(), 16);
+    let cpu = arena.register_cpu().unwrap();
+
+    // Hold most of memory.
+    let mut hog = Vec::new();
+    for _ in 0..40 {
+        match cpu.alloc(4096) {
+            Ok(p) => hog.push(p),
+            Err(_) => break,
+        }
+    }
+    // Lock operations may fail with OOM but must never corrupt state.
+    let mut handles = Vec::new();
+    for n in 0..200u64 {
+        match dlm.lock(&cpu, n % 8, Mode::Cr) {
+            Ok((h, _)) => handles.push(h),
+            Err(_) => break,
+        }
+    }
+    for h in handles {
+        dlm.unlock(&cpu, h);
+    }
+    for p in hog {
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(p) };
+    }
+    cpu.flush();
+    arena.reclaim();
+    verify_empty(&arena);
+}
