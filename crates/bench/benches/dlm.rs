@@ -1,37 +1,32 @@
-//! E6 (Criterion) — lock-manager operation cost over kmem.
+//! E6 — lock-manager operation cost over kmem.
 //!
 //! The realistic workload of the paper's evaluation: each iteration is a
 //! lock/unlock round trip, whose cost includes the LKB (256 B) and RSB
 //! (512 B) allocator traffic.
+//!
+//! Runs under the in-tree harness: `cargo bench --features bench-ext`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use kmem::{KmemArena, KmemConfig};
+use kmem_bench::bench_ns;
 use kmem_dlm::{Dlm, Mode};
 
-fn dlm(c: &mut Criterion) {
+fn main() {
     let arena = KmemArena::new(KmemConfig::small()).unwrap();
     let dlm = Dlm::new(arena.clone(), 64);
     let cpu = arena.register_cpu().unwrap();
 
-    c.bench_function("dlm/lock_unlock_fresh_resource", |b| {
-        let mut n = 0u64;
-        b.iter(|| {
-            n += 1;
-            let (h, _) = dlm.lock(&cpu, n, Mode::Ex).unwrap();
-            dlm.unlock(&cpu, h);
-        })
+    let mut n = 0u64;
+    bench_ns("dlm/lock_unlock_fresh_resource", 200_000, || {
+        n += 1;
+        let (h, _) = dlm.lock(&cpu, n, Mode::Ex).unwrap();
+        dlm.unlock(&cpu, h);
     });
 
-    c.bench_function("dlm/lock_unlock_hot_resource", |b| {
-        // Keep the resource alive so only LKB traffic is measured.
-        let (anchor, _) = dlm.lock(&cpu, 7777, Mode::Nl).unwrap();
-        b.iter(|| {
-            let (h, _) = dlm.lock(&cpu, 7777, Mode::Cr).unwrap();
-            dlm.unlock(&cpu, h);
-        });
-        dlm.unlock(&cpu, anchor);
+    // Keep the resource alive so only LKB traffic is measured.
+    let (anchor, _) = dlm.lock(&cpu, 7777, Mode::Nl).unwrap();
+    bench_ns("dlm/lock_unlock_hot_resource", 500_000, || {
+        let (h, _) = dlm.lock(&cpu, 7777, Mode::Cr).unwrap();
+        dlm.unlock(&cpu, h);
     });
+    dlm.unlock(&cpu, anchor);
 }
-
-criterion_group!(benches, dlm);
-criterion_main!(benches);

@@ -1,14 +1,18 @@
-//! E2 (Criterion) — per-operation fast-path latency for each interface.
+//! E2 — per-operation fast-path latency for each interface.
 //!
 //! The measured half of the paper's "Instruction Counts" section: a
 //! steady-state alloc/free pair per interface. The shape claim is the
 //! ordering (cookie fastest, standard ~2x, oldkma far behind).
+//!
+//! Runs under the in-tree harness: `cargo bench --features bench-ext`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use kmem::{KmemArena, KmemConfig};
 use kmem_baselines::{KernelAllocator, KmemCookieAlloc, KmemStdAlloc, MkAllocator, OldKma};
+use kmem_bench::bench_ns;
 
-fn bench_pair<A: KernelAllocator>(c: &mut Criterion, name: &str, alloc: &A, size: usize) {
+const ITERS: u64 = 1_000_000;
+
+fn bench_pair<A: KernelAllocator>(name: &str, alloc: &A, size: usize) -> f64 {
     let mut ctx = alloc.register();
     let prep = alloc.prepare(size);
     // Steady state: warm the per-CPU layer / freelists.
@@ -17,27 +21,23 @@ fn bench_pair<A: KernelAllocator>(c: &mut Criterion, name: &str, alloc: &A, size
         // SAFETY: allocated above with the same prep.
         unsafe { alloc.free(&mut ctx, p, prep) };
     }
-    c.bench_function(name, |b| {
-        b.iter(|| {
-            let p = alloc.alloc(&mut ctx, prep).unwrap();
-            std::hint::black_box(p);
-            // SAFETY: allocated above with the same prep.
-            unsafe { alloc.free(&mut ctx, p, prep) };
-        })
-    });
+    bench_ns(name, ITERS, || {
+        let p = alloc.alloc(&mut ctx, prep).unwrap();
+        std::hint::black_box(p);
+        // SAFETY: allocated above with the same prep.
+        unsafe { alloc.free(&mut ctx, p, prep) };
+    })
 }
 
-fn ops(c: &mut Criterion) {
+fn main() {
     let size = 256;
     let cookie = KmemCookieAlloc::new(KmemArena::new(KmemConfig::small()).unwrap());
-    bench_pair(c, "pair/cookie", &cookie, size);
+    let ns_cookie = bench_pair("pair/cookie", &cookie, size);
     let std_alloc = KmemStdAlloc::new(KmemArena::new(KmemConfig::small()).unwrap());
-    bench_pair(c, "pair/newkma", &std_alloc, size);
+    bench_pair("pair/newkma", &std_alloc, size);
     let mk = MkAllocator::new(16 << 20, 4096);
-    bench_pair(c, "pair/mk", &mk, size);
+    bench_pair("pair/mk", &mk, size);
     let old = OldKma::new(16 << 20, 4096);
-    bench_pair(c, "pair/oldkma", &old, size);
+    let ns_old = bench_pair("pair/oldkma", &old, size);
+    println!("oldkma/cookie ratio: {:.1}x", ns_old / ns_cookie);
 }
-
-criterion_group!(benches, ops);
-criterion_main!(benches);

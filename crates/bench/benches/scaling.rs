@@ -1,43 +1,29 @@
-//! E3/E4 (Criterion) — simulated-SMP scaling points.
+//! E3/E4 — simulated-SMP scaling points.
 //!
 //! Wraps the Figure 7 DES driver so the scaling data is regenerated under
-//! Criterion's statistics too. The *figure itself* is printed by the
-//! `fig7` binary; this bench tracks the simulation cost and pins the
-//! headline shape (cookie scales, mk does not) as assertions.
+//! the bench harness too. The *figure itself* is printed by the `fig7`
+//! binary; this bench tracks the simulation cost and pins the headline
+//! shape (cookie scales, mk does not) as assertions.
+//!
+//! Runs under the in-tree harness: `cargo bench --features bench-ext`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kmem::{KmemArena, KmemConfig};
 use kmem_baselines::{KmemCookieAlloc, MkAllocator};
-use kmem_bench::{sim_pairs_per_sec, BASE_COOKIE, BASE_MK};
+use kmem_bench::{bench_ns, sim_pairs_per_sec, BASE_COOKIE, BASE_MK};
 use kmem_vm::SpaceConfig;
 
-fn scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_sim");
-    group.sample_size(10);
+fn main() {
     for ncpus in [1usize, 8, 25] {
-        group.bench_with_input(
-            BenchmarkId::new("cookie", ncpus),
-            &ncpus,
-            |b, &ncpus| {
-                b.iter(|| {
-                    let arena = KmemArena::new(KmemConfig::new(
-                        ncpus,
-                        SpaceConfig::new(32 << 20),
-                    ))
-                    .unwrap();
-                    let a = KmemCookieAlloc::new(arena);
-                    sim_pairs_per_sec(&a, 256, ncpus, 1_000, BASE_COOKIE)
-                })
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("mk", ncpus), &ncpus, |b, &ncpus| {
-            b.iter(|| {
-                let a = MkAllocator::new(32 << 20, 8192);
-                sim_pairs_per_sec(&a, 256, ncpus, 1_000, BASE_MK)
-            })
+        bench_ns(&format!("fig7_sim/cookie/{ncpus}"), 10, || {
+            let arena = KmemArena::new(KmemConfig::new(ncpus, SpaceConfig::new(32 << 20))).unwrap();
+            let a = KmemCookieAlloc::new(arena);
+            std::hint::black_box(sim_pairs_per_sec(&a, 256, ncpus, 1_000, BASE_COOKIE));
+        });
+        bench_ns(&format!("fig7_sim/mk/{ncpus}"), 10, || {
+            let a = MkAllocator::new(32 << 20, 8192);
+            std::hint::black_box(sim_pairs_per_sec(&a, 256, ncpus, 1_000, BASE_MK));
         });
     }
-    group.finish();
 
     // Shape pin: regressions in the allocator that break scaling fail
     // the bench run itself.
@@ -58,7 +44,5 @@ fn scaling(c: &mut Criterion) {
         "cookie scaling regressed: {:.1}x at 25 CPUs",
         cookie25 / cookie1
     );
+    println!("cookie scaling 1→25 CPUs: {:.1}x", cookie25 / cookie1);
 }
-
-criterion_group!(benches, scaling);
-criterion_main!(benches);

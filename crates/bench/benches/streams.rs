@@ -1,31 +1,31 @@
-//! E1 (Criterion) — allocb/freeb over the *new* allocator.
+//! E1 — allocb/freeb over the *new* allocator.
 //!
 //! The paper's investigation began with allocb costing 64 µs instead of
 //! 12.5 µs under the old allocator; the companion paper ([6] McKenney &
 //! Graunke) rebuilt it on the per-CPU design. This bench measures our
 //! equivalent: the full message-block + data-block + buffer triplet
 //! through the cookie fast path.
+//!
+//! Runs under the in-tree harness: `cargo bench --features bench-ext`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use kmem::{KmemArena, KmemConfig};
+use kmem_bench::bench_ns;
 use kmem_streams::StreamsAlloc;
 
-fn streams(c: &mut Criterion) {
+fn main() {
     let arena = KmemArena::new(KmemConfig::small()).unwrap();
     let cpu = arena.register_cpu().unwrap();
     let sa = StreamsAlloc::new(arena.clone());
 
-    c.bench_function("streams/allocb_freeb_256", |b| {
-        b.iter(|| {
-            let m = sa.allocb(&cpu, 256).unwrap();
-            // SAFETY: allocated above, freed once.
-            unsafe { sa.freeb(&cpu, m) };
-        })
+    bench_ns("streams/allocb_freeb_256", 500_000, || {
+        let m = sa.allocb(&cpu, 256).unwrap();
+        // SAFETY: allocated above, freed once.
+        unsafe { sa.freeb(&cpu, m) };
     });
 
-    c.bench_function("streams/dupb_freeb", |b| {
+    {
         let m = sa.allocb(&cpu, 256).unwrap();
-        b.iter(|| {
+        bench_ns("streams/dupb_freeb", 500_000, || {
             // SAFETY: `m` stays live; the dup is freed once per iter.
             unsafe {
                 let d = sa.dupb(&cpu, m).unwrap();
@@ -34,22 +34,17 @@ fn streams(c: &mut Criterion) {
         });
         // SAFETY: allocated above, freed once.
         unsafe { sa.freeb(&cpu, m) };
-    });
+    }
 
-    c.bench_function("streams/segmented_msg_4", |b| {
-        b.iter(|| {
-            let head = sa.allocb(&cpu, 64).unwrap();
-            // SAFETY: all blocks are live until freemsg.
-            unsafe {
-                for _ in 0..3 {
-                    let seg = sa.allocb(&cpu, 64).unwrap();
-                    sa.linkb(head, seg);
-                }
-                sa.freemsg(&cpu, head);
+    bench_ns("streams/segmented_msg_4", 200_000, || {
+        let head = sa.allocb(&cpu, 64).unwrap();
+        // SAFETY: all blocks are live until freemsg.
+        unsafe {
+            for _ in 0..3 {
+                let seg = sa.allocb(&cpu, 64).unwrap();
+                sa.linkb(head, seg);
             }
-        })
+            sa.freemsg(&cpu, head);
+        }
     });
 }
-
-criterion_group!(benches, streams);
-criterion_main!(benches);

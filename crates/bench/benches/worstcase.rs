@@ -1,16 +1,16 @@
-//! E5 (Criterion) — one pass of the Figure 9 worst-case sweep.
+//! E5 — one pass of the Figure 9 worst-case sweep.
 //!
 //! Allocate blocks until the (small) physical pool is exhausted, free
 //! them all, and verify the arena drains — the per-pass cost the figure
 //! plots against block size.
+//!
+//! Runs under the in-tree harness: `cargo bench --features bench-ext`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kmem::{AllocError, KmemArena, KmemConfig};
+use kmem_bench::bench_ns;
 use kmem_vm::SpaceConfig;
 
-fn worstcase(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_pass");
-    group.sample_size(10);
+fn main() {
     for size in [64usize, 512, 4096] {
         // 2 MB pool keeps each pass small enough to iterate.
         let arena = KmemArena::new(KmemConfig::new(
@@ -19,25 +19,19 @@ fn worstcase(c: &mut Criterion) {
         ))
         .unwrap();
         let cpu = arena.register_cpu().unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            b.iter(|| {
-                let mut held = Vec::new();
-                loop {
-                    match cpu.alloc(size) {
-                        Ok(p) => held.push(p),
-                        Err(AllocError::OutOfMemory { .. }) => break,
-                        Err(e) => panic!("{e}"),
-                    }
+        bench_ns(&format!("fig9_pass/{size}"), 10, || {
+            let mut held = Vec::new();
+            loop {
+                match cpu.alloc(size) {
+                    Ok(p) => held.push(p),
+                    Err(AllocError::OutOfMemory { .. }) => break,
+                    Err(e) => panic!("{e}"),
                 }
-                for p in held {
-                    // SAFETY: allocated above, freed once.
-                    unsafe { cpu.free_sized(p, size) };
-                }
-            })
+            }
+            for p in held {
+                // SAFETY: allocated above, freed once.
+                unsafe { cpu.free_sized(p, size) };
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, worstcase);
-criterion_main!(benches);

@@ -21,9 +21,8 @@
 
 use kmem::{KmemArena, KmemConfig};
 use kmem_bench::print_table;
+use kmem_testkit::Rng;
 use kmem_vm::SpaceConfig;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn run(radix: bool, blocks: usize, steps: usize) -> (usize, usize) {
     let mut cfg = KmemConfig::new(1, SpaceConfig::new(64 << 20));
@@ -31,7 +30,7 @@ fn run(radix: bool, blocks: usize, steps: usize) -> (usize, usize) {
     let arena = KmemArena::new(cfg).unwrap();
     let cpu = arena.register_cpu().unwrap();
     let size = 64usize;
-    let mut rng = SmallRng::seed_from_u64(0xAB1A7E);
+    let mut rng = Rng::new(0xAB1A7E);
 
     // Phase 1: build the full population. Phase 2: the workload shrinks
     // (the paper's day/night shift) — free a random 80 %. Phase 3: churn
@@ -40,7 +39,7 @@ fn run(radix: bool, blocks: usize, steps: usize) -> (usize, usize) {
     let mut held: Vec<_> = (0..blocks).map(|_| cpu.alloc(size).unwrap()).collect();
     let peak = arena.space().phys().in_use();
     for _ in 0..blocks * 4 / 5 {
-        let idx = rng.gen_range(0..held.len());
+        let idx = rng.index(held.len());
         let victim = held.swap_remove(idx);
         // SAFETY: allocated above, freed once.
         unsafe { cpu.free_sized(victim, size) };
@@ -53,7 +52,7 @@ fn run(radix: bool, blocks: usize, steps: usize) -> (usize, usize) {
     let mut step = 0usize;
     while step < steps {
         for _ in 0..burst {
-            let idx = rng.gen_range(0..held.len());
+            let idx = rng.index(held.len());
             let victim = held.swap_remove(idx);
             // SAFETY: allocated above, freed once.
             unsafe { cpu.free_sized(victim, size) };

@@ -30,8 +30,7 @@ fn main() {
     let mut rows = Vec::new();
     for target in [1usize, 2, 4, 8, 10, 16, 32] {
         let gbltarget = (3 * target).max(3);
-        let cfg = KmemConfig::new(1, SpaceConfig::new(32 << 20))
-            .set_all_classes(target, gbltarget);
+        let cfg = KmemConfig::new(1, SpaceConfig::new(32 << 20)).set_all_classes(target, gbltarget);
         let arena = KmemArena::new(cfg).unwrap();
         let cpu = arena.register_cpu().unwrap();
         // Burst pattern: allocate 12*target blocks, free them, repeat —
@@ -64,10 +63,7 @@ fn main() {
             format!("{:.3}%", 100.0 * c.cpu_alloc.miss_rate()),
             format!("{:.3}%", 100.0 * (1.0 / target as f64)),
             format!("{:.4}%", 100.0 * c.combined_alloc_miss_rate()),
-            format!(
-                "{:.4}%",
-                100.0 / (target as f64 * gbltarget as f64)
-            ),
+            format!("{:.4}%", 100.0 / (target as f64 * gbltarget as f64)),
             format!("{}", cached * size),
         ]);
     }

@@ -55,7 +55,14 @@ fn main() {
         ],
     ];
     print_table(
-        &["op", "accesses", "off-chip", "nominal us", "measured us", "slowdown"],
+        &[
+            "op",
+            "accesses",
+            "off-chip",
+            "nominal us",
+            "measured us",
+            "slowdown",
+        ],
         &rows,
     );
 

@@ -53,11 +53,7 @@ fn pct(x: f64) -> String {
 
 fn main() {
     let args = parse_args();
-    let arena = KmemArena::new(KmemConfig::new(
-        args.threads,
-        SpaceConfig::new(64 << 20),
-    ))
-    .unwrap();
+    let arena = KmemArena::new(KmemConfig::new(args.threads, SpaceConfig::new(64 << 20))).unwrap();
     let dlm = Dlm::new(arena.clone(), 256);
     println!(
         "DLM miss-rate benchmark: {} workers x {} ops over {} resources",

@@ -137,21 +137,10 @@ fn main() {
         rows.push(row);
     }
     println!();
-    print_table(
-        &["CPUs", "cookie", "newkma", "mk", "oldkma"],
-        &rows,
-    );
+    print_table(&["CPUs", "cookie", "newkma", "mk", "oldkma"], &rows);
 
-    ascii_chart(
-        "Figure 7 (linear): pairs/sec vs CPUs",
-        &series,
-        false,
-    );
-    ascii_chart(
-        "Figure 8 (semilog): pairs/sec vs CPUs",
-        &series,
-        true,
-    );
+    ascii_chart("Figure 7 (linear): pairs/sec vs CPUs", &series, false);
+    ascii_chart("Figure 8 (semilog): pairs/sec vs CPUs", &series, true);
 
     // E8 headline ratios.
     let at = |s: &Series, n: f64| {

@@ -95,7 +95,12 @@ fn main() {
         ]
     };
     print_table(
-        &["interface", "paper instr (alloc+free)", "ns/pair", "vs cookie"],
+        &[
+            "interface",
+            "paper instr (alloc+free)",
+            "ns/pair",
+            "vs cookie",
+        ],
         &[
             row("cookie", "13 + 13", t_cookie),
             row("newkma (standard)", "35 + 32", t_newkma),

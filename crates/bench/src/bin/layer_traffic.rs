@@ -42,11 +42,7 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let arena = KmemArena::new(KmemConfig::new(
-        args.threads,
-        SpaceConfig::new(64 << 20),
-    ))
-    .unwrap();
+    let arena = KmemArena::new(KmemConfig::new(args.threads, SpaceConfig::new(64 << 20))).unwrap();
 
     std::thread::scope(|s| {
         for t in 0..args.threads {

@@ -43,8 +43,7 @@ pub fn sim_pairs_per_sec<A: KernelAllocator>(
         lock_wait_frac: if result.elapsed_cycles == 0 {
             0.0
         } else {
-            result.lock_wait_cycles as f64
-                / (result.elapsed_cycles as f64 * ncpus as f64)
+            result.lock_wait_cycles as f64 / (result.elapsed_cycles as f64 * ncpus as f64)
         },
     }
 }
@@ -71,7 +70,10 @@ mod tests {
         let m1 = sim_pairs_per_sec(&MkAllocator::new(32 << 20, 8192), 256, 1, 2000, 80);
         let m8 = sim_pairs_per_sec(&MkAllocator::new(32 << 20, 8192), 256, 8, 2000, 80);
         let mk_speedup = m8.pairs_per_sec / m1.pairs_per_sec;
-        assert!(mk_speedup < 2.0, "mk speedup {mk_speedup:.2} should plateau");
+        assert!(
+            mk_speedup < 2.0,
+            "mk speedup {mk_speedup:.2} should plateau"
+        );
         assert!(m8.lock_wait_frac > 0.3, "mk at 8 CPUs should mostly wait");
     }
 }

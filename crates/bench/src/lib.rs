@@ -13,5 +13,5 @@ pub mod report;
 
 pub use calib::*;
 pub use drivers::{sim_pairs_per_sec, SimPoint};
-pub use measure::{thread_pairs_per_sec, time_loop};
+pub use measure::{bench_ns, thread_pairs_per_sec, time_loop};
 pub use report::{ascii_chart, print_table, Series};

@@ -14,6 +14,20 @@ pub fn time_loop(iters: u64, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// The in-tree bench harness: warms up (a tenth of `iters`), times
+/// `iters` runs, prints one aligned report line, and returns ns per run.
+///
+/// This replaces the external criterion harness so benches build offline;
+/// the `bench-ext` feature gates the bench targets themselves.
+pub fn bench_ns(name: &str, iters: u64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let ns = time_loop(iters, f);
+    println!("{name:<44} {ns:>12.1} ns/op   ({iters} iters)");
+    ns
+}
+
 /// The paper's best-case benchmark on real OS threads: each thread runs
 /// alloc/free pairs of `size` bytes for `duration`, and the aggregate
 /// pair rate is returned.

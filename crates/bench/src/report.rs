@@ -105,10 +105,7 @@ mod tests {
     fn table_prints_without_panicking() {
         print_table(
             &["a", "bee"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
     }
 

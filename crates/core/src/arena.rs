@@ -117,7 +117,11 @@ impl KmemArena {
                 .iter()
                 .map(|c| UnsafeCell::new(CpuCache::new(c.target, config.split_freelist)))
                 .collect(),
-            stats: config.classes.iter().map(|_| CacheStats::default()).collect(),
+            stats: config
+                .classes
+                .iter()
+                .map(|_| CacheStats::default())
+                .collect(),
             drain: AtomicBool::new(false),
         });
         let registry = CpuRegistry::new(config.ncpus);
@@ -142,6 +146,12 @@ impl KmemArena {
     /// Number of virtual CPUs.
     pub fn ncpus(&self) -> usize {
         self.inner.registry.ncpus()
+    }
+
+    /// Number of size classes (verification harnesses size their
+    /// per-class tables with this; see [`crate::verify`]).
+    pub fn nclasses(&self) -> usize {
+        self.inner.classes.len()
     }
 
     /// Registers the calling context as the lowest-numbered free CPU.
@@ -963,7 +973,7 @@ mod tests {
         unsafe { cpu.free(p) };
         let q = cpu.alloc_zeroed(100).unwrap();
         assert_eq!(p, q); // same block, straight from the cache
-        // SAFETY: live 128-byte block.
+                          // SAFETY: live 128-byte block.
         let bytes = unsafe { core::slice::from_raw_parts(q.as_ptr(), 128) };
         assert!(bytes.iter().all(|&b| b == 0));
         // SAFETY: allocated above, freed once.

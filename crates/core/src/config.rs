@@ -129,9 +129,15 @@ impl KmemConfig {
         assert!(!self.classes.is_empty(), "need at least one size class");
         let mut prev = 0;
         for c in &self.classes {
-            assert!(c.size.is_power_of_two(), "class sizes must be powers of two");
+            assert!(
+                c.size.is_power_of_two(),
+                "class sizes must be powers of two"
+            );
             assert!(c.size >= 16, "classes must hold two words plus poison");
-            assert!(c.size <= PAGE_SIZE, "classes above a page go to the vmblk layer");
+            assert!(
+                c.size <= PAGE_SIZE,
+                "classes above a page go to the vmblk layer"
+            );
             assert!(c.size > prev, "classes must be ascending and distinct");
             assert!(c.target >= 1, "target must be at least 1");
             assert!(

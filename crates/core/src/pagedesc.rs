@@ -367,7 +367,10 @@ mod tests {
             }
             // List order is [3, 2, 1, 0].
             list.remove(ptrs[2]); // middle
-            assert_eq!(list.iter().collect::<Vec<_>>(), vec![ptrs[3], ptrs[1], ptrs[0]]);
+            assert_eq!(
+                list.iter().collect::<Vec<_>>(),
+                vec![ptrs[3], ptrs[1], ptrs[0]]
+            );
             list.remove(ptrs[3]); // head
             assert_eq!(list.iter().collect::<Vec<_>>(), vec![ptrs[1], ptrs[0]]);
             list.remove(ptrs[0]); // tail

@@ -319,7 +319,9 @@ mod tests {
 
     fn setup(block_size: usize, radix: bool, phys_pages: usize) -> (VmblkLayer, PageLayer) {
         let space = Arc::new(KernelSpace::new(
-            SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(phys_pages),
+            SpaceConfig::new(1 << 20)
+                .vmblk_shift(14)
+                .phys_pages(phys_pages),
         ));
         let vm = VmblkLayer::new(space, true);
         let layer = PageLayer::new(3, block_size, radix);
@@ -399,7 +401,7 @@ mod tests {
         let c3 = layer.alloc_chain(&vm, 1).unwrap();
         assert_eq!(layer.usage(), (1, 0));
         assert_eq!(layer.stats().page_acquires.get(), 2); // no new page
-        // Cleanup.
+                                                          // Cleanup.
         let mut rest = Chain::new();
         let mut c3 = c3;
         // SAFETY: blocks from this layer.
@@ -491,7 +493,7 @@ mod tests {
             seen.push(count);
         });
         assert_eq!(seen, vec![11]); // 16 per page - 5 taken
-        // SAFETY: blocks from this layer.
+                                    // SAFETY: blocks from this layer.
         unsafe { layer.free_chain(&vm, chain) };
     }
 }

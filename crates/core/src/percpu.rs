@@ -385,5 +385,4 @@ mod tests {
         assert_eq!(spilled + cache.len(), 10);
         drain_chain(cache.flush());
     }
-
 }

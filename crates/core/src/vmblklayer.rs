@@ -85,13 +85,7 @@ impl VmblkHeader {
         debug_assert!(idx < self.ndata);
         // SAFETY: the descriptor array lies inside this vmblk's header
         // area, sized for `ndata` descriptors.
-        unsafe {
-            self.region
-                .base()
-                .as_ptr()
-                .add(PD_OFFSET + idx * PD_STRIDE)
-        }
-        .cast()
+        unsafe { self.region.base().as_ptr().add(PD_OFFSET + idx * PD_STRIDE) }.cast()
     }
 
     /// Index of `pd` within this vmblk's descriptor array.

@@ -4,10 +4,9 @@
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use kmem::pagedesc::PdKind;
 use kmem::vmblklayer::VmblkLayer;
+use kmem_testkit::{check, shrink_vec, vec_of, Rng};
 use kmem_vm::{KernelSpace, SpaceConfig};
 
 #[derive(Debug, Clone)]
@@ -20,97 +19,136 @@ enum Op {
     Large(usize),
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (1usize..6).prop_map(Op::Alloc),
-        3 => (0usize..64).prop_map(Op::Free),
-        1 => (1usize..20_000).prop_map(Op::Large),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    // Weighted 3:3:1, matching the original proptest strategy.
+    match rng.range_u64(0..7) {
+        0..=2 => Op::Alloc(rng.range_usize(1..6)),
+        3..=5 => Op::Free(rng.range_usize(0..64)),
+        _ => Op::Large(rng.range_usize(1..20_000)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_span_traffic_stays_coalesced(
-        ops in proptest::collection::vec(op(), 1..150),
-    ) {
-        let space = Arc::new(KernelSpace::new(
-            SpaceConfig::new(1 << 20).vmblk_shift(16).phys_pages(128),
-        ));
-        let layer = VmblkLayer::new(space, true);
-        // (addr, pages, is_large)
-        let mut live: Vec<(usize, usize, bool)> = Vec::new();
-        for o in ops {
-            match o {
-                Op::Alloc(n) => {
-                    if let Ok((addr, pd)) = layer.alloc_span(n) {
-                        // Mark the span as a consumer would (the page
-                        // layer marks BlockPage; everything else marks
-                        // Large) — the invariant walker requires every
-                        // allocated span to carry its owner's tag.
-                        // SAFETY: the span is exclusively ours; no layer
-                        // can reach its descriptor until it is freed.
-                        unsafe { pd.inner().span_pages = n as u32 };
-                        pd.set_kind(PdKind::Large);
-                        live.push((addr.as_ptr() as usize, n, false));
-                    }
-                }
-                Op::Large(bytes) => {
-                    if let Ok(addr) = layer.alloc_large(bytes) {
-                        live.push((addr.as_ptr() as usize, bytes.div_ceil(4096), true));
-                    }
-                }
-                Op::Free(i) => {
-                    if live.is_empty() {
-                        continue;
-                    }
-                    let (addr, n, large) = live.swap_remove(i % live.len());
-                    let p = std::ptr::NonNull::new(addr as *mut u8).unwrap();
-                    // SAFETY: allocated above, freed exactly once.
-                    unsafe {
-                        if large {
-                            let freed = layer.free_large(p);
-                            prop_assert_eq!(freed, n);
-                        } else {
-                            layer.pd_of(addr).unwrap().set_kind(PdKind::Unused);
-                            layer.free_span(p, n);
-                        }
-                    }
-                }
-            }
-            // The walker checks: tags consistent, no adjacent free spans,
-            // freelists exact, frame accounting exact.
-            layer.verify();
+fn shrink_op(op: &Op) -> Vec<Op> {
+    match *op {
+        Op::Alloc(n) => kmem_testkit::shrink_usize(n, 1)
+            .into_iter()
+            .map(Op::Alloc)
+            .collect(),
+        Op::Free(i) => kmem_testkit::shrink_usize(i, 0)
+            .into_iter()
+            .map(Op::Free)
+            .collect(),
+        // A Large op simplifies toward a plain one-page span.
+        Op::Large(b) => {
+            let mut out = vec![Op::Alloc(1)];
+            out.extend(kmem_testkit::shrink_usize(b, 1).into_iter().map(Op::Large));
+            out
         }
-        // Live spans never overlap.
-        let mut sorted = live.clone();
-        sorted.sort_unstable();
-        for w in sorted.windows(2) {
-            prop_assert!(
-                w[0].0 + w[0].1 * 4096 <= w[1].0,
-                "spans overlap: {:?} {:?}",
-                w[0],
-                w[1]
-            );
-        }
-        // Free everything: all vmblks must be released.
-        for (addr, n, large) in live {
-            let p = std::ptr::NonNull::new(addr as *mut u8).unwrap();
-            // SAFETY: allocated above, freed exactly once.
-            unsafe {
-                if large {
-                    layer.free_large(p);
-                } else {
-                    layer.pd_of(addr).unwrap().set_kind(PdKind::Unused);
-                    layer.free_span(p, n);
-                }
-            }
-        }
-        layer.verify();
-        prop_assert_eq!(layer.nvmblks(), 0);
-        prop_assert_eq!(layer.space().phys().in_use(), 0);
     }
+}
+
+fn run_span_traffic(ops: &[Op]) -> Result<(), String> {
+    let space = Arc::new(KernelSpace::new(
+        SpaceConfig::new(1 << 20).vmblk_shift(16).phys_pages(128),
+    ));
+    let layer = VmblkLayer::new(space, true);
+    // (addr, pages, is_large)
+    let mut live: Vec<(usize, usize, bool)> = Vec::new();
+    for o in ops {
+        match *o {
+            Op::Alloc(n) => {
+                if let Ok((addr, pd)) = layer.alloc_span(n) {
+                    // Mark the span as a consumer would (the page
+                    // layer marks BlockPage; everything else marks
+                    // Large) — the invariant walker requires every
+                    // allocated span to carry its owner's tag.
+                    // SAFETY: the span is exclusively ours; no layer
+                    // can reach its descriptor until it is freed.
+                    unsafe { pd.inner().span_pages = n as u32 };
+                    pd.set_kind(PdKind::Large);
+                    live.push((addr.as_ptr() as usize, n, false));
+                }
+            }
+            Op::Large(bytes) => {
+                if let Ok(addr) = layer.alloc_large(bytes) {
+                    live.push((addr.as_ptr() as usize, bytes.div_ceil(4096), true));
+                }
+            }
+            Op::Free(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (addr, n, large) = live.swap_remove(i % live.len());
+                let p = std::ptr::NonNull::new(addr as *mut u8).unwrap();
+                // SAFETY: allocated above, freed exactly once.
+                unsafe {
+                    if large {
+                        let freed = layer.free_large(p);
+                        if freed != n {
+                            return Err(format!("free_large returned {freed} pages, expected {n}"));
+                        }
+                    } else {
+                        layer.pd_of(addr).unwrap().set_kind(PdKind::Unused);
+                        layer.free_span(p, n);
+                    }
+                }
+            }
+        }
+        // The walker checks: tags consistent, no adjacent free spans,
+        // freelists exact, frame accounting exact.
+        layer.verify();
+    }
+    // Live spans never overlap.
+    let mut sorted = live.clone();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0].0 + w[0].1 * 4096 > w[1].0 {
+            return Err(format!("spans overlap: {:?} {:?}", w[0], w[1]));
+        }
+    }
+    // Free everything: all vmblks must be released.
+    for (addr, n, large) in live {
+        let p = std::ptr::NonNull::new(addr as *mut u8).unwrap();
+        // SAFETY: allocated above, freed exactly once.
+        unsafe {
+            if large {
+                layer.free_large(p);
+            } else {
+                layer.pd_of(addr).unwrap().set_kind(PdKind::Unused);
+                layer.free_span(p, n);
+            }
+        }
+    }
+    layer.verify();
+    if layer.nvmblks() != 0 {
+        return Err(format!("{} vmblks left after full drain", layer.nvmblks()));
+    }
+    if layer.space().phys().in_use() != 0 {
+        return Err(format!(
+            "{} phys frames still in use after full drain",
+            layer.space().phys().in_use()
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn random_span_traffic_stays_coalesced() {
+    check(
+        "random_span_traffic_stays_coalesced",
+        48,
+        vec_of(1..150, gen_op),
+        |ops| shrink_vec(ops, shrink_op),
+        |ops| run_span_traffic(ops),
+    );
+}
+
+/// Regression (saved proptest counterexample): a single one-page span
+/// allocation, then the drain path. Caught a walker bug in the
+/// single-span vmblk case.
+#[test]
+fn regression_single_one_page_span() {
+    run_span_traffic(&[Op::Alloc(1)]).unwrap();
 }
 
 #[test]

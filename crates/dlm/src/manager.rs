@@ -206,7 +206,9 @@ impl Dlm {
         // Grant if nothing waits (FIFO fairness) and the mode is
         // compatible with every granted lock.
         // SAFETY: `rsb` is live under the bucket lock.
-        let can_grant = unsafe { (*rsb).wait_head.is_null() && compatible_with_granted(rsb, mode, ptr::null_mut()) };
+        let can_grant = unsafe {
+            (*rsb).wait_head.is_null() && compatible_with_granted(rsb, mode, ptr::null_mut())
+        };
         // SAFETY: fresh LKB-sized allocation.
         unsafe {
             lkb.as_ptr().write(Lkb {
@@ -215,7 +217,11 @@ impl Dlm {
                 ast_fn: 0,
                 ast_ctx: 0,
                 mode: mode as u8,
-                state: if can_grant { STATE_GRANTED } else { STATE_WAITING },
+                state: if can_grant {
+                    STATE_GRANTED
+                } else {
+                    STATE_WAITING
+                },
                 _pad: [0; 222],
             });
         }
@@ -442,9 +448,7 @@ impl Dlm {
         let _guard = self.bucket_of(name).lock();
         // SAFETY: bucket lock held; records live.
         unsafe {
-            if (*lkb).state != STATE_GRANTED
-                || Mode::from_u8((*lkb).mode) < Mode::Pw
-            {
+            if (*lkb).state != STATE_GRANTED || Mode::from_u8((*lkb).mode) < Mode::Pw {
                 return false;
             }
             (*rsb).lvb = value;

@@ -56,11 +56,7 @@ mod tests {
     fn matrix_is_symmetric() {
         for a in Mode::ALL {
             for b in Mode::ALL {
-                assert_eq!(
-                    a.compatible_with(b),
-                    b.compatible_with(a),
-                    "{a:?} vs {b:?}"
-                );
+                assert_eq!(a.compatible_with(b), b.compatible_with(a), "{a:?} vs {b:?}");
             }
         }
     }

@@ -15,8 +15,7 @@
 
 use kmem::CpuHandle;
 use kmem_smp::SpinLock;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use kmem_testkit::Rng;
 
 use crate::manager::{Dlm, LockHandle, LockStatus};
 use crate::modes::Mode;
@@ -76,12 +75,12 @@ impl SharedLocks {
     }
 
     /// Withdraws an arbitrary lock (pseudo-randomly chosen).
-    pub fn pop(&self, rng: &mut SmallRng) -> Option<LockHandle> {
+    pub fn pop(&self, rng: &mut Rng) -> Option<LockHandle> {
         let mut held = self.held.lock();
         if held.is_empty() {
             return None;
         }
-        let idx = rng.gen_range(0..held.len());
+        let idx = rng.index(held.len());
         Some(held.swap_remove(idx))
     }
 
@@ -118,8 +117,8 @@ pub struct WorkerReport {
 }
 
 /// OLTP-ish mode mix: mostly reads, some updates, few exclusives.
-fn pick_mode(rng: &mut SmallRng) -> Mode {
-    match rng.gen_range(0..100u32) {
+fn pick_mode(rng: &mut Rng) -> Mode {
+    match rng.range_u64(0..100) {
         0..=44 => Mode::Cr,
         45..=69 => Mode::Pr,
         70..=84 => Mode::Cw,
@@ -138,20 +137,20 @@ pub fn run_worker(
     cfg: WorkloadConfig,
     worker: u64,
 ) -> WorkerReport {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (worker.wrapping_mul(0x9E37_79B9)));
+    let mut rng = Rng::new(cfg.seed ^ (worker.wrapping_mul(0x9E37_79B9)));
     let mut report = WorkerReport::default();
     let mut remaining = cfg.ops;
     while remaining > 0 {
         // Transaction body: acquire a burst of locks.
         let burst = cfg.burst.min(remaining);
         for _ in 0..burst {
-            let res = rng.gen_range(0..cfg.resources);
+            let res = rng.range_u64(0..cfg.resources);
             let mode = pick_mode(&mut rng);
             match dlm.lock(cpu, res, mode) {
                 Ok((h, LockStatus::Granted)) => {
                     report.granted += 1;
                     // Occasionally convert, as real callers do.
-                    if rng.gen_ratio(1, 8) {
+                    if rng.ratio(1, 8) {
                         report.converts += 1;
                         let _ = dlm.convert(cpu, &h, pick_mode(&mut rng));
                     }
@@ -181,7 +180,7 @@ pub fn run_worker(
         } else {
             burst
         };
-        let gust = if rng.gen_ratio(1, 64) {
+        let gust = if rng.ratio(1, 64) {
             shared.len() / 4
         } else {
             0

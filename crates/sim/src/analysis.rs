@@ -221,46 +221,49 @@ pub fn profile_two_cpu(pattern: &[Ref], warmup: usize, cost: CostModel) -> OpCos
             None => 0x10_0000 + cpu * 0x10_000 + i,
         }
     };
-    let run =
-        |cpu: usize, onchip: &mut [OnChip; 2], coh: &mut Coherence, record: bool| -> OpCostProfile {
-            let mut costs = Vec::with_capacity(pattern.len());
-            let mut off_chip = 0usize;
-            let mut elapsed = 0u64;
-            for (i, r) in pattern.iter().enumerate() {
-                let line = line_for(cpu, r, i);
-                let hit_onchip = onchip[cpu].touch(line);
-                // Writes to shared lines invalidate the peer's on-chip copy.
-                if r.shared.is_some() && r.kind != AccessKind::Read {
-                    onchip[1 - cpu].invalidate(line);
-                }
-                let cycles = if hit_onchip && r.kind != AccessKind::Rmw {
-                    ONCHIP_HIT
+    let run = |cpu: usize,
+               onchip: &mut [OnChip; 2],
+               coh: &mut Coherence,
+               record: bool|
+     -> OpCostProfile {
+        let mut costs = Vec::with_capacity(pattern.len());
+        let mut off_chip = 0usize;
+        let mut elapsed = 0u64;
+        for (i, r) in pattern.iter().enumerate() {
+            let line = line_for(cpu, r, i);
+            let hit_onchip = onchip[cpu].touch(line);
+            // Writes to shared lines invalidate the peer's on-chip copy.
+            if r.shared.is_some() && r.kind != AccessKind::Read {
+                onchip[1 - cpu].invalidate(line);
+            }
+            let cycles = if hit_onchip && r.kind != AccessKind::Rmw {
+                ONCHIP_HIT
+            } else {
+                // Off chip: let the directory price it; a "miss" that
+                // the directory serves from our own board cache is the
+                // cheap kind.
+                let a = coh.access(cpu, line, r.kind);
+                off_chip += 1;
+                if a.off_chip {
+                    a.cycles
                 } else {
-                    // Off chip: let the directory price it; a "miss" that
-                    // the directory serves from our own board cache is the
-                    // cheap kind.
-                    let a = coh.access(cpu, line, r.kind);
-                    off_chip += 1;
-                    if a.off_chip {
-                        a.cycles
-                    } else {
-                        BOARD_HIT + a.cycles - cost.hit
-                    }
-                };
-                if record {
-                    costs.push(cycles);
+                    BOARD_HIT + a.cycles - cost.hit
                 }
-                elapsed += cycles;
+            };
+            if record {
+                costs.push(cycles);
             }
-            costs.sort_unstable_by(|a, b| b.cmp(a));
-            OpCostProfile {
-                accesses: pattern.len(),
-                off_chip,
-                elapsed_cycles: elapsed,
-                nominal_cycles: 0,
-                costs_desc: costs,
-            }
-        };
+            elapsed += cycles;
+        }
+        costs.sort_unstable_by(|a, b| b.cmp(a));
+        OpCostProfile {
+            accesses: pattern.len(),
+            off_chip,
+            elapsed_cycles: elapsed,
+            nominal_cycles: 0,
+            costs_desc: costs,
+        }
+    };
     // Warmup: both CPUs alternate ops, heating their board caches and
     // leaving the shared lines in the *other* CPU's cache.
     for _ in 0..warmup {
@@ -274,11 +277,7 @@ pub fn profile_two_cpu(pattern: &[Ref], warmup: usize, cost: CostModel) -> OpCos
     // Nominal: the instruction-count estimate — every reference an
     // on-chip hit, plus the unavoidable RMW stalls.
     profile.nominal_cycles = pattern.len() as u64 * ONCHIP_HIT
-        + pattern
-            .iter()
-            .filter(|r| r.kind == AccessKind::Rmw)
-            .count() as u64
-            * cost.rmw_stall;
+        + pattern.iter().filter(|r| r.kind == AccessKind::Rmw).count() as u64 * cost.rmw_stall;
     profile
 }
 

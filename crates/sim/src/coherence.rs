@@ -149,7 +149,12 @@ impl Coherence {
                 } else {
                     0
                 };
-                (self.cost.hit + stall, false, false, LineState::Modified(cpu))
+                (
+                    self.cost.hit + stall,
+                    false,
+                    false,
+                    LineState::Modified(cpu),
+                )
             }
             (Some(LineState::Modified(_)), _) => {
                 let stall = if kind == AccessKind::Rmw {
@@ -172,7 +177,12 @@ impl Coherence {
                 };
                 if *set == bit {
                     // Sole sharer upgrades silently enough.
-                    (self.cost.hit + stall, false, false, LineState::Modified(cpu))
+                    (
+                        self.cost.hit + stall,
+                        false,
+                        false,
+                        LineState::Modified(cpu),
+                    )
                 } else {
                     // Invalidate the other sharers.
                     (

@@ -158,8 +158,7 @@ impl Simulator {
                     // Spinning CPUs consume bus bandwidth in proportion to
                     // how long they spin, delaying the hand-off (see
                     // `CostModel::spin_bus_factor`).
-                    let interference =
-                        (wait as f64 * self.config.cost.spin_bus_factor) as u64;
+                    let interference = (wait as f64 * self.config.cost.spin_bus_factor) as u64;
                     free_at + interference
                 } else {
                     now

@@ -1,71 +1,124 @@
 //! Property tests for the discrete-event engine (DESIGN.md §6f).
 
-use proptest::prelude::*;
+use kmem_testkit::{check, no_shrink, Rng};
 
+use kmem_sim::{SimConfig, Simulator};
 use kmem_smp::probe::{self, ProbeEvent};
 use kmem_smp::SpinLock;
-use kmem_sim::{SimConfig, Simulator};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A (ncpus, ops, base, cs) parameter tuple.
+type Params = (usize, u64, u64, u64);
 
-    /// Whatever the per-op cost mix, the run completes the exact op count
-    /// and elapsed time is bounded below by both the per-CPU work and the
-    /// lock-serialized work.
-    #[test]
-    fn elapsed_respects_work_lower_bounds(
-        ncpus in 1usize..8,
-        ops in 1u64..200,
-        base in 0u64..500,
-        cs in 1u64..300,
-    ) {
-        let lock = SpinLock::new(());
-        let r = Simulator::new(SimConfig::new(ncpus, ops)).run(|_| {
-            let _g = lock.lock();
-            probe::emit(ProbeEvent::Work { cycles: cs });
-            base
-        });
-        prop_assert_eq!(r.total_ops, ops * ncpus as u64);
-        // Per-CPU lower bound: each CPU did `ops` ops of ≥ base cycles.
-        prop_assert!(r.elapsed_cycles >= ops * base);
-        // Serialization lower bound: every critical section is ≥ cs and
-        // they cannot overlap.
-        prop_assert!(r.elapsed_cycles >= ops * ncpus as u64 * cs);
+/// Shrinks a [`Params`] tuple component-wise toward its lower bounds.
+fn shrink_params(lo: Params) -> impl Fn(&Params) -> Vec<Params> {
+    move |&(ncpus, ops, base, cs)| {
+        let mut out = Vec::new();
+        for n in kmem_testkit::shrink_usize(ncpus, lo.0) {
+            out.push((n, ops, base, cs));
+        }
+        for o in kmem_testkit::shrink_u64(ops, lo.1) {
+            out.push((ncpus, o, base, cs));
+        }
+        for b in kmem_testkit::shrink_u64(base, lo.2) {
+            out.push((ncpus, ops, b, cs));
+        }
+        for c in kmem_testkit::shrink_u64(cs, lo.3) {
+            out.push((ncpus, ops, base, c));
+        }
+        out
     }
+}
 
-    /// Lock-free work scales exactly: N CPUs finish in the same simulated
-    /// time one CPU needs (no hidden cross-CPU coupling).
-    #[test]
-    fn private_work_is_perfectly_parallel(
-        ncpus in 1usize..12,
-        ops in 1u64..500,
-        base in 1u64..1000,
-    ) {
-        let solo = Simulator::new(SimConfig::new(1, ops)).run(|_| base);
-        let many = Simulator::new(SimConfig::new(ncpus, ops)).run(|_| base);
-        prop_assert_eq!(solo.elapsed_cycles, many.elapsed_cycles);
-        prop_assert_eq!(many.total_ops, ops * ncpus as u64);
-    }
-
-    /// The engine is deterministic for any parameter mix.
-    #[test]
-    fn determinism(
-        ncpus in 1usize..6,
-        ops in 1u64..100,
-        cs in 1u64..100,
-    ) {
-        let run = || {
+/// Whatever the per-op cost mix, the run completes the exact op count
+/// and elapsed time is bounded below by both the per-CPU work and the
+/// lock-serialized work.
+#[test]
+fn elapsed_respects_work_lower_bounds() {
+    check(
+        "elapsed_respects_work_lower_bounds",
+        48,
+        |rng: &mut Rng| {
+            (
+                rng.range_usize(1..8),
+                rng.range_u64(1..200),
+                rng.range_u64(0..500),
+                rng.range_u64(1..300),
+            )
+        },
+        shrink_params((1, 1, 0, 1)),
+        |&(ncpus, ops, base, cs)| {
             let lock = SpinLock::new(());
-            Simulator::new(SimConfig::new(ncpus, ops)).run(|_| {
+            let r = Simulator::new(SimConfig::new(ncpus, ops)).run(|_| {
                 let _g = lock.lock();
                 probe::emit(ProbeEvent::Work { cycles: cs });
-                7
-            })
-        };
-        let a = run();
-        let b = run();
-        prop_assert_eq!(a.elapsed_cycles, b.elapsed_cycles);
-        prop_assert_eq!(a.misses, b.misses);
-        prop_assert_eq!(a.lock_wait_cycles, b.lock_wait_cycles);
-    }
+                base
+            });
+            assert_eq!(r.total_ops, ops * ncpus as u64);
+            // Per-CPU lower bound: each CPU did `ops` ops of ≥ base cycles.
+            assert!(r.elapsed_cycles >= ops * base);
+            // Serialization lower bound: every critical section is ≥ cs and
+            // they cannot overlap.
+            assert!(r.elapsed_cycles >= ops * ncpus as u64 * cs);
+            Ok(())
+        },
+    );
+}
+
+/// Lock-free work scales exactly: N CPUs finish in the same simulated
+/// time one CPU needs (no hidden cross-CPU coupling).
+#[test]
+fn private_work_is_perfectly_parallel() {
+    check(
+        "private_work_is_perfectly_parallel",
+        48,
+        |rng: &mut Rng| {
+            (
+                rng.range_usize(1..12),
+                rng.range_u64(1..500),
+                rng.range_u64(1..1000),
+                1u64,
+            )
+        },
+        shrink_params((1, 1, 1, 1)),
+        |&(ncpus, ops, base, _)| {
+            let solo = Simulator::new(SimConfig::new(1, ops)).run(|_| base);
+            let many = Simulator::new(SimConfig::new(ncpus, ops)).run(|_| base);
+            assert_eq!(solo.elapsed_cycles, many.elapsed_cycles);
+            assert_eq!(many.total_ops, ops * ncpus as u64);
+            Ok(())
+        },
+    );
+}
+
+/// The engine is deterministic for any parameter mix.
+#[test]
+fn determinism() {
+    check(
+        "determinism",
+        48,
+        |rng: &mut Rng| {
+            (
+                rng.range_usize(1..6),
+                rng.range_u64(1..100),
+                rng.range_u64(1..100),
+            )
+        },
+        no_shrink,
+        |&(ncpus, ops, cs)| {
+            let run = || {
+                let lock = SpinLock::new(());
+                Simulator::new(SimConfig::new(ncpus, ops)).run(|_| {
+                    let _g = lock.lock();
+                    probe::emit(ProbeEvent::Work { cycles: cs });
+                    7
+                })
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.elapsed_cycles, b.elapsed_cycles);
+            assert_eq!(a.misses, b.misses);
+            assert_eq!(a.lock_wait_cycles, b.lock_wait_cycles);
+            Ok(())
+        },
+    );
 }

@@ -206,7 +206,9 @@ impl StreamsAlloc {
         // SAFETY: `mp` is live per contract.
         let src = unsafe { &*mp.0.as_ptr() };
         // SAFETY: `b_datap` of a live message is a live data block.
-        unsafe { &*src.b_datap }.db_ref.fetch_add(1, Ordering::AcqRel);
+        unsafe { &*src.b_datap }
+            .db_ref
+            .fetch_add(1, Ordering::AcqRel);
         // SAFETY: fresh allocation of msgb size.
         unsafe {
             new.as_ptr().write(Msgb {
@@ -316,9 +318,7 @@ impl StreamsAlloc {
         // SAFETY: `mp` is live per contract.
         let src = unsafe { &*mp.0.as_ptr() };
         // SAFETY: live message ⇒ live data block with a valid buffer.
-        let cap = unsafe {
-            (*src.b_datap).db_lim.offset_from((*src.b_datap).db_base)
-        } as usize;
+        let cap = unsafe { (*src.b_datap).db_lim.offset_from((*src.b_datap).db_base) } as usize;
         let new = self.allocb(cpu, cap)?;
         // SAFETY: both buffers are live and disjoint; rptr/wptr lie
         // within the source buffer.
@@ -344,9 +344,7 @@ impl StreamsAlloc {
         let mut dst_tail = head.0.as_ptr();
         while !src_cur.is_null() {
             // SAFETY: chain members are live per contract.
-            let seg = unsafe {
-                self.copyb(cpu, MsgPtr(NonNull::new_unchecked(src_cur)))
-            };
+            let seg = unsafe { self.copyb(cpu, MsgPtr(NonNull::new_unchecked(src_cur))) };
             let Some(seg) = seg else {
                 // SAFETY: the partial chain is ours; free it all.
                 unsafe { self.freemsg(cpu, head) };
@@ -531,11 +529,7 @@ mod tests {
 
     #[test]
     fn exhaustion_yields_none_and_cleans_up() {
-        let arena = KmemArena::new(KmemConfig::new(
-            1,
-            kmem_vm_space_small(),
-        ))
-        .unwrap();
+        let arena = KmemArena::new(KmemConfig::new(1, kmem_vm_space_small())).unwrap();
         let cpu = arena.register_cpu().unwrap();
         let sa = StreamsAlloc::new(arena);
         let mut held = Vec::new();

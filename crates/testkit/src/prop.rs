@@ -1,0 +1,322 @@
+//! A minimal shrinking property-test harness.
+//!
+//! This replaces `proptest` for in-repo use so the test suite builds with
+//! no network access. The moving parts:
+//!
+//! * a **generator** is any `Fn(&mut Rng) -> T`;
+//! * a **shrinker** is any `Fn(&T) -> Vec<T>` returning *simpler*
+//!   candidates (return an empty vec to disable shrinking);
+//! * the **property** returns `Err(message)` — or panics, e.g. via
+//!   `assert!` — to signal failure.
+//!
+//! [`check`] runs the property over `cases` generated inputs. On failure
+//! it greedily shrinks within a bounded step budget and panics with the
+//! minimal failing input **and the seed that reproduces the run**:
+//!
+//! ```text
+//! property 'split_bounds' failed (seed 0xd1ab0..., case 17, 9 shrink steps)
+//! ```
+//!
+//! Every run is deterministic: the master seed is derived from the
+//! property name, so CI is stable, and `KMEM_TESTKIT_SEED=0x...` replays
+//! any reported failure (`KMEM_TESTKIT_CASES=N` overrides the case count).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{splitmix64, Rng};
+
+/// How many shrink candidates may be *evaluated* before shrinking stops.
+const MAX_SHRINK_EVALS: u32 = 2_000;
+
+/// FNV-1a, used to derive a per-property default seed from its name.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{var}={raw} is not a number"),
+    }
+}
+
+/// Runs `prop` against `cases` inputs drawn from `gen`, shrinking any
+/// failure with `shrink`.
+///
+/// # Panics
+///
+/// Panics with a seed-bearing report on the first (shrunk) failing input.
+pub fn check<T, G, S, P>(name: &str, cases: u32, gen: G, shrink: S, prop: P)
+where
+    T: core::fmt::Debug,
+    G: Fn(&mut Rng) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let seed = env_u64("KMEM_TESTKIT_SEED").unwrap_or_else(|| hash_name(name));
+    let cases = env_u64("KMEM_TESTKIT_CASES").map_or(cases, |c| c as u32);
+    for case in 0..cases {
+        // Each case gets its own stream so a failure depends only on
+        // (seed, case), not on how many values earlier cases consumed.
+        let mut sm = seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = Rng::new(splitmix64(&mut sm));
+        let value = gen(&mut rng);
+        let Err(first_msg) = run_prop(&prop, &value) else {
+            continue;
+        };
+        // Greedy bounded shrinking: take the first simpler candidate that
+        // still fails, repeat from there.
+        let mut current = value;
+        let mut msg = first_msg;
+        let mut evals = 0u32;
+        let mut steps = 0u32;
+        'outer: while evals < MAX_SHRINK_EVALS {
+            for cand in shrink(&current) {
+                evals += 1;
+                if let Err(m) = run_prop(&prop, &cand) {
+                    current = cand;
+                    msg = m;
+                    steps += 1;
+                    continue 'outer;
+                }
+                if evals >= MAX_SHRINK_EVALS {
+                    break;
+                }
+            }
+            break;
+        }
+        panic!(
+            "property '{name}' failed (seed 0x{seed:016x}, case {case}, \
+             {steps} shrink steps)\n  input: {current:?}\n  error: {msg}\n  \
+             reproduce with: KMEM_TESTKIT_SEED=0x{seed:x} cargo test {name}"
+        );
+    }
+}
+
+/// Evaluates the property, converting panics (e.g. failed `assert!`s)
+/// into `Err` so they participate in shrinking.
+fn run_prop<T, P>(prop: &P, value: &T) -> Result<(), String>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        // NB: `&*payload`, not `&payload` — a `&Box<dyn Any>` would itself
+        // unsize-coerce to `&dyn Any` and the downcast would always miss.
+        Err(payload) => Err(payload_message(&*payload)),
+    }
+}
+
+fn payload_message(payload: &(dyn core::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".into()
+    }
+}
+
+/// A shrinker that never shrinks.
+pub fn no_shrink<T>(_: &T) -> Vec<T> {
+    Vec::new()
+}
+
+/// Generator combinator: a `Vec<T>` whose length is drawn from `len`.
+pub fn vec_of<T>(
+    len: core::ops::Range<usize>,
+    elem: impl Fn(&mut Rng) -> T,
+) -> impl Fn(&mut Rng) -> Vec<T> {
+    move |rng| {
+        let n = rng.range_usize(len.clone());
+        (0..n).map(|_| elem(rng)).collect()
+    }
+}
+
+/// Generator for a thread interleaving: a schedule in which each of
+/// `threads` ids appears exactly `ops_per_thread` times, in random order.
+/// Replaying the schedule on one real thread explores cross-CPU
+/// interleavings deterministically.
+pub fn interleaving(threads: usize, ops_per_thread: usize) -> impl Fn(&mut Rng) -> Vec<usize> {
+    move |rng| {
+        let mut schedule: Vec<usize> = (0..threads)
+            .flat_map(|t| core::iter::repeat_n(t, ops_per_thread))
+            .collect();
+        rng.shuffle(&mut schedule);
+        schedule
+    }
+}
+
+/// Shrinks a vector: first by dropping chunks (halves, then quarters,
+/// then single elements), then by shrinking single elements via `elem`.
+pub fn shrink_vec<T: Clone>(v: &[T], elem: impl Fn(&T) -> Vec<T>) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let n = v.len();
+    if n == 0 {
+        return out;
+    }
+    // Whole-chunk removal, coarse to fine.
+    let mut chunk = n.div_ceil(2);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let mut shorter = Vec::with_capacity(n - (end - start));
+            shorter.extend_from_slice(&v[..start]);
+            shorter.extend_from_slice(&v[end..]);
+            out.push(shorter);
+            start += chunk;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+        // Keep the candidate list bounded for long vectors.
+        if out.len() > 64 {
+            break;
+        }
+    }
+    // Element-wise shrinking (bounded).
+    for i in 0..n.min(24) {
+        for simpler in elem(&v[i]) {
+            let mut copy = v.to_vec();
+            copy[i] = simpler;
+            out.push(copy);
+        }
+    }
+    out
+}
+
+/// Shrinks an integer toward `lo`: the minimum, the midpoint, and the
+/// predecessor.
+pub fn shrink_u64(v: u64, lo: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if v <= lo {
+        return out;
+    }
+    out.push(lo);
+    let mid = lo + (v - lo) / 2;
+    if mid != lo && mid != v {
+        out.push(mid);
+    }
+    out.push(v - 1);
+    out
+}
+
+/// [`shrink_u64`] for `usize`.
+pub fn shrink_usize(v: usize, lo: usize) -> Vec<usize> {
+    shrink_u64(v as u64, lo as u64)
+        .into_iter()
+        .map(|x| x as usize)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_checks_all_cases() {
+        let mut count = 0u32;
+        let counter = core::cell::Cell::new(0u32);
+        check(
+            "always_true",
+            50,
+            |rng| rng.range_u64(0..100),
+            no_shrink,
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        count += counter.get();
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn failure_reports_seed_and_shrinks_to_minimal() {
+        // Property fails for any v >= 10; the minimal counterexample the
+        // integer shrinker can reach is exactly 10.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "fails_at_ten",
+                200,
+                |rng| rng.range_u64(0..1000),
+                |&v| shrink_u64(v, 0),
+                |&v| {
+                    if v < 10 {
+                        Ok(())
+                    } else {
+                        Err(format!("{v} too big"))
+                    }
+                },
+            );
+        }));
+        let msg = payload_message(&*r.unwrap_err());
+        assert!(msg.contains("seed 0x"), "no seed in: {msg}");
+        assert!(msg.contains("input: 10"), "not shrunk to 10: {msg}");
+        assert!(msg.contains("KMEM_TESTKIT_SEED"), "no repro hint: {msg}");
+    }
+
+    #[test]
+    fn vec_shrinker_reaches_single_element() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "one_bad_apple",
+                100,
+                vec_of(0..50, |rng| rng.range_u64(0..100)),
+                |v| shrink_vec(v, |&e| shrink_u64(e, 0)),
+                |v: &Vec<u64>| {
+                    if v.contains(&77) {
+                        Err("found 77".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = payload_message(&*r.unwrap_err());
+        assert!(msg.contains("input: [77]"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn panicking_properties_are_caught_and_shrunk() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "assert_style",
+                100,
+                |rng| rng.range_usize(0..64),
+                |&v| shrink_usize(v, 0),
+                |&v| {
+                    assert!(v < 32, "too big: {v}");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = payload_message(&*r.unwrap_err());
+        assert!(msg.contains("input: 32"), "not shrunk: {msg}");
+        assert!(msg.contains("too big"), "assert message lost: {msg}");
+    }
+
+    #[test]
+    fn interleaving_is_a_fair_schedule() {
+        let mut rng = Rng::new(1);
+        let schedule = interleaving(3, 10)(&mut rng);
+        assert_eq!(schedule.len(), 30);
+        for t in 0..3 {
+            assert_eq!(schedule.iter().filter(|&&x| x == t).count(), 10);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Deterministic pseudo-random numbers for tests: SplitMix64 seeding into
+//! xoshiro256** (Blackman & Vigna), the same construction `rand`'s
+//! `SmallRng` family uses.
+//!
+//! The generator is deliberately *not* cryptographic. What matters for a
+//! test suite is that (a) a 64-bit seed fully determines the stream, so a
+//! failure report can name the seed that reproduces it; (b) streams forked
+//! for worker threads are statistically independent; and (c) there is no
+//! dependency on the host, the time, or crates.io.
+
+/// The SplitMix64 step: used to expand a 64-bit seed into generator state
+/// and to derive per-thread stream seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut sm);
+        }
+        // xoshiro256** is degenerate only in the all-zero state, which
+        // SplitMix64 cannot produce from any seed; guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng { s }
+    }
+
+    /// Derives an independent stream (for a worker thread or a sub-task).
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let mut sm = self.next_u64() ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut sm);
+        }
+        Rng { s }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 uniformly distributed bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    #[inline]
+    pub fn range_u64(&mut self, range: core::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        // Modulo bias is at most span / 2^64 — irrelevant for test inputs.
+        range.start + self.next_u64() % span
+    }
+
+    /// Uniform `usize` in `[range.start, range.end)`.
+    #[inline]
+    pub fn range_usize(&mut self, range: core::ops::Range<usize>) -> usize {
+        self.range_u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform index into a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[inline]
+    pub fn index(&mut self, len: usize) -> usize {
+        self.range_usize(0..len)
+    }
+
+    /// Returns `true` with probability `num / den`.
+    #[inline]
+    pub fn ratio(&mut self, num: u64, den: u64) -> bool {
+        debug_assert!(num <= den && den > 0);
+        self.range_u64(0..den) < num
+    }
+
+    /// Picks a uniformly random element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut parent1 = Rng::new(7);
+        let mut parent2 = Rng::new(7);
+        let mut f1 = parent1.fork(3);
+        let mut f2 = parent2.fork(3);
+        for _ in 0..100 {
+            assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+        let mut other = Rng::new(7).fork(4);
+        assert_ne!(f1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng::new(99);
+        for _ in 0..10_000 {
+            let v = rng.range_usize(10..20);
+            assert!((10..20).contains(&v));
+        }
+        // Both endpoints of a small range show up.
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.range_usize(0..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ratio_is_roughly_calibrated() {
+        let mut rng = Rng::new(5);
+        let hits = (0..100_000).filter(|_| rng.ratio(1, 4)).count();
+        assert!((20_000..30_000).contains(&hits), "1/4 ratio gave {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(11);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left 100 elements in order");
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 0, from the reference implementation.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+    }
+}

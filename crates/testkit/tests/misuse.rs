@@ -1,0 +1,89 @@
+//! Misuse detection: the debug-build guards must catch API abuse loudly
+//! instead of corrupting the arena.
+//!
+//! The cookie-validation and poisoning guards are `debug_assert!`-based
+//! (they must cost nothing in release kernels), so those tests are gated
+//! on `debug_assertions`. The dope-vector foreign-pointer guard is
+//! structural and fires in every build.
+
+use kmem::{KmemArena, KmemConfig};
+
+fn arena() -> KmemArena {
+    KmemArena::new(KmemConfig::small()).unwrap()
+}
+
+/// A cookie resolved against one arena must be rejected by another:
+/// the cookie embeds the issuing arena's id.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "different arena")]
+fn cross_arena_cookie_alloc_is_caught() {
+    let a = arena();
+    let b = arena();
+    let cookie_a = a.cookie_for(256).unwrap();
+    let cpu_b = b.register_cpu().unwrap();
+    let _ = cpu_b.alloc_cookie(cookie_a);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "different arena")]
+fn cross_arena_cookie_free_is_caught() {
+    let a = arena();
+    let b = arena();
+    let cookie_a = a.cookie_for(256).unwrap();
+    let cpu_b = b.register_cpu().unwrap();
+    let p = cpu_b.alloc(256).unwrap();
+    // SAFETY: deliberately wrong cookie — the guard must fire before any
+    // freelist is touched.
+    unsafe { cpu_b.free_cookie(p, cookie_a) };
+}
+
+/// Freeing the same block twice trips the poison check: the second free
+/// sees the poison word the first free wrote.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "double free")]
+fn double_free_is_caught() {
+    let a = arena();
+    let cpu = a.register_cpu().unwrap();
+    let p = cpu.alloc(128).unwrap();
+    // SAFETY: first free is legal; the second is the violation under test.
+    unsafe {
+        cpu.free_sized(p, 128);
+        cpu.free_sized(p, 128);
+    }
+}
+
+/// Writing to a block after freeing it is caught when the allocator next
+/// hands the block out (the poison word was overwritten).
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "use-after-free")]
+fn use_after_free_is_caught_at_realloc() {
+    let a = arena();
+    let cpu = a.register_cpu().unwrap();
+    let p = cpu.alloc(128).unwrap();
+    // SAFETY: allocated above, freed once; the write below is the
+    // violation under test.
+    unsafe {
+        cpu.free_sized(p, 128);
+        core::ptr::write_bytes(p.as_ptr(), 0xff, 128);
+    }
+    // The freed block sits at the head of the per-CPU freelist, so the
+    // next same-class allocation returns it and checks its poison.
+    let _ = cpu.alloc(128);
+}
+
+/// A pointer the arena never issued (here: from the host heap) is
+/// rejected by the dope-vector lookup in every build profile.
+#[test]
+#[should_panic(expected = "does not manage")]
+fn foreign_pointer_free_is_caught() {
+    let a = arena();
+    let cpu = a.register_cpu().unwrap();
+    let mut foreign = Box::new([0u8; 256]);
+    let p = std::ptr::NonNull::new(foreign.as_mut_ptr()).unwrap();
+    // SAFETY: deliberately foreign pointer — the guard must reject it.
+    unsafe { cpu.free(p) };
+}

@@ -1,0 +1,129 @@
+//! The acceptance-grade torture runs: real threads, randomized op mixes,
+//! invariant walkers at every quiescent checkpoint.
+
+use kmem::verify::{verify_arena, verify_empty};
+use kmem::{KmemArena, KmemConfig};
+use kmem_testkit::{check, interleaving, no_shrink, run_torture, TortureConfig};
+use kmem_vm::SpaceConfig;
+
+/// 4 threads × 100 000 randomized ops over 4 size classes, with
+/// cross-thread frees, flush pressure, and conservation checks at every
+/// phase boundary — the headline multi-threaded soak.
+#[test]
+fn standard_torture_run_is_clean() {
+    let cfg = TortureConfig::standard();
+    let arena = KmemArena::new(KmemConfig::new(cfg.threads, SpaceConfig::new(256 << 20))).unwrap();
+    let report = run_torture(&arena, &cfg);
+
+    // The run must actually exercise the mix, not degenerate into no-ops.
+    assert_eq!(
+        report.ops,
+        (cfg.threads * cfg.ops_per_thread) as u64,
+        "every scheduled op must run"
+    );
+    assert!(report.allocs > 10_000, "too few allocs: {report:?}");
+    assert!(
+        report.local_frees > 1_000,
+        "too few local frees: {report:?}"
+    );
+    assert!(
+        report.cross_frees > 1_000,
+        "cross-thread frees missing: {report:?}"
+    );
+    assert!(report.exchanges > 1_000, "exchange pool unused: {report:?}");
+    assert!(report.flushes > 100, "flush arm unused: {report:?}");
+    assert!(report.large_allocs > 0, "large arm unused: {report:?}");
+    // One checkpoint per phase plus the post-teardown verification.
+    assert_eq!(report.checkpoints, cfg.phases as u64 + 1);
+
+    // Everything came back: the arena drains to empty.
+    arena.reclaim();
+    verify_empty(&arena);
+}
+
+/// The same mix under a starved physical pool: allocations fail, the
+/// low-memory flush/drain ladder runs, and the invariants still hold at
+/// every checkpoint.
+#[test]
+fn torture_survives_low_memory_pressure() {
+    let cfg = TortureConfig {
+        threads: 4,
+        ops_per_thread: 25_000,
+        phases: 3,
+        max_held_per_thread: 1_024,
+        ..TortureConfig::standard()
+    };
+    // 384 KB of frames versus megabytes of steady-state demand: the pool
+    // runs dry and the flush/drain-request ladder gets real traffic.
+    let arena = KmemArena::new(KmemConfig::new(
+        cfg.threads,
+        SpaceConfig::new(64 << 20).phys_pages(96),
+    ))
+    .unwrap();
+    let report = run_torture(&arena, &cfg);
+
+    assert!(
+        report.failed_allocs > 0,
+        "pool never ran dry — pressure path untested: {report:?}"
+    );
+    assert!(report.allocs > 1_000, "too few allocs: {report:?}");
+    assert_eq!(report.checkpoints, cfg.phases as u64 + 1);
+
+    arena.reclaim();
+    verify_empty(&arena);
+}
+
+/// Deterministic cross-CPU interleavings: several virtual CPUs driven
+/// from one thread by a generated fair schedule. Unlike the real-thread
+/// torture (where the OS scheduler decides the timing), a failure here
+/// shrinks to a minimal schedule.
+#[test]
+fn interleaved_cpu_schedules_preserve_invariants() {
+    const CPUS: usize = 3;
+    check(
+        "interleaved_cpu_schedules_preserve_invariants",
+        20,
+        |rng| {
+            let schedule = interleaving(CPUS, 120)(rng);
+            let seed = rng.next_u64();
+            (schedule, seed)
+        },
+        no_shrink,
+        |(schedule, seed)| {
+            let arena = KmemArena::new(KmemConfig::new(CPUS, SpaceConfig::new(32 << 20))).unwrap();
+            let cpus: Vec<_> = (0..CPUS).map(|_| arena.register_cpu().unwrap()).collect();
+            let mut rng = kmem_testkit::Rng::new(*seed);
+            let sizes = [48usize, 256, 1024];
+            let mut held: Vec<Vec<(std::ptr::NonNull<u8>, usize)>> = vec![Vec::new(); CPUS];
+            for &t in schedule {
+                let cpu = &cpus[t];
+                if held[t].len() < 40 && rng.ratio(3, 5) {
+                    let size = *rng.choose(&sizes);
+                    if let Ok(p) = cpu.alloc(size) {
+                        held[t].push((p, size));
+                    }
+                } else if !held[t].is_empty() {
+                    let i = rng.index(held[t].len());
+                    let (p, size) = held[t].swap_remove(i);
+                    // SAFETY: allocated above on this handle, freed once.
+                    unsafe { cpu.free_sized(p, size) };
+                } else if rng.ratio(1, 4) {
+                    cpu.flush();
+                }
+            }
+            verify_arena(&arena);
+            for (t, blocks) in held.iter_mut().enumerate() {
+                for (p, size) in blocks.drain(..) {
+                    // SAFETY: allocated above on this handle, freed once.
+                    unsafe { cpus[t].free_sized(p, size) };
+                }
+            }
+            for cpu in &cpus {
+                cpu.flush();
+            }
+            arena.reclaim();
+            verify_empty(&arena);
+            Ok(())
+        },
+    );
+}

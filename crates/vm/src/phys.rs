@@ -80,12 +80,10 @@ impl PhysPool {
                     available: self.capacity - cur,
                 });
             }
-            match self.in_use.compare_exchange_weak(
-                cur,
-                new,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .in_use
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => {
                     self.maps.fetch_add(n, Ordering::Relaxed);
                     self.peak.fetch_max(new, Ordering::Relaxed);

@@ -327,7 +327,10 @@ mod tests {
         assert_eq!(s.dope_lookup(mid), Some(tag));
         assert_eq!(s.dope_lookup(r.base().as_ptr() as usize), Some(tag));
         // Last byte of the region still maps to it.
-        assert_eq!(s.dope_lookup(r.base().as_ptr() as usize + r.size() - 1), Some(tag));
+        assert_eq!(
+            s.dope_lookup(r.base().as_ptr() as usize + r.size() - 1),
+            Some(tag)
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Property tests for the kernel-space substrate.
 
-use proptest::prelude::*;
-
+use kmem_testkit::{check, shrink_vec, vec_of, Rng};
 use kmem_vm::{KernelSpace, SpaceConfig, VmblkRegion};
 
 /// Random carve/free interleavings keep regions disjoint and the dope
@@ -15,96 +14,120 @@ enum Op {
     Lookup(usize),
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => Just(Op::Carve),
-        2 => (0usize..64).prop_map(Op::Free),
-        2 => (0usize..64).prop_map(Op::Lookup),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    // Weighted 3:2:2, matching the original proptest strategy.
+    match rng.range_u64(0..7) {
+        0..=2 => Op::Carve,
+        3..=4 => Op::Free(rng.range_usize(0..64)),
+        _ => Op::Lookup(rng.range_usize(0..64)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn shrink_op(op: &Op) -> Vec<Op> {
+    match *op {
+        Op::Carve => Vec::new(),
+        Op::Free(i) => kmem_testkit::shrink_usize(i, 0)
+            .into_iter()
+            .map(Op::Free)
+            .collect(),
+        Op::Lookup(i) => kmem_testkit::shrink_usize(i, 0)
+            .into_iter()
+            .map(Op::Lookup)
+            .collect(),
+    }
+}
 
-    #[test]
-    fn carve_free_lookup_interleavings(ops in proptest::collection::vec(op(), 1..200)) {
-        let space = KernelSpace::new(
-            SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(16),
-        );
-        let mut live: Vec<VmblkRegion> = Vec::new();
-        for o in ops {
-            match o {
-                Op::Carve => {
-                    if let Ok(r) = space.alloc_vmblk() {
-                        // Freshly carved vmblks are unpublished.
-                        prop_assert_eq!(
-                            space.dope_lookup(r.base().as_ptr() as usize),
-                            None
-                        );
-                        space.set_dope(r.index(), r.base().as_ptr() as usize);
-                        // No overlap with any live region.
-                        for other in &live {
-                            let a = r.base().as_ptr() as usize;
-                            let b = other.base().as_ptr() as usize;
-                            prop_assert!(
-                                a + r.size() <= b || b + other.size() <= a,
-                                "regions overlap"
-                            );
+#[test]
+fn carve_free_lookup_interleavings() {
+    check(
+        "carve_free_lookup_interleavings",
+        128,
+        vec_of(1..200, gen_op),
+        |ops| shrink_vec(ops, shrink_op),
+        |ops| {
+            let space = KernelSpace::new(SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(16));
+            let mut live: Vec<VmblkRegion> = Vec::new();
+            for o in ops {
+                match *o {
+                    Op::Carve => {
+                        if let Ok(r) = space.alloc_vmblk() {
+                            // Freshly carved vmblks are unpublished.
+                            assert_eq!(space.dope_lookup(r.base().as_ptr() as usize), None);
+                            space.set_dope(r.index(), r.base().as_ptr() as usize);
+                            // No overlap with any live region.
+                            for other in &live {
+                                let a = r.base().as_ptr() as usize;
+                                let b = other.base().as_ptr() as usize;
+                                assert!(
+                                    a + r.size() <= b || b + other.size() <= a,
+                                    "regions overlap"
+                                );
+                            }
+                            live.push(r);
+                        } else {
+                            // Exhaustion only when every slot is carved.
+                            assert_eq!(live.len(), space.nvmblks());
                         }
-                        live.push(r);
-                    } else {
-                        // Exhaustion only when every slot is carved.
-                        prop_assert_eq!(live.len(), space.nvmblks());
                     }
-                }
-                Op::Free(i) => {
-                    if live.is_empty() {
-                        continue;
+                    Op::Free(i) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let r = live.swap_remove(i % live.len());
+                        space.free_vmblk(r);
+                        assert_eq!(space.dope_lookup(r.base().as_ptr() as usize), None);
                     }
-                    let r = live.swap_remove(i % live.len());
-                    space.free_vmblk(r);
-                    prop_assert_eq!(
-                        space.dope_lookup(r.base().as_ptr() as usize),
-                        None
-                    );
-                }
-                Op::Lookup(i) => {
-                    if live.is_empty() {
-                        continue;
-                    }
-                    let r = &live[i % live.len()];
-                    let base = r.base().as_ptr() as usize;
-                    for addr in [base, base + r.size() / 2, base + r.size() - 1] {
-                        prop_assert_eq!(space.dope_lookup(addr), Some(base));
-                        prop_assert_eq!(space.vmblk_index_of(addr), Some(r.index()));
+                    Op::Lookup(i) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let r = &live[i % live.len()];
+                        let base = r.base().as_ptr() as usize;
+                        for addr in [base, base + r.size() / 2, base + r.size() - 1] {
+                            assert_eq!(space.dope_lookup(addr), Some(base));
+                            assert_eq!(space.vmblk_index_of(addr), Some(r.index()));
+                        }
                     }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn phys_pool_never_oversubscribes(
-        claims in proptest::collection::vec((1usize..8, proptest::bool::ANY), 1..100),
-    ) {
-        let space = KernelSpace::new(
-            SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(20),
-        );
-        let pool = space.phys();
-        let mut held = Vec::new();
-        for (n, free_one) in claims {
-            if free_one {
-                if let Some(k) = held.pop() {
-                    pool.release(k);
+#[test]
+fn phys_pool_never_oversubscribes() {
+    check(
+        "phys_pool_never_oversubscribes",
+        128,
+        vec_of(1..100, |rng| (rng.range_usize(1..8), rng.ratio(1, 2))),
+        |claims| {
+            shrink_vec(claims, |&(n, f)| {
+                kmem_testkit::shrink_usize(n, 1)
+                    .into_iter()
+                    .map(|n| (n, f))
+                    .collect()
+            })
+        },
+        |claims| {
+            let space = KernelSpace::new(SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(20));
+            let pool = space.phys();
+            let mut held = Vec::new();
+            for &(n, free_one) in claims {
+                if free_one {
+                    if let Some(k) = held.pop() {
+                        pool.release(k);
+                    }
+                } else if pool.claim(n).is_ok() {
+                    held.push(n);
+                } else {
+                    // A failed claim must be because it would overflow.
+                    assert!(pool.in_use() + n > pool.capacity());
                 }
-            } else if pool.claim(n).is_ok() {
-                held.push(n);
-            } else {
-                // A failed claim must be because it would overflow.
-                prop_assert!(pool.in_use() + n > pool.capacity());
+                assert!(pool.in_use() <= pool.capacity());
+                assert_eq!(pool.in_use(), held.iter().sum::<usize>());
             }
-            prop_assert!(pool.in_use() <= pool.capacity());
-            prop_assert_eq!(pool.in_use(), held.iter().sum::<usize>());
-        }
-    }
+            Ok(())
+        },
+    );
 }

@@ -43,7 +43,11 @@ fn main() {
     // --- KBox: one-off typed values in arena memory ----------------------
     let mut b = KBox::new(&cpu, [0u64; 16]).expect("kbox");
     b[3] = 42;
-    println!("KBox holds arena memory at {:p}; b[3] = {}", b.as_ptr(), b[3]);
+    println!(
+        "KBox holds arena memory at {:p}; b[3] = {}",
+        b.as_ptr(),
+        b[3]
+    );
     drop(b); // freed back through the per-CPU cache
 
     // --- ObjectCache: constructed-state reuse -----------------------------

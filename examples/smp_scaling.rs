@@ -18,8 +18,7 @@ fn main() {
 
     let mut cookie_base = 0.0;
     for &n in &[1usize, 4, 16] {
-        let arena =
-            KmemArena::new(KmemConfig::new(n, SpaceConfig::new(32 << 20))).expect("arena");
+        let arena = KmemArena::new(KmemConfig::new(n, SpaceConfig::new(32 << 20))).expect("arena");
         let alloc = KmemCookieAlloc::new(arena);
         let point = sim_pairs_per_sec(&alloc, 256, n, 4_000, BASE_COOKIE);
         if n == 1 {

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here must pass before a change lands.
+#
+# The whole pipeline runs offline — the workspace is hermetic (no
+# crates.io dependencies), and the first step proves it stays that way.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> hermeticity: dependency tree must contain only kmem* crates"
+tree=$(cargo tree --workspace --offline --prefix none --no-dedupe \
+    -e normal,build,dev | awk '{print $1}' | sort -u)
+foreign=$(echo "$tree" | grep -v '^kmem' || true)
+if [ -n "$foreign" ]; then
+    echo "ERROR: non-workspace dependencies crept in:" >&2
+    echo "$foreign" >&2
+    exit 1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo clippy -p kmem-bench --all-targets --features bench-ext --offline \
+    -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test (workspace, offline)"
+cargo test -q --offline --workspace
+
+echo "==> OK: all tier-1 checks passed"

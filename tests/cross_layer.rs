@@ -116,10 +116,7 @@ fn all_cpu_mixed_traffic_conserves_blocks() {
 /// "any given CPU [must] be able to allocate the last remaining buffer".
 #[test]
 fn one_cpu_can_take_everything_with_cooperation() {
-    let cfg = KmemConfig::new(
-        2,
-        SpaceConfig::new(4 << 20).vmblk_shift(16).phys_pages(64),
-    );
+    let cfg = KmemConfig::new(2, SpaceConfig::new(4 << 20).vmblk_shift(16).phys_pages(64));
     let a = KmemArena::new(cfg).unwrap();
     let hog = a.register_cpu().unwrap();
     let other = a.register_cpu().unwrap();

@@ -1,10 +1,9 @@
 //! Property-based tests: randomized traffic against model invariants.
 
-use proptest::prelude::*;
-
 use kmem::verify::{verify_arena, verify_conservation, verify_empty};
 use kmem::{KmemArena, KmemConfig};
 use kmem_baselines::{MkAllocator, OldKma};
+use kmem_testkit::{check, shrink_u64, shrink_usize, shrink_vec, vec_of, Rng};
 use kmem_vm::SpaceConfig;
 
 /// One scripted allocator operation.
@@ -16,11 +15,19 @@ enum Op {
     Free(usize),
 }
 
-fn op_strategy(max_size: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (1usize..=max_size).prop_map(Op::Alloc),
-        2 => (0usize..4096).prop_map(Op::Free),
-    ]
+fn gen_op(max_size: usize) -> impl Fn(&mut Rng) -> Op {
+    // Weighted 3:2, matching the original proptest strategy.
+    move |rng| match rng.range_u64(0..5) {
+        0..=2 => Op::Alloc(rng.range_usize(1..max_size + 1)),
+        _ => Op::Free(rng.range_usize(0..4096)),
+    }
+}
+
+fn shrink_op(op: &Op) -> Vec<Op> {
+    match *op {
+        Op::Alloc(s) => shrink_usize(s, 1).into_iter().map(Op::Alloc).collect(),
+        Op::Free(i) => shrink_usize(i, 0).into_iter().map(Op::Free).collect(),
+    }
 }
 
 fn small_arena() -> KmemArena {
@@ -36,222 +43,275 @@ fn fill_byte(seq: usize) -> u8 {
     (seq.wrapping_mul(167) % 251) as u8 + 1
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Memory handed out is disjoint, retains its contents until freed,
-    /// and every structural invariant holds afterwards.
-    #[test]
-    fn random_ops_preserve_contents_and_invariants(
-        ops in proptest::collection::vec(op_strategy(8192), 1..400),
-    ) {
-        let a = small_arena();
-        let cpu = a.register_cpu().unwrap();
-        let mut live: Vec<(std::ptr::NonNull<u8>, usize, usize)> = Vec::new();
-        let mut seq = 0usize;
-        for op in ops {
-            match op {
-                Op::Alloc(size) => {
-                    let Ok(p) = cpu.alloc(size) else { continue };
-                    // SAFETY: fresh block of at least `size` bytes.
-                    unsafe { core::ptr::write_bytes(p.as_ptr(), fill_byte(seq), size) };
-                    live.push((p, size, seq));
-                    seq += 1;
-                }
-                Op::Free(i) => {
-                    if live.is_empty() {
-                        continue;
+/// Memory handed out is disjoint, retains its contents until freed,
+/// and every structural invariant holds afterwards.
+#[test]
+fn random_ops_preserve_contents_and_invariants() {
+    check(
+        "random_ops_preserve_contents_and_invariants",
+        64,
+        vec_of(1..400, gen_op(8192)),
+        |ops| shrink_vec(ops, shrink_op),
+        |ops| {
+            let a = small_arena();
+            let cpu = a.register_cpu().unwrap();
+            let mut live: Vec<(std::ptr::NonNull<u8>, usize, usize)> = Vec::new();
+            let mut seq = 0usize;
+            for op in ops {
+                match *op {
+                    Op::Alloc(size) => {
+                        let Ok(p) = cpu.alloc(size) else { continue };
+                        // SAFETY: fresh block of at least `size` bytes.
+                        unsafe { core::ptr::write_bytes(p.as_ptr(), fill_byte(seq), size) };
+                        live.push((p, size, seq));
+                        seq += 1;
                     }
-                    let (p, size, s) = live.swap_remove(i % live.len());
-                    // The fill pattern must have survived: no other block
-                    // overlapped this one.
-                    // SAFETY: `p` is a live block of `size` bytes.
-                    let slice = unsafe {
-                        core::slice::from_raw_parts(p.as_ptr(), size)
-                    };
-                    prop_assert!(
-                        slice.iter().all(|&b| b == fill_byte(s)),
-                        "contents of block {s} were corrupted"
-                    );
-                    // SAFETY: allocated above, freed once.
-                    unsafe { cpu.free_sized(p, size) };
-                }
-            }
-        }
-        // Count what we still hold, per class, for conservation.
-        let mut held = vec![0usize; 9];
-        let mut large_held = 0usize;
-        for (_, size, _) in &live {
-            match size {
-                0..=16 => held[0] += 1,
-                17..=32 => held[1] += 1,
-                33..=64 => held[2] += 1,
-                65..=128 => held[3] += 1,
-                129..=256 => held[4] += 1,
-                257..=512 => held[5] += 1,
-                513..=1024 => held[6] += 1,
-                1025..=2048 => held[7] += 1,
-                2049..=4096 => held[8] += 1,
-                _ => large_held += 1,
-            }
-        }
-        verify_arena(&a);
-        verify_conservation(&a, &held);
-        // Cleanup and the strongest invariant: everything returns.
-        for (p, size, _) in live {
-            // SAFETY: allocated above, freed once.
-            unsafe { cpu.free_sized(p, size) };
-        }
-        let _ = large_held;
-        cpu.flush();
-        a.reclaim();
-        verify_empty(&a);
-    }
-
-    /// Freeing in any order fully coalesces: the arena always returns to
-    /// empty, regardless of allocation size mix or free order.
-    #[test]
-    fn any_free_order_coalesces_to_empty(
-        sizes in proptest::collection::vec(1usize..=16384, 1..200),
-        order_seed in 0u64..u64::MAX,
-    ) {
-        let a = small_arena();
-        let cpu = a.register_cpu().unwrap();
-        let mut blocks: Vec<(std::ptr::NonNull<u8>, usize)> = Vec::new();
-        for &s in &sizes {
-            if let Ok(p) = cpu.alloc(s) {
-                blocks.push((p, s));
-            }
-        }
-        // Deterministic shuffle from the seed.
-        let mut x = order_seed | 1;
-        let mut i = blocks.len();
-        while i > 1 {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            i -= 1;
-            blocks.swap(i, (x as usize) % (i + 1));
-        }
-        for (p, s) in blocks {
-            // SAFETY: allocated above, freed once.
-            unsafe { cpu.free_sized(p, s) };
-        }
-        cpu.flush();
-        a.reclaim();
-        verify_empty(&a);
-    }
-
-    /// The per-CPU cache bounds hold after any operation sequence:
-    /// each half of the split freelist stays ≤ target.
-    #[test]
-    fn split_freelist_bounds_always_hold(
-        ops in proptest::collection::vec(op_strategy(4096), 1..300),
-    ) {
-        let a = small_arena();
-        let cpu = a.register_cpu().unwrap();
-        let mut live: Vec<(std::ptr::NonNull<u8>, usize)> = Vec::new();
-        for op in ops {
-            match op {
-                Op::Alloc(size) => {
-                    if let Ok(p) = cpu.alloc(size) {
-                        live.push((p, size));
-                    }
-                }
-                Op::Free(i) => {
-                    if let Some(&(p, s)) = live.get(i % live.len().max(1)) {
-                        live.swap_remove(i % live.len());
+                    Op::Free(i) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let (p, size, s) = live.swap_remove(i % live.len());
+                        // The fill pattern must have survived: no other block
+                        // overlapped this one.
+                        // SAFETY: `p` is a live block of `size` bytes.
+                        let slice = unsafe { core::slice::from_raw_parts(p.as_ptr(), size) };
+                        assert!(
+                            slice.iter().all(|&b| b == fill_byte(s)),
+                            "contents of block {s} were corrupted"
+                        );
                         // SAFETY: allocated above, freed once.
-                        unsafe { cpu.free_sized(p, s) };
+                        unsafe { cpu.free_sized(p, size) };
                     }
                 }
             }
-            for class in 0..9 {
-                let (main, aux) = cpu.cache_shape(class);
-                let target = [10, 10, 10, 10, 10, 10, 8, 4, 2][class];
-                prop_assert!(main <= target, "class {class} main {main}");
-                prop_assert!(aux <= target, "class {class} aux {aux}");
+            // Count what we still hold, per class, for conservation.
+            let mut held = vec![0usize; 9];
+            let mut large_held = 0usize;
+            for (_, size, _) in &live {
+                match size {
+                    0..=16 => held[0] += 1,
+                    17..=32 => held[1] += 1,
+                    33..=64 => held[2] += 1,
+                    65..=128 => held[3] += 1,
+                    129..=256 => held[4] += 1,
+                    257..=512 => held[5] += 1,
+                    513..=1024 => held[6] += 1,
+                    1025..=2048 => held[7] += 1,
+                    2049..=4096 => held[8] += 1,
+                    _ => large_held += 1,
+                }
             }
-        }
-        for (p, s) in live {
-            // SAFETY: allocated above, freed once.
-            unsafe { cpu.free_sized(p, s) };
-        }
-        cpu.flush();
-        a.reclaim();
-        verify_empty(&a);
-    }
+            verify_arena(&a);
+            verify_conservation(&a, &held);
+            // Cleanup and the strongest invariant: everything returns.
+            for (p, size, _) in live {
+                // SAFETY: allocated above, freed once.
+                unsafe { cpu.free_sized(p, size) };
+            }
+            let _ = large_held;
+            cpu.flush();
+            a.reclaim();
+            verify_empty(&a);
+            Ok(())
+        },
+    );
+}
 
-    /// oldkma's Cartesian tree and boundary tags survive arbitrary traffic
-    /// and always coalesce back to the single extent block.
-    #[test]
-    fn oldkma_tree_invariants_under_random_traffic(
-        ops in proptest::collection::vec(op_strategy(2000), 1..300),
-    ) {
-        let a = OldKma::new(1 << 20, 256);
-        let baseline = {
-            let p = a.malloc(16).unwrap();
-            // SAFETY: allocated above, freed once.
-            unsafe { OldKma::free(&a, p) };
-            a.free_bytes()
-        };
-        let mut live = Vec::new();
-        for op in ops {
-            match op {
-                Op::Alloc(size) => {
-                    if let Some(p) = a.malloc(size) {
-                        live.push(p);
+/// Freeing in any order fully coalesces: the arena always returns to
+/// empty, regardless of allocation size mix or free order.
+#[test]
+fn any_free_order_coalesces_to_empty() {
+    check(
+        "any_free_order_coalesces_to_empty",
+        64,
+        |rng: &mut Rng| {
+            (
+                vec_of(1..200, |rng| rng.range_usize(1..16385))(rng),
+                rng.next_u64(),
+            )
+        },
+        |(sizes, seed)| {
+            shrink_vec(sizes, |&s| shrink_usize(s, 1))
+                .into_iter()
+                .map(|v| (v, *seed))
+                .chain(shrink_u64(*seed, 0).into_iter().map(|x| (sizes.clone(), x)))
+                .collect()
+        },
+        |(sizes, order_seed)| {
+            let a = small_arena();
+            let cpu = a.register_cpu().unwrap();
+            let mut blocks: Vec<(std::ptr::NonNull<u8>, usize)> = Vec::new();
+            for &s in sizes {
+                if let Ok(p) = cpu.alloc(s) {
+                    blocks.push((p, s));
+                }
+            }
+            // Deterministic shuffle from the seed.
+            let mut x = order_seed | 1;
+            let mut i = blocks.len();
+            while i > 1 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                i -= 1;
+                blocks.swap(i, (x as usize) % (i + 1));
+            }
+            for (p, s) in blocks {
+                // SAFETY: allocated above, freed once.
+                unsafe { cpu.free_sized(p, s) };
+            }
+            cpu.flush();
+            a.reclaim();
+            verify_empty(&a);
+            Ok(())
+        },
+    );
+}
+
+/// The per-CPU cache bounds hold after any operation sequence:
+/// each half of the split freelist stays ≤ target.
+#[test]
+fn split_freelist_bounds_always_hold() {
+    check(
+        "split_freelist_bounds_always_hold",
+        64,
+        vec_of(1..300, gen_op(4096)),
+        |ops| shrink_vec(ops, shrink_op),
+        |ops| {
+            let a = small_arena();
+            let cpu = a.register_cpu().unwrap();
+            let mut live: Vec<(std::ptr::NonNull<u8>, usize)> = Vec::new();
+            for op in ops {
+                match *op {
+                    Op::Alloc(size) => {
+                        if let Ok(p) = cpu.alloc(size) {
+                            live.push((p, size));
+                        }
+                    }
+                    Op::Free(i) => {
+                        if let Some(&(p, s)) = live.get(i % live.len().max(1)) {
+                            live.swap_remove(i % live.len());
+                            // SAFETY: allocated above, freed once.
+                            unsafe { cpu.free_sized(p, s) };
+                        }
                     }
                 }
-                Op::Free(i) => {
-                    if live.is_empty() {
-                        continue;
+                for class in 0..9 {
+                    let (main, aux) = cpu.cache_shape(class);
+                    let target = [10, 10, 10, 10, 10, 10, 8, 4, 2][class];
+                    assert!(main <= target, "class {class} main {main}");
+                    assert!(aux <= target, "class {class} aux {aux}");
+                }
+            }
+            for (p, s) in live {
+                // SAFETY: allocated above, freed once.
+                unsafe { cpu.free_sized(p, s) };
+            }
+            cpu.flush();
+            a.reclaim();
+            verify_empty(&a);
+            Ok(())
+        },
+    );
+}
+
+/// oldkma's Cartesian tree and boundary tags survive arbitrary traffic
+/// and always coalesce back to the single extent block.
+#[test]
+fn oldkma_tree_invariants_under_random_traffic() {
+    check(
+        "oldkma_tree_invariants_under_random_traffic",
+        64,
+        vec_of(1..300, gen_op(2000)),
+        |ops| shrink_vec(ops, shrink_op),
+        |ops| {
+            let a = OldKma::new(1 << 20, 256);
+            let baseline = {
+                let p = a.malloc(16).unwrap();
+                // SAFETY: allocated above, freed once.
+                unsafe { OldKma::free(&a, p) };
+                a.free_bytes()
+            };
+            let mut live = Vec::new();
+            for op in ops {
+                match *op {
+                    Op::Alloc(size) => {
+                        if let Some(p) = a.malloc(size) {
+                            live.push(p);
+                        }
                     }
-                    let p = live.swap_remove(i % live.len());
+                    Op::Free(i) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let p = live.swap_remove(i % live.len());
+                        // SAFETY: allocated above, freed once.
+                        unsafe { OldKma::free(&a, p) };
+                    }
+                }
+            }
+            a.verify();
+            for p in live {
+                // SAFETY: allocated above, freed once.
+                unsafe { OldKma::free(&a, p) };
+            }
+            a.verify();
+            if a.free_bytes() != baseline {
+                return Err(format!(
+                    "free bytes {} != baseline {baseline}",
+                    a.free_bytes()
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// MK never loses blocks: everything freed is allocatable again at the
+/// same size, and bucket accounting stays exact.
+#[test]
+fn mk_conserves_per_bucket() {
+    check(
+        "mk_conserves_per_bucket",
+        64,
+        vec_of(1..30, |rng| {
+            (rng.range_u64(4..13) as u32, rng.range_usize(1..40))
+        }),
+        |rounds| {
+            shrink_vec(rounds, |&(shift, count)| {
+                shrink_usize(count, 1)
+                    .into_iter()
+                    .map(|c| (shift, c))
+                    .collect()
+            })
+        },
+        |rounds| {
+            let a = MkAllocator::new(4 << 20, 512);
+            for &(shift, count) in rounds {
+                let size = 1usize << shift;
+                let mut held = Vec::new();
+                for _ in 0..count {
+                    match a.malloc(size) {
+                        Some(p) => held.push(p),
+                        None => break,
+                    }
+                }
+                let n = held.len();
+                for p in held {
                     // SAFETY: allocated above, freed once.
-                    unsafe { OldKma::free(&a, p) };
+                    unsafe { a.free(p) };
+                }
+                // Immediately reallocatable at the same size.
+                let mut again = Vec::new();
+                for _ in 0..n {
+                    again.push(a.malloc(size).expect("block lost"));
+                }
+                for p in again {
+                    // SAFETY: allocated above, freed once.
+                    unsafe { a.free(p) };
                 }
             }
-        }
-        a.verify();
-        for p in live {
-            // SAFETY: allocated above, freed once.
-            unsafe { OldKma::free(&a, p) };
-        }
-        a.verify();
-        prop_assert_eq!(a.free_bytes(), baseline);
-    }
-
-    /// MK never loses blocks: everything freed is allocatable again at the
-    /// same size, and bucket accounting stays exact.
-    #[test]
-    fn mk_conserves_per_bucket(
-        rounds in proptest::collection::vec((4u32..=12, 1usize..40), 1..30),
-    ) {
-        let a = MkAllocator::new(4 << 20, 512);
-        for (shift, count) in rounds {
-            let size = 1usize << shift;
-            let mut held = Vec::new();
-            for _ in 0..count {
-                match a.malloc(size) {
-                    Some(p) => held.push(p),
-                    None => break,
-                }
-            }
-            let n = held.len();
-            for p in held {
-                // SAFETY: allocated above, freed once.
-                unsafe { a.free(p) };
-            }
-            // Immediately reallocatable at the same size.
-            let mut again = Vec::new();
-            for _ in 0..n {
-                again.push(a.malloc(size).expect("block lost"));
-            }
-            for p in again {
-                // SAFETY: allocated above, freed once.
-                unsafe { a.free(p) };
-            }
-        }
-    }
+            Ok(())
+        },
+    );
 }

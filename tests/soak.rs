@@ -37,7 +37,7 @@ fn million_op_mixed_soak() {
                         70..=94 => 1000 + (x % 3000) as usize,
                         _ => 4096 * (1 + (x % 4) as usize),
                     };
-                    if held.len() > 128 || (x % 2 == 0 && !held.is_empty()) {
+                    if held.len() > 128 || (x.is_multiple_of(2) && !held.is_empty()) {
                         let (addr, sz) = held.swap_remove((x as usize) % held.len());
                         let p = std::ptr::NonNull::new(addr as *mut u8).unwrap();
                         // SAFETY: allocated below, freed exactly once.
