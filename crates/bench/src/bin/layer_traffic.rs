@@ -75,7 +75,8 @@ fn main() {
         }
     });
 
-    let stats = arena.stats();
+    let snap = arena.snapshot();
+    let stats = snap.aggregate();
     let mut rows = Vec::new();
     for c in &stats.classes {
         if c.cpu_alloc.accesses == 0 {
@@ -106,6 +107,35 @@ fn main() {
             "combined",
         ],
         &rows,
+    );
+    // Per-CPU view (summed over classes): where each CPU's traffic went,
+    // how it was replenished, and how full its caches ran. Skew across
+    // rows is itself a finding — the per-class table above can't show it.
+    let mut cpu_rows = Vec::new();
+    for (cpu, t) in snap.per_cpu_totals().iter().enumerate() {
+        cpu_rows.push(vec![
+            cpu.to_string(),
+            t.alloc.to_string(),
+            format!("{:.3}%", 100.0 * t.alloc_layer().miss_rate()),
+            t.free.to_string(),
+            format!("{:.3}%", 100.0 * t.free_layer().miss_rate()),
+            t.refill.to_string(),
+            t.refill_short.to_string(),
+            t.flushes().to_string(),
+            t.flush_blocks.to_string(),
+            match t.mean_occupancy() {
+                Some(o) => format!("{:.0}%", 100.0 * o),
+                None => "-".into(),
+            },
+        ]);
+    }
+    println!("\nPer-CPU totals (all classes):\n");
+    print_table(
+        &[
+            "cpu", "allocs", "a-miss", "frees", "f-miss", "refills", "short", "flushes", "fl-blks",
+            "occ",
+        ],
+        &cpu_rows,
     );
     println!(
         "\nphysical frames in use after drain-less run: {} / {}; vmblks live: {}",

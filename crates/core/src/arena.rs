@@ -24,8 +24,20 @@ use crate::pagedesc::PdKind;
 use crate::pagelayer::PageLayer;
 use crate::percpu::{CacheStats, CpuCache};
 use crate::sizeclass::SizeClasses;
-use crate::stats::{ClassStats, KmemStats, LayerCounts};
+use crate::snapshot::{CacheCounts, ClassSnapshot, GlobalCounts, KmemSnapshot, PageCounts};
+use crate::stats::KmemStats;
 use crate::vmblklayer::VmblkLayer;
+
+/// Why a cache flush ran, for statistics attribution.
+#[derive(Clone, Copy)]
+enum FlushCause {
+    /// Public API call or CPU teardown.
+    Explicit,
+    /// Honouring another CPU's drain request.
+    Drain,
+    /// This CPU's own low-memory retry path.
+    LowMemory,
+}
 
 /// Arena identity counter (cookie validation across arenas).
 static NEXT_ARENA_ID: AtomicU64 = AtomicU64::new(1);
@@ -219,36 +231,28 @@ impl KmemArena {
         }
     }
 
-    /// Snapshot of per-layer statistics (the paper's miss-rate inputs).
-    pub fn stats(&self) -> KmemStats {
+    /// Full counter sweep: every (CPU, class) cache, every global pool and
+    /// page layer, plus arena-wide gauges. Lock-free and zero-cost to the
+    /// running CPUs; see [`crate::snapshot`] for the consistency model and
+    /// [`KmemSnapshot::delta`] for interval views.
+    pub fn snapshot(&self) -> KmemSnapshot {
         let inner = &self.inner;
-        let mut classes = Vec::with_capacity(inner.classes.len());
-        for idx in 0..inner.classes.len() {
-            let mut cpu_alloc = LayerCounts::default();
-            let mut cpu_free = LayerCounts::default();
-            for (_, slot) in inner.slots.iter() {
-                let s = &slot.stats[idx];
-                cpu_alloc.accesses += s.alloc.load(Ordering::Relaxed);
-                cpu_alloc.misses += s.alloc_miss.load(Ordering::Relaxed);
-                cpu_free.accesses += s.free.load(Ordering::Relaxed);
-                cpu_free.misses += s.free_miss.load(Ordering::Relaxed);
-            }
-            let g = inner.globals[idx].stats();
-            classes.push(ClassStats {
-                size: inner.classes.class(idx).size,
-                cpu_alloc,
-                cpu_free,
-                gbl_alloc: LayerCounts {
-                    accesses: g.get.get(),
-                    misses: g.get_miss.get(),
-                },
-                gbl_free: LayerCounts {
-                    accesses: g.put.get(),
-                    misses: g.put_miss.get(),
-                },
-            });
-        }
-        KmemStats {
+        let classes = (0..inner.classes.len())
+            .map(|idx| {
+                let cfg = inner.classes.class(idx);
+                ClassSnapshot {
+                    size: cfg.size,
+                    target: cfg.target,
+                    gbltarget: cfg.gbltarget,
+                    per_cpu: inner
+                        .slots
+                        .collect(|_, slot| CacheCounts::read(&slot.stats[idx])),
+                    global: GlobalCounts::read(inner.globals[idx].stats()),
+                    page: PageCounts::read(inner.pages[idx].stats()),
+                }
+            })
+            .collect();
+        KmemSnapshot {
             classes,
             large_allocs: inner.large_allocs.get(),
             large_frees: inner.large_frees.get(),
@@ -256,6 +260,13 @@ impl KmemArena {
             phys_in_use: inner.space.phys().in_use(),
             phys_capacity: inner.space.phys().capacity(),
         }
+    }
+
+    /// Snapshot of per-layer statistics (the paper's miss-rate inputs),
+    /// rolled up over CPUs. A convenience wrapper over
+    /// [`KmemArena::snapshot`].
+    pub fn stats(&self) -> KmemStats {
+        self.snapshot().aggregate()
     }
 
     pub(crate) fn inner(&self) -> &ArenaInner {
@@ -361,7 +372,7 @@ impl CpuHandle {
         let slot = self.inner.slots.get(self.cpu);
         if slot.drain.load(Ordering::Relaxed) {
             slot.drain.store(false, Ordering::Relaxed);
-            self.flush();
+            self.flush_with_cause(FlushCause::Drain);
         }
     }
 
@@ -437,13 +448,20 @@ impl CpuHandle {
     #[inline]
     fn alloc_class(&self, class: usize, size: usize) -> Result<NonNull<u8>, AllocError> {
         let stats = &self.inner.slots.get(self.cpu).stats[class];
-        CacheStats::bump(&stats.alloc);
+        let nth = stats.alloc.bump();
         // SAFETY: borrow scoped to this operation.
         let cache = unsafe { self.cache_mut(class) };
         let block = match cache.alloc() {
-            Some(b) => b,
+            Some(b) => {
+                // Occupancy shape sampling, 1 in 64 on the hit path (the
+                // cold paths below sample unconditionally).
+                if nth & 63 == 0 {
+                    stats.sample_occupancy(cache.len(), 2 * cache.target());
+                }
+                b
+            }
             None => {
-                CacheStats::bump(&stats.alloc_miss);
+                stats.alloc_miss.bump();
                 self.alloc_class_slow(class, size)?
             }
         };
@@ -457,6 +475,7 @@ impl CpuHandle {
     /// first block.
     #[cold]
     fn alloc_class_slow(&self, class: usize, size: usize) -> Result<*mut u8, AllocError> {
+        let stats = &self.inner.slots.get(self.cpu).stats[class];
         let target = self.inner.globals[class].target();
         let chain = match self.inner.globals[class].get_chain() {
             Some(chain) => chain,
@@ -466,22 +485,38 @@ impl CpuHandle {
                     Err(_) => {
                         // Low memory: flush our own caches, ask the other
                         // CPUs to drain theirs, and retry the ladder once.
-                        self.flush();
+                        self.flush_with_cause(FlushCause::LowMemory);
                         self.request_drain();
-                        match self.inner.globals[class].get_chain() {
-                            Some(chain) => chain,
+                        let retry = match self.inner.globals[class].get_chain() {
+                            Some(chain) => Some(chain),
                             None => self.inner.pages[class]
                                 .alloc_chain(&self.inner.vm, target)
-                                .map_err(|_| AllocError::OutOfMemory { requested: size })?,
+                                .ok(),
+                        };
+                        match retry {
+                            Some(chain) => chain,
+                            None => {
+                                stats.alloc_fail.bump();
+                                return Err(AllocError::OutOfMemory { requested: size });
+                            }
                         }
                     }
                 }
             }
         };
         debug_assert!(!chain.is_empty());
+        // Write order matters for live snapshots: `refill` (the bound)
+        // before `refill_short` (the detail it bounds).
+        stats.refill.bump();
+        if chain.len() < target {
+            stats.refill_short.bump();
+        }
+        stats.refill_blocks.add(chain.len() as u64);
         // SAFETY: borrow scoped to this operation.
         let cache = unsafe { self.cache_mut(class) };
-        Ok(cache.refill(chain))
+        let block = cache.refill(chain);
+        stats.sample_occupancy(cache.len(), 2 * cache.target());
+        Ok(block)
     }
 
     /// Allocates a multi-page block directly from the vmblk layer
@@ -501,7 +536,7 @@ impl CpuHandle {
                 Ok(p)
             }
             Err(_) => {
-                self.flush();
+                self.flush_with_cause(FlushCause::LowMemory);
                 self.request_drain();
                 self.inner
                     .vm
@@ -588,7 +623,7 @@ impl CpuHandle {
     #[inline]
     unsafe fn free_class(&self, class: usize, block: *mut u8) {
         let stats = &self.inner.slots.get(self.cpu).stats[class];
-        CacheStats::bump(&stats.free);
+        let nth = stats.free.bump();
         // SAFETY: caller owns the (allocated) block.
         unsafe {
             block::check_not_double_free(block);
@@ -598,8 +633,11 @@ impl CpuHandle {
         let cache = unsafe { self.cache_mut(class) };
         // SAFETY: the block is free as of this call and in no list.
         if let Some(chain) = unsafe { cache.free(block) } {
-            CacheStats::bump(&stats.free_miss);
+            stats.free_miss.bump();
             self.return_chain(class, chain);
+        } else if nth & 63 == 0 {
+            // Occupancy shape sampling, 1 in 64 on the hit path.
+            stats.sample_occupancy(cache.len(), 2 * cache.target());
         }
     }
 
@@ -625,11 +663,27 @@ impl CpuHandle {
     /// (low-memory operation; also useful before dropping the handle if
     /// the arena should shrink).
     pub fn flush(&self) {
+        self.flush_with_cause(FlushCause::Explicit);
+    }
+
+    /// [`CpuHandle::flush`] with the triggering cause recorded per class.
+    /// Flushes that evict nothing are not counted (every counted flush
+    /// contributes at least one block to `flush_blocks`).
+    fn flush_with_cause(&self, cause: FlushCause) {
+        let slot = self.inner.slots.get(self.cpu);
         for class in 0..self.inner.classes.len() {
             // SAFETY: borrow scoped to this operation.
             let cache = unsafe { self.cache_mut(class) };
+            let stats = &slot.stats[class];
+            stats.sample_occupancy(cache.len(), 2 * cache.target());
             let all = cache.flush();
             if !all.is_empty() {
+                match cause {
+                    FlushCause::Explicit => stats.flush_explicit.bump(),
+                    FlushCause::Drain => stats.flush_drain.bump(),
+                    FlushCause::LowMemory => stats.flush_lowmem.bump(),
+                };
+                stats.flush_blocks.add(all.len() as u64);
                 self.return_chain(class, all);
             }
         }

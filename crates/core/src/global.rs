@@ -19,16 +19,35 @@ use kmem_smp::{EventCounter, SpinLock};
 use crate::chain::Chain;
 
 /// Statistics for one global pool.
+///
+/// Beyond the access/miss pair the paper's tables need, the counters break
+/// every event down by *how* it was served — the detail the snapshot layer
+/// (`crate::snapshot`) exposes per class. The owner bumps `get`/`put`
+/// before the outcome detail, so a concurrent reader that loads the detail
+/// first can assert `detail <= total` on live samples.
 #[derive(Default)]
 pub struct GlobalStats {
     /// Chain requests served (hits and misses).
     pub get: EventCounter,
+    /// Gets whose first block came from a ready `target`-sized chain.
+    pub get_chain_hits: EventCounter,
+    /// Gets whose first block came from the bucket list.
+    pub get_bucket_hits: EventCounter,
+    /// Gets that handed back a sub-`target` chain (the pool held fewer
+    /// than `target` blocks; each one erodes the per-CPU hysteresis).
+    pub get_short: EventCounter,
+    /// Total blocks missing from short gets (`target - len`, summed).
+    pub get_short_deficit: EventCounter,
     /// Chain requests that fell through to the coalesce-to-page layer.
     pub get_miss: EventCounter,
     /// Chains returned by per-CPU caches.
     pub put: EventCounter,
+    /// Puts that took the odd-sized bucket path (low-memory flushes).
+    pub put_odd: EventCounter,
     /// Returns that spilled excess blocks to the coalesce-to-page layer.
     pub put_miss: EventCounter,
+    /// Total blocks spilled to the coalesce-to-page layer.
+    pub spill_blocks: EventCounter,
 }
 
 struct GlobalInner {
@@ -80,30 +99,77 @@ impl GlobalPool {
 
     /// Fetches a chain for a per-CPU cache.
     ///
-    /// Prefers a ready `target`-sized chain; falls back to carving up to
-    /// `target` blocks out of the bucket list. Returns `None` on a miss —
-    /// the caller then asks the coalesce-to-page layer (the counted miss).
+    /// Prefers a ready `target`-sized chain, then tops the chain up to
+    /// `target` blocks from the bucket list (and any further chains), so
+    /// the caller receives `min(target, pool_total)` blocks — the most the
+    /// paper's hysteresis guarantee ("the global layer will be accessed at
+    /// most one time per target-number of accesses") can get. A chain
+    /// shorter than `target` is handed back only when the whole pool holds
+    /// fewer than `target` blocks, and is counted in `get_short` /
+    /// `get_short_deficit`. (This used to return whatever single source it
+    /// hit first, so a sub-`target` chain could come back while other
+    /// blocks sat in the pool.)
+    ///
+    /// Returns `None` only when the pool is empty — the caller then asks
+    /// the coalesce-to-page layer (the counted miss).
     pub fn get_chain(&self) -> Option<Chain> {
         self.stats.get.inc();
         let mut inner = self.inner.lock();
-        if let Some(chain) = inner.chains.pop() {
-            return Some(chain);
-        }
-        if !inner.bucket.is_empty() {
-            let n = inner.bucket.len().min(self.target);
-            return Some(inner.bucket.split_first(n));
+        let mut chain = inner.chains.pop().unwrap_or_default();
+        let from_ready_chain = !chain.is_empty();
+        while chain.len() < self.target {
+            let need = self.target - chain.len();
+            if !inner.bucket.is_empty() {
+                let n = inner.bucket.len().min(need);
+                let mut cut = inner.bucket.split_first(n);
+                chain.append(&mut cut);
+            } else if let Some(mut next) = inner.chains.pop() {
+                if next.len() > need {
+                    let mut cut = next.split_first(need);
+                    chain.append(&mut cut);
+                    // The remainder is odd-sized now; it waits in the
+                    // bucket for regrouping.
+                    inner.bucket.append(&mut next);
+                } else {
+                    chain.append(&mut next);
+                }
+            } else {
+                break;
+            }
         }
         drop(inner);
-        self.stats.get_miss.inc();
-        None
+        if chain.is_empty() {
+            self.stats.get_miss.inc();
+            return None;
+        }
+        if chain.len() < self.target {
+            self.stats
+                .get_short_deficit
+                .add((self.target - chain.len()) as u64);
+            self.stats.get_short.inc();
+        }
+        if from_ready_chain {
+            self.stats.get_chain_hits.inc();
+        } else {
+            self.stats.get_bucket_hits.inc();
+        }
+        Some(chain)
     }
 
     /// Accepts an exactly-`target`-sized chain from a per-CPU cache.
     ///
+    /// A chain of any other length is routed through the bucket list
+    /// instead of corrupting the ready-chain list (the internal callers
+    /// always pass exact chains; the routing keeps the pool's invariants —
+    /// every ready chain holds exactly `target` blocks — intact under
+    /// misuse).
+    ///
     /// Returns the excess to push down to the coalesce-to-page layer when
     /// the pool exceeds `2 * gbltarget` blocks.
     pub fn put_chain(&self, chain: Chain) -> Option<Chain> {
-        debug_assert_eq!(chain.len(), self.target);
+        if chain.len() != self.target {
+            return self.put_odd(chain);
+        }
         self.stats.put.inc();
         let mut inner = self.inner.lock();
         inner.chains.push(chain);
@@ -118,33 +184,56 @@ impl GlobalPool {
             return None;
         }
         self.stats.put.inc();
+        self.stats.put_odd.inc();
         let mut inner = self.inner.lock();
         inner.bucket.append(&mut chain);
-        // Regroup: "the bucket list, which is used to group the blocks
-        // back into target-sized lists".
-        while inner.bucket.len() >= self.target {
-            let grouped = inner.bucket.split_first(self.target);
-            inner.chains.push(grouped);
-        }
+        Self::regroup(&mut inner, self.target);
         self.spill_locked(&mut inner)
     }
 
-    /// Trims the pool to `2 * gbltarget` blocks, returning the spill.
+    /// Regroup: "the bucket list, which is used to group the blocks back
+    /// into target-sized lists".
+    fn regroup(inner: &mut GlobalInner, target: usize) {
+        while inner.bucket.len() >= target {
+            let grouped = inner.bucket.split_first(target);
+            inner.chains.push(grouped);
+        }
+    }
+
+    /// Trims the pool to exactly `2 * gbltarget` blocks, returning the
+    /// spill.
+    ///
+    /// Whole chains are shed first (O(1) each); the final chain is *split*
+    /// so the pool lands exactly on the bound. (It used to shed whole
+    /// chains only, overshooting the bound by up to `target - 1` blocks
+    /// per spill and inflating page-layer traffic.) The split walk is
+    /// bounded by `target` links and happens at most once per spill.
     fn spill_locked(&self, inner: &mut GlobalInner) -> Option<Chain> {
-        let mut total = inner.bucket.len() + inner.chains.len() * self.target;
-        if total <= 2 * self.gbltarget {
+        let bound = 2 * self.gbltarget;
+        let mut total = inner.bucket.len() + inner.chains.iter().map(Chain::len).sum::<usize>();
+        if total <= bound {
             return None;
         }
         let mut spill = Chain::new();
-        while total > 2 * self.gbltarget {
+        while total > bound {
+            let excess = total - bound;
             match inner.chains.pop() {
+                Some(mut chain) if chain.len() > excess => {
+                    let mut cut = chain.split_first(excess);
+                    total -= excess;
+                    spill.append(&mut cut);
+                    // The kept remainder is odd-sized; it goes back through
+                    // the bucket (and regroups if the bucket fills up).
+                    inner.bucket.append(&mut chain);
+                    Self::regroup(inner, self.target);
+                }
                 Some(mut chain) => {
                     total -= chain.len();
                     spill.append(&mut chain);
                 }
                 None => {
                     // Only the bucket is left; trim it directly.
-                    let n = (total - 2 * self.gbltarget).min(inner.bucket.len());
+                    let n = excess.min(inner.bucket.len());
                     if n == 0 {
                         break;
                     }
@@ -155,6 +244,7 @@ impl GlobalPool {
             }
         }
         self.stats.put_miss.inc();
+        self.stats.spill_blocks.add(spill.len() as u64);
         Some(spill)
     }
 
@@ -267,17 +357,89 @@ mod tests {
     }
 
     #[test]
-    fn spill_prefers_whole_chains() {
+    fn spill_lands_exactly_on_the_bound() {
         let mut blocks = Blocks::new(64);
         // target 5, gbltarget 5: capacity 10.
         let pool = GlobalPool::new(5, 5);
         // 12 odd blocks regroup into two chains of 5 plus 2 in the bucket;
-        // the excess is shed as one whole chain (O(1)), leaving 7.
+        // exactly the 2 excess blocks are shed (the final chain is split),
+        // leaving the pool at its 10-block bound. (It used to shed a whole
+        // 5-chain, overshooting down to 7.)
         let spill = pool.put_odd(blocks.chain(12)).unwrap();
-        assert_eq!(spill.len(), 5);
-        assert_eq!(pool.len(), 7);
+        assert_eq!(spill.len(), 2);
+        assert_eq!(pool.len(), 10);
+        assert_eq!(pool.stats().spill_blocks.get(), 2);
         discard(spill);
         discard(pool.drain_all());
+    }
+
+    #[test]
+    fn spill_of_one_excess_block_sheds_exactly_one() {
+        // Regression edge case: total == 2 * gbltarget + 1 must spill
+        // exactly 1 block, not a whole `target`-sized chain.
+        let mut blocks = Blocks::new(32);
+        // target 3, gbltarget 6: capacity 12 = 4 chains.
+        let pool = GlobalPool::new(3, 6);
+        for _ in 0..4 {
+            assert!(pool.put_chain(blocks.chain(3)).is_none());
+        }
+        assert_eq!(pool.len(), 12);
+        // One more block (odd put) pushes the total to 13.
+        let spill = pool.put_odd(blocks.chain(1)).unwrap();
+        assert_eq!(spill.len(), 1);
+        assert_eq!(pool.len(), 12);
+        // The split remainder keeps serving full chains: 12 blocks are
+        // still four exact `target`-chains' worth.
+        for _ in 0..4 {
+            let c = pool.get_chain().unwrap();
+            assert_eq!(c.len(), 3);
+            discard(c);
+        }
+        assert!(pool.is_empty());
+        discard(spill);
+    }
+
+    #[test]
+    fn get_chain_tops_up_short_chains_from_the_bucket() {
+        // Regression: a sub-`target` chain in the pool used to be handed
+        // back as-is even when the bucket held more blocks, breaking the
+        // "one global access per `target` operations" hysteresis. A
+        // wrong-sized put now routes through the bucket and gets are
+        // topped up to `target` whenever the pool holds enough blocks.
+        let mut blocks = Blocks::new(32);
+        let pool = GlobalPool::new(4, 8);
+        pool.put_chain(blocks.chain(2)); // misuse: short "exact" put
+        pool.put_odd(blocks.chain(3));
+        assert_eq!(pool.len(), 5);
+        let first = pool.get_chain().unwrap();
+        assert_eq!(first.len(), 4, "get must be topped up to target");
+        assert_eq!(pool.stats().get_short.get(), 0);
+        // Only 1 block left: the short get is now inevitable and counted.
+        let second = pool.get_chain().unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(pool.stats().get_short.get(), 1);
+        assert_eq!(pool.stats().get_short_deficit.get(), 3);
+        assert!(pool.get_chain().is_none());
+        discard(first);
+        discard(second);
+    }
+
+    #[test]
+    fn get_sources_are_counted() {
+        let mut blocks = Blocks::new(32);
+        let pool = GlobalPool::new(3, 8);
+        pool.put_chain(blocks.chain(3));
+        pool.put_odd(blocks.chain(2));
+        discard(pool.get_chain().unwrap()); // ready chain first
+        discard(pool.get_chain().unwrap()); // then the bucket
+        assert!(pool.get_chain().is_none());
+        let s = pool.stats();
+        assert_eq!(s.get.get(), 3);
+        assert_eq!(s.get_chain_hits.get(), 1);
+        assert_eq!(s.get_bucket_hits.get(), 1);
+        assert_eq!(s.get_miss.get(), 1);
+        assert_eq!(s.put.get(), 2);
+        assert_eq!(s.put_odd.get(), 1);
     }
 
     #[test]

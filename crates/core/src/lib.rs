@@ -66,6 +66,7 @@ pub mod pagedesc;
 pub mod pagelayer;
 pub mod percpu;
 pub mod sizeclass;
+pub mod snapshot;
 pub mod stats;
 pub mod verify;
 pub mod vmblklayer;
@@ -75,6 +76,7 @@ pub use config::{ClassConfig, KmemConfig};
 pub use cookie::Cookie;
 pub use error::AllocError;
 pub use object::{KBox, Obj, ObjectCache};
+pub use snapshot::{CacheCounts, ClassSnapshot, GlobalCounts, KmemSnapshot, PageCounts};
 pub use stats::{ClassStats, KmemStats, LayerCounts};
 
 /// Number of size classes in the paper's default configuration

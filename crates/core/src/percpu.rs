@@ -17,38 +17,76 @@
 //! global layer is touched again, so "the global layer will be accessed at
 //! most one time per target-number of accesses".
 
-use core::sync::atomic::{AtomicU64, Ordering};
-
-use kmem_smp::ExclusionFlag;
+use kmem_smp::{ExclusionFlag, LocalCounter};
 
 use crate::chain::Chain;
 
-/// Per-cache hit/miss counters, readable from other threads.
+/// Number of buckets in the cache-occupancy histogram: bucket `i` counts
+/// samples where the cache held between `i/8` and `(i+1)/8` of its
+/// `2 * target` capacity.
+pub const OCC_BUCKETS: usize = 8;
+
+/// Per-cache event counters, readable from other threads.
 ///
 /// These live *outside* the cache's `UnsafeCell` (in the per-CPU slot) so
 /// that a statistics snapshot taken by another thread never aliases the
-/// owner's exclusive borrow of the cache itself. `Relaxed` is sufficient:
-/// they are statistics, and each counter is only ever *written* by the
-/// owning CPU on its own cache-line-padded slot, so the increments stay
-/// local and cheap.
+/// owner's exclusive borrow of the cache itself. Every counter is a
+/// single-writer [`LocalCounter`]: only the owning CPU writes it, on its
+/// own cache-line-padded slot, so increments are plain load/store pairs —
+/// the "zero hot-path cost" telemetry the snapshot layer is built on.
+///
+/// The owner always bumps the access counter *before* the corresponding
+/// miss counter, and the miss counter before any refill/fail detail; the
+/// release-store/acquire-load pairing in [`LocalCounter`] then lets a
+/// concurrent snapshot that reads in the *reverse* order assert
+/// `miss <= access` on live samples (see `crate::snapshot`).
 #[derive(Default)]
 pub struct CacheStats {
     /// Allocations served by this cache (including refills).
-    pub alloc: AtomicU64,
+    pub alloc: LocalCounter,
     /// Allocations that needed a chain from the global layer.
-    pub alloc_miss: AtomicU64,
+    pub alloc_miss: LocalCounter,
+    /// Allocation misses that found no memory anywhere (returned
+    /// `OutOfMemory` to the caller). `alloc - alloc_fail` is the number of
+    /// blocks actually handed out — the snapshot conservation checks rely
+    /// on this.
+    pub alloc_fail: LocalCounter,
     /// Frees handled by this cache (including overflows).
-    pub free: AtomicU64,
+    pub free: LocalCounter,
     /// Frees that pushed a chain back to the global layer.
-    pub free_miss: AtomicU64,
+    pub free_miss: LocalCounter,
+    /// Replenishment chains installed from the layers below.
+    pub refill: LocalCounter,
+    /// Refill chains that arrived shorter than `target` — each one erodes
+    /// the paper's "at most one global access per `target` operations"
+    /// hysteresis, so the DLM experiment wants them visible.
+    pub refill_short: LocalCounter,
+    /// Total blocks received across all refills.
+    pub refill_blocks: LocalCounter,
+    /// Cache flushes requested through the public API (or CPU teardown).
+    pub flush_explicit: LocalCounter,
+    /// Cache flushes triggered by another CPU's drain request.
+    pub flush_drain: LocalCounter,
+    /// Cache flushes this CPU ran on its own low-memory retry path.
+    pub flush_lowmem: LocalCounter,
+    /// Total blocks evicted by flushes (flush counters above only count
+    /// flushes that actually evicted something).
+    pub flush_blocks: LocalCounter,
+    /// Cache-occupancy histogram: sampled every 64th allocation and at
+    /// every cold-path event, bucketed by fraction of `2 * target`.
+    pub occupancy: [LocalCounter; OCC_BUCKETS],
 }
 
 impl CacheStats {
-    /// Single-writer increment: a plain load/store pair, not an RMW, since
-    /// only the owning CPU writes these.
+    /// Records one occupancy sample: `len` blocks cached out of a
+    /// `capacity` bound (`2 * target`). Called on cold paths and on a
+    /// 1-in-64 sampling cadence from the alloc fast path.
     #[inline]
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.store(counter.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    pub(crate) fn sample_occupancy(&self, len: usize, capacity: usize) {
+        let bucket = (len * OCC_BUCKETS)
+            .checked_div(capacity)
+            .map_or(0, |b| b.min(OCC_BUCKETS - 1));
+        self.occupancy[bucket].bump();
     }
 }
 
@@ -118,13 +156,25 @@ impl CpuCache {
     /// Installs a replenishment chain from the global layer and pops one
     /// block from it.
     ///
+    /// The internal allocation path only refills a cache both of whose
+    /// halves are empty, but the guard is unconditional: a refill against a
+    /// non-empty cache *merges* the resident blocks into the incoming chain
+    /// instead of overwriting (and silently leaking) them. (This used to be
+    /// a `debug_assert!` followed by a blind overwrite — in release builds
+    /// a misused refill leaked every resident block out of the arena's
+    /// accounting.)
+    ///
     /// # Panics
     ///
-    /// Panics if the chain is empty or the cache is not actually empty.
-    pub fn refill(&mut self, chain: Chain) -> *mut u8 {
+    /// Panics if the chain is empty.
+    pub fn refill(&mut self, mut chain: Chain) -> *mut u8 {
         let _irq = self.excl.enter();
         assert!(!chain.is_empty(), "refill with empty chain");
-        debug_assert!(self.main.is_empty() && self.aux.is_empty());
+        if !(self.main.is_empty() && self.aux.is_empty()) {
+            // Defensive merge: keep every resident block accounted for.
+            chain.append(&mut self.main);
+            chain.append(&mut self.aux);
+        }
         self.main = chain;
         self.main.pop().expect("chain was non-empty")
     }
@@ -313,6 +363,31 @@ mod tests {
         assert!(!first.is_null());
         assert!(cache.alloc().is_some());
         assert!(cache.alloc().is_none());
+    }
+
+    #[test]
+    fn refill_of_nonempty_cache_keeps_resident_blocks() {
+        // Regression: `refill` used to overwrite `main` behind a
+        // `debug_assert!`, so in release builds a refill against a
+        // non-empty cache leaked every resident block. The guard is now
+        // unconditional: resident blocks are merged into the new chain.
+        let mut blocks = Blocks::new(16);
+        let mut cache = CpuCache::new(4, true);
+        for _ in 0..6 {
+            // SAFETY: fake blocks are owned and disjoint.
+            assert!(unsafe { cache.free(blocks.take()) }.is_none());
+        }
+        assert_eq!(cache.len(), 6); // (2, 4): both halves occupied
+        let mut chain = Chain::new();
+        for _ in 0..3 {
+            // SAFETY: as above.
+            unsafe { chain.push(blocks.take()) };
+        }
+        let got = cache.refill(chain);
+        assert!(!got.is_null());
+        // 6 resident + 3 incoming - 1 popped: nothing leaked.
+        assert_eq!(cache.len(), 8);
+        assert_eq!(drain_chain(cache.flush()), 8);
     }
 
     #[test]

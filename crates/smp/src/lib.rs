@@ -31,7 +31,7 @@ pub mod probe;
 pub mod registry;
 pub mod spinlock;
 
-pub use counter::EventCounter;
+pub use counter::{EventCounter, LocalCounter};
 pub use cpu::{CpuId, MAX_CPUS};
 pub use irq::ExclusionFlag;
 pub use pad::CachePadded;

@@ -33,6 +33,12 @@ impl<T> CachePadded<T> {
     }
 }
 
+impl<T: core::fmt::Debug> core::fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
 impl<T> Deref for CachePadded<T> {
     type Target = T;
 

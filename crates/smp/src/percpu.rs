@@ -55,6 +55,13 @@ impl<T> PerCpu<T> {
             .enumerate()
             .map(|(i, slot)| (CpuId::new(i), &**slot))
     }
+
+    /// Reads every slot through `f`, collecting one `R` per CPU in CPU
+    /// order. This is the snapshot shape: a statistics thread walks all
+    /// slots read-only while the owners keep writing their own.
+    pub fn collect<R>(&self, mut f: impl FnMut(CpuId, &T) -> R) -> Vec<R> {
+        self.iter().map(|(cpu, slot)| f(cpu, slot)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -68,6 +75,12 @@ mod tests {
         assert_eq!(*p.get(CpuId::new(2)), 20);
         let collected: Vec<_> = p.iter().map(|(c, v)| (c.index(), *v)).collect();
         assert_eq!(collected, vec![(0, 0), (1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn collect_visits_slots_in_cpu_order() {
+        let p = PerCpu::new(3, |cpu| cpu.index() as u64);
+        assert_eq!(p.collect(|_, v| v * 2), vec![0, 2, 4]);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::ptr::NonNull;
 use std::sync::{Condvar, Mutex};
 
 use kmem::verify::{verify_arena, verify_conservation};
-use kmem::{AllocError, Cookie, CpuHandle, KmemArena};
+use kmem::{AllocError, Cookie, CpuHandle, KmemArena, KmemSnapshot};
 use kmem_vm::PAGE_SIZE;
 
 use crate::rng::Rng;
@@ -178,6 +178,16 @@ struct Shared {
     /// Per-thread (class-indexed) held counts, published at checkpoints.
     held_tables: Vec<Mutex<Vec<usize>>>,
     sync: SyncPoint,
+    /// Leader-only snapshot state carried across checkpoints: the previous
+    /// checkpoint's counter sweep and per-class torture holdings, so each
+    /// checkpoint can verify the snapshot *delta* against ground truth.
+    observer: Mutex<ObserverState>,
+}
+
+struct ObserverState {
+    prev: KmemSnapshot,
+    /// Blocks the torture run held per class at `prev` (threads + exchange).
+    prev_held: Vec<usize>,
 }
 
 /// Runs the torture workload against `arena`.
@@ -214,6 +224,12 @@ pub fn run_torture(arena: &KmemArena, cfg: &TortureConfig) -> TortureReport {
             .map(|_| Mutex::new(vec![0; nclasses]))
             .collect(),
         sync: SyncPoint::new(cfg.threads),
+        // Baseline sweep before any worker runs: the run's own traffic is
+        // then exactly the delta from here, even on a pre-used arena.
+        observer: Mutex::new(ObserverState {
+            prev: arena.snapshot(),
+            prev_held: vec![0; nclasses],
+        }),
     };
     let mut master = Rng::new(seed);
     let thread_rngs: Vec<Rng> = (0..cfg.threads).map(|t| master.fork(t as u64)).collect();
@@ -355,6 +371,7 @@ fn worker(
         arena.reclaim();
         verify_arena(arena);
         verify_conservation(arena, &vec![0; arena.nclasses()]);
+        snapshot_checkpoint(arena, shared, &vec![0; arena.nclasses()]);
         report.checkpoints += 1;
     }
     report
@@ -503,17 +520,50 @@ fn checkpoint(
     report: &mut TortureReport,
 ) {
     verify_arena(arena);
+    let mut held = vec![0usize; arena.nclasses()];
+    for table in &shared.held_tables {
+        for (class, count) in table.lock().unwrap().iter().enumerate() {
+            held[class] += count;
+        }
+    }
+    for &(_, size_idx) in shared.exchange.lock().unwrap().iter() {
+        held[cookies[size_idx].class_index()] += 1;
+    }
     if cfg.check_conservation {
-        let mut held = vec![0usize; arena.nclasses()];
-        for table in &shared.held_tables {
-            for (class, count) in table.lock().unwrap().iter().enumerate() {
-                held[class] += count;
-            }
-        }
-        for &(_, size_idx) in shared.exchange.lock().unwrap().iter() {
-            held[cookies[size_idx].class_index()] += 1;
-        }
         verify_conservation(arena, &held);
     }
+    snapshot_checkpoint(arena, shared, &held);
     report.checkpoints += 1;
+}
+
+/// Leader-only snapshot consistency checks (every thread quiescent):
+///
+/// * every per-counter and cross-counter invariant, including the
+///   quiescent-only equalities ([`KmemSnapshot::check_quiescent`]);
+/// * monotonicity against the previous checkpoint's sweep;
+/// * **delta exactness**: per class, the counters' net block flow since
+///   the last checkpoint — `Σ_cpu (alloc - alloc_fail) - Σ_cpu free` —
+///   must equal the change in blocks the torture run actually holds
+///   (the driver's own ground truth).
+fn snapshot_checkpoint(arena: &KmemArena, shared: &Shared, held: &[usize]) {
+    let snap = arena.snapshot();
+    snap.check_quiescent()
+        .unwrap_or_else(|e| panic!("snapshot invariant failed: {e}"));
+    let mut obs = shared.observer.lock().unwrap();
+    snap.check_monotone_since(&obs.prev)
+        .unwrap_or_else(|e| panic!("snapshot monotonicity failed: {e}"));
+    let delta = snap.delta(&obs.prev);
+    for (class, cs) in delta.classes.iter().enumerate() {
+        let total = cs.cache_total();
+        let flow = total.allocs_served() as i128 - total.free as i128;
+        let held_change = held[class] as i128 - obs.prev_held[class] as i128;
+        assert_eq!(
+            flow, held_change,
+            "class {class} (size {}): snapshot delta says net {flow} blocks \
+             handed out since the last checkpoint, ground truth is {held_change}",
+            cs.size
+        );
+    }
+    obs.prev = snap;
+    obs.prev_held.copy_from_slice(held);
 }

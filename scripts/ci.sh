@@ -31,4 +31,7 @@ cargo build --release --offline
 echo "==> cargo test (workspace, offline)"
 cargo test -q --offline --workspace
 
+echo "==> snapshot invariant tests (live sampling + delta exactness)"
+cargo test -q --offline --test observability
+
 echo "==> OK: all tier-1 checks passed"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Soak lane (NOT tier-1): the `#[ignore]`d multi-million-op torture soaks
+# (`tests/soak.rs`), run repeatedly with a rotated KMEM_TORTURE_SEED so
+# successive rounds explore different operation programs. Every phase
+# checkpoint inside each soak runs the full invariant walkers plus the
+# snapshot consistency checks (quiescent equalities, monotonicity, delta
+# exactness against ground truth).
+#
+# Usage: scripts/soak.sh [rounds]           (default: 3)
+#   KMEM_SOAK_BASE_SEED=N   fix the seed ladder for reproducible rotation
+#                           (default: current epoch seconds)
+#
+# A failing round prints the reproducing seed in the panic message;
+# re-run just that round with KMEM_TORTURE_SEED=<seed> cargo test ...
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+rounds="${1:-3}"
+base_seed="${KMEM_SOAK_BASE_SEED:-$(date +%s)}"
+
+echo "==> soak: $rounds rounds, seed ladder from $base_seed"
+echo "==> building release test binaries (offline)"
+cargo build --release --offline --tests
+
+for i in $(seq 1 "$rounds"); do
+    # Large odd stride: consecutive rounds share no low-bit structure.
+    seed=$(( base_seed + i * 1000003 ))
+    echo "==> round $i/$rounds: KMEM_TORTURE_SEED=$seed"
+    KMEM_TORTURE_SEED="$seed" \
+        cargo test -q --release --offline --test soak -- --ignored
+done
+
+echo "==> OK: $rounds soak rounds passed"

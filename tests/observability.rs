@@ -1,0 +1,173 @@
+//! Snapshot/observability soundness: live sampling under concurrency and
+//! exact delta accounting at quiescence.
+//!
+//! The snapshot layer promises two different strengths of consistency
+//! (see `kmem::snapshot`): bounds that hold on *live* samples taken while
+//! every CPU is mid-churn, and exact equalities once the arena is
+//! quiescent. Both are exercised here — the live half with a dedicated
+//! sampler thread racing real allocator traffic, the exact half against
+//! ground truth an observer keeps by hand.
+
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use kmem::{KmemArena, KmemConfig};
+use kmem_vm::SpaceConfig;
+
+fn arena(ncpus: usize) -> KmemArena {
+    KmemArena::new(KmemConfig::new(ncpus, SpaceConfig::new(32 << 20))).unwrap()
+}
+
+/// A sampler thread polls `snapshot()` continuously while worker threads
+/// churn allocations, frees, cross-thread frees, and flushes. Every live
+/// sample must satisfy the cross-counter bounds (`miss <= access` per
+/// (CPU, class), refill accounting, global-pool outcome bounds) and be
+/// monotone over the previous sample; the final post-join snapshot must
+/// satisfy the stricter quiescent equalities.
+#[test]
+fn live_snapshots_under_churn_hold_their_invariants() {
+    let a = arena(4);
+    let stop = AtomicBool::new(false);
+    let mut prev = a.snapshot();
+    std::thread::scope(|s| {
+        for t in 0..3 {
+            let a = a.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let cpu = a.register_cpu().unwrap();
+                let mut held: Vec<(NonNull<u8>, usize)> = Vec::new();
+                let mut x = 0x9E37_79B9u64.wrapping_add(t);
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let size = 16usize << (x % 6);
+                    if held.len() > 256 {
+                        let (p, sz) = held.swap_remove((x as usize) % held.len());
+                        // SAFETY: allocated below, freed exactly once.
+                        unsafe { cpu.free_sized(p, sz) };
+                    } else if let Ok(p) = cpu.alloc(size) {
+                        held.push((p, size));
+                    }
+                    if x % 4096 == 0 {
+                        cpu.flush();
+                    }
+                }
+                for (p, sz) in held {
+                    // SAFETY: allocated above, freed exactly once.
+                    unsafe { cpu.free_sized(p, sz) };
+                }
+            });
+        }
+
+        // The sampler is *not* a registered CPU: snapshots must work from
+        // any thread, without a claim, while the writers keep writing.
+        let prev = &mut prev;
+        for i in 0..300 {
+            let snap = a.snapshot();
+            snap.check_live()
+                .unwrap_or_else(|e| panic!("live sample {i}: {e}"));
+            snap.check_monotone_since(prev)
+                .unwrap_or_else(|e| panic!("live sample {i}: {e}"));
+            *prev = snap;
+            if i % 50 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let end = a.snapshot();
+    end.check_quiescent().unwrap();
+    end.check_monotone_since(&prev).unwrap();
+    // Everything was freed and every worker's handle-drop flushed: the
+    // counters must balance exactly.
+    assert_eq!(end.total_allocs() - failed(&end), end.total_frees());
+}
+
+fn failed(s: &kmem::KmemSnapshot) -> u64 {
+    s.classes
+        .iter()
+        .map(|c| c.per_cpu.iter().map(|p| p.alloc_fail).sum::<u64>())
+        .sum()
+}
+
+/// Quiescent deltas are exact: an observer that counts its own operations
+/// by hand must see precisely those counts — no more, no fewer — in the
+/// delta between two snapshots, attributed to the right CPU and class.
+#[test]
+fn quiescent_deltas_match_hand_counted_ground_truth() {
+    let a = arena(2);
+    let cpu = a.register_cpu().unwrap();
+    // Warm up with arbitrary traffic so the baseline is non-zero.
+    let warm: Vec<_> = (0..100).map(|_| cpu.alloc(64).unwrap()).collect();
+    for p in warm {
+        // SAFETY: allocated above, freed exactly once.
+        unsafe { cpu.free(p) };
+    }
+
+    let before = a.snapshot();
+    let class64 = (0..before.nclasses())
+        .find(|&i| before.classes[i].size == 64)
+        .unwrap();
+    let mut held = Vec::new();
+    for _ in 0..777 {
+        held.push(cpu.alloc(64).unwrap());
+    }
+    for _ in 0..333 {
+        let p = held.pop().unwrap();
+        // SAFETY: allocated above, freed exactly once.
+        unsafe { cpu.free(p) };
+    }
+    let after = a.snapshot();
+
+    let delta = after.delta(&before);
+    let mine = delta.cpu_class(cpu.cpu().index(), class64);
+    assert_eq!(mine.alloc, 777);
+    assert_eq!(mine.free, 333);
+    assert_eq!(mine.alloc_fail, 0);
+    assert_eq!(mine.allocs_served() - mine.free, 444);
+    // Refill accounting is exact at quiescence, and every refill chain
+    // landed in this class's per-CPU cache.
+    assert_eq!(mine.refill + mine.alloc_fail, mine.alloc_miss);
+    // Nothing ran on the other CPU or in other classes.
+    let other_cpu = 1 - cpu.cpu().index();
+    assert_eq!(delta.cpu_class(other_cpu, class64).alloc, 0);
+    for (idx, cs) in delta.classes.iter().enumerate() {
+        if idx != class64 {
+            assert_eq!(cs.cache_total().alloc, 0, "class {idx} saw traffic");
+        }
+    }
+    delta.check_live().unwrap();
+    after.check_quiescent().unwrap();
+
+    for p in held {
+        // SAFETY: allocated above, freed exactly once.
+        unsafe { cpu.free(p) };
+    }
+}
+
+/// The aggregated view (`stats()`) and the snapshot view are the same
+/// numbers — `stats()` is defined as `snapshot().aggregate()`, and the
+/// per-CPU rows must sum to the per-class rollup.
+#[test]
+fn aggregate_is_the_sum_of_the_per_cpu_rows() {
+    let a = arena(2);
+    let cpu = a.register_cpu().unwrap();
+    for i in 0..500usize {
+        let size = 16 << (i % 5);
+        let p = cpu.alloc(size).unwrap();
+        // SAFETY: allocated above, freed exactly once.
+        unsafe { cpu.free_sized(p, size) };
+    }
+    let snap = a.snapshot();
+    let stats = snap.aggregate();
+    for (idx, c) in stats.classes.iter().enumerate() {
+        let total = snap.classes[idx].cache_total();
+        assert_eq!(c.cpu_alloc.accesses, total.alloc);
+        assert_eq!(c.cpu_alloc.misses, total.alloc_miss);
+        assert_eq!(c.cpu_free.accesses, total.free);
+        assert_eq!(c.cpu_free.misses, total.free_miss);
+        assert_eq!(c.gbl_alloc.accesses, snap.classes[idx].global.get);
+    }
+    assert_eq!(stats.total_allocs(), snap.total_allocs());
+}
