@@ -11,7 +11,9 @@ use core::ptr::NonNull;
 use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use kmem_smp::{CachePadded, ClaimError, CpuClaim, CpuId, CpuRegistry, EventCounter, PerCpu};
+use kmem_smp::{
+    faults, CachePadded, ClaimError, CpuClaim, CpuId, CpuRegistry, EventCounter, Faults, PerCpu,
+};
 use kmem_vm::{KernelSpace, PAGE_SIZE};
 
 use crate::block;
@@ -23,6 +25,7 @@ use crate::global::GlobalPool;
 use crate::pagedesc::PdKind;
 use crate::pagelayer::PageLayer;
 use crate::percpu::{CacheStats, CpuCache};
+use crate::pressure::PressureLadder;
 use crate::sizeclass::SizeClasses;
 use crate::snapshot::{CacheCounts, ClassSnapshot, GlobalCounts, KmemSnapshot, PageCounts};
 use crate::stats::KmemStats;
@@ -70,6 +73,11 @@ pub(crate) struct ArenaInner {
     max_large: usize,
     large_allocs: EventCounter,
     large_frees: EventCounter,
+    /// Failpoint handle shared with the vm substrate; consulted at the
+    /// global-get, page-get, spill, and refill boundaries.
+    faults: Faults,
+    /// The memory-pressure escalation state machine.
+    pressure: PressureLadder,
 }
 
 impl Drop for ArenaInner {
@@ -109,7 +117,8 @@ impl KmemArena {
     /// [`KmemConfig::validate`]) — configurations are developer input.
     pub fn new(config: KmemConfig) -> Result<KmemArena, AllocError> {
         config.validate();
-        let space = Arc::new(KernelSpace::new(config.space));
+        let faults = config.faults.clone();
+        let space = Arc::new(KernelSpace::new_with_faults(config.space, faults.clone()));
         let vm = VmblkLayer::new(Arc::clone(&space), config.release_empty_vmblks);
         let max_large = vm.max_span_pages() * PAGE_SIZE;
         let globals = config
@@ -151,6 +160,8 @@ impl KmemArena {
                 max_large,
                 large_allocs: EventCounter::new(),
                 large_frees: EventCounter::new(),
+                faults,
+                pressure: PressureLadder::new(config.pressure),
             }),
         })
     }
@@ -220,15 +231,36 @@ impl KmemArena {
     /// memory cached for small blocks must become available to user
     /// processes.
     pub fn reclaim(&self) {
-        for (idx, pool) in self.inner.globals.iter().enumerate() {
-            let chain = pool.drain_all();
-            if !chain.is_empty() {
-                // SAFETY: drained blocks are free blocks of class `idx`.
-                unsafe {
-                    self.inner.pages[idx].free_chain(&self.inner.vm, chain);
-                }
+        self.inner.reclaim_all();
+    }
+
+    /// The failpoint handle this arena (and its vm substrate) consults;
+    /// arm it through [`Faults::plan`] to force failures at any layer
+    /// boundary. Dormant unless the arena was configured with
+    /// [`Faults::with_plan`].
+    pub fn faults(&self) -> &Faults {
+        &self.inner.faults
+    }
+
+    /// Current memory-pressure ladder level: 0 (calm) through 3 (a full
+    /// reclaim ran and the pool has not yet recovered past the exit
+    /// watermark).
+    pub fn pressure_level(&self) -> u8 {
+        self.inner.pressure.level()
+    }
+
+    /// Number of CPUs with an unserviced drain request. After every
+    /// registered CPU runs an operation or [`CpuHandle::poll`], this must
+    /// be zero — a flag that stays set would mean the drain protocol
+    /// wedged (the fault-injection torture asserts exactly this).
+    pub fn pending_drains(&self) -> usize {
+        let mut pending = 0;
+        for (_, slot) in self.inner.slots.iter() {
+            if slot.drain.load(Ordering::Relaxed) {
+                pending += 1;
             }
         }
+        pending
     }
 
     /// Full counter sweep: every (CPU, class) cache, every global pool and
@@ -252,6 +284,7 @@ impl KmemArena {
                 }
             })
             .collect();
+        let (fault_hits, fault_fired) = inner.faults.totals();
         KmemSnapshot {
             classes,
             large_allocs: inner.large_allocs.get(),
@@ -259,6 +292,12 @@ impl KmemArena {
             vmblks_live: inner.vm.nvmblks(),
             phys_in_use: inner.space.phys().in_use(),
             phys_capacity: inner.space.phys().capacity(),
+            pressure_level: inner.pressure.level(),
+            pressure_escalations: inner.pressure.escalations(),
+            pressure_deescalations: inner.pressure.deescalations(),
+            pressure_reapplied: inner.pressure.reapplied(),
+            fault_hits,
+            fault_fired,
         }
     }
 
@@ -277,6 +316,20 @@ impl KmemArena {
 impl ArenaInner {
     pub(crate) fn classes(&self) -> &SizeClasses {
         &self.classes
+    }
+
+    /// Drains every global pool through the coalescing layers (rung 3 of
+    /// the pressure ladder, and [`KmemArena::reclaim`]).
+    fn reclaim_all(&self) {
+        for (idx, pool) in self.globals.iter().enumerate() {
+            let chain = pool.drain_all();
+            if !chain.is_empty() {
+                // SAFETY: drained blocks are free blocks of class `idx`.
+                unsafe {
+                    self.pages[idx].free_chain(&self.vm, chain);
+                }
+            }
+        }
     }
 
     pub(crate) fn vm(&self) -> &VmblkLayer {
@@ -410,23 +463,41 @@ impl CpuHandle {
     }
 
     /// `kmem_alloc(..., KM_SLEEP)`: retries under memory pressure instead
-    /// of failing, yielding between attempts so other CPUs can run and
-    /// honour the drain requests this CPU posts.
+    /// of failing, backing off between attempts so other CPUs can run and
+    /// honour the drain requests the pressure ladder posts.
+    ///
+    /// Each failed attempt escalates the ladder (which posts drains once
+    /// per climb, not once per attempt) and is counted in the class's
+    /// `sleep_retries`; the loop then spins a capped, exponentially
+    /// growing number of iterations and yields — spin/yield only, no
+    /// wall-clock sleeps, so tests stay fast and repeatable.
     ///
     /// Returns `Err` only for unservable requests (zero size, too large)
     /// or after `max_attempts` exhausted retries — a deadlock guard the
     /// kernel version does not have, because a kernel can block forever.
     pub fn alloc_sleep(&self, size: usize, max_attempts: usize) -> Result<NonNull<u8>, AllocError> {
+        const SPIN_CAP: u32 = 1 << 10;
+        let class = self.inner.classes.class_for(size);
         let mut last = AllocError::OutOfMemory { requested: size };
+        let mut spins: u32 = 1;
         for _ in 0..max_attempts.max(1) {
             match self.alloc(size) {
                 Ok(p) => return Ok(p),
                 Err(e @ (AllocError::ZeroSize | AllocError::TooLarge { .. })) => return Err(e),
                 Err(e) => {
                     last = e;
-                    // The failed attempt already posted drain requests;
-                    // give the other CPUs a chance to service them.
+                    if let Some(class) = class {
+                        // After the alloc's own `alloc_fail` bump, so a
+                        // live reader sees `sleep_retries <= alloc_fail`.
+                        self.inner.slots.get(self.cpu).stats[class]
+                            .sleep_retries
+                            .bump();
+                    }
+                    for _ in 0..spins {
+                        core::hint::spin_loop();
+                    }
                     std::thread::yield_now();
+                    spins = (spins * 2).min(SPIN_CAP);
                 }
             }
         }
@@ -471,40 +542,112 @@ impl CpuHandle {
         Ok(unsafe { NonNull::new_unchecked(block) })
     }
 
+    /// One pass down the refill ladder: the global layer first, then the
+    /// coalesce-to-page layer — each behind its failpoint, so injected
+    /// faults exercise every fall-through combination.
+    fn take_chain(&self, class: usize, target: usize) -> Option<Chain> {
+        let from_global = if self.inner.faults.hit(faults::GLOBAL_GET) {
+            None
+        } else {
+            self.inner.globals[class].get_chain()
+        };
+        from_global.or_else(|| {
+            if self.inner.faults.hit(faults::PAGE_GET) {
+                return None;
+            }
+            self.inner.pages[class]
+                .alloc_chain(&self.inner.vm, target)
+                .ok()
+        })
+    }
+
+    /// Escalates the pressure ladder after a failed backend allocation and
+    /// runs the actions of every newly entered rung — or re-applies the
+    /// deepest rung when the ladder was already at this depth, so repeated
+    /// failures do not re-flush or re-post drain requests.
+    #[cold]
+    fn escalate_pressure(&self) {
+        let phys = self.inner.space.phys();
+        let (prev, next) = self
+            .inner
+            .pressure
+            .escalate(phys.available(), phys.capacity());
+        let from = if next > prev { prev + 1 } else { next };
+        for rung in from..=next {
+            match rung {
+                1 => {
+                    // Rung 1: flush our own caches and ask every other CPU
+                    // to drain — posted once per climb, not per attempt.
+                    self.flush_with_cause(FlushCause::LowMemory);
+                    self.request_drain();
+                }
+                2 => {
+                    // Rung 2: trim every global pool to `gbltarget` so the
+                    // page layer can coalesce and release frames.
+                    for (idx, pool) in self.inner.globals.iter().enumerate() {
+                        if let Some(spill) = pool.spill_to(pool.gbltarget()) {
+                            // SAFETY: spilled blocks are free blocks of
+                            // class `idx`.
+                            unsafe {
+                                self.inner.pages[idx].free_chain(&self.inner.vm, spill);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // Rung 3: full reclaim — drain the global pools
+                    // entirely through the coalescing layers.
+                    self.inner.reclaim_all();
+                }
+            }
+        }
+    }
+
+    /// Steps the ladder down (with hysteresis) after a successful cold
+    /// operation. A single relaxed load when the ladder is calm, so the
+    /// cache-hit fast paths never reach it and the cold paths barely
+    /// notice it.
+    #[inline]
+    fn relax_pressure(&self) {
+        if self.inner.pressure.level() == 0 {
+            return;
+        }
+        let phys = self.inner.space.phys();
+        self.inner.pressure.relax(phys.available(), phys.capacity());
+    }
+
     /// Refills the cache from the global layer (or below) and returns the
     /// first block.
     #[cold]
     fn alloc_class_slow(&self, class: usize, size: usize) -> Result<*mut u8, AllocError> {
         let stats = &self.inner.slots.get(self.cpu).stats[class];
         let target = self.inner.globals[class].target();
-        let chain = match self.inner.globals[class].get_chain() {
+        let chain = match self.take_chain(class, target) {
             Some(chain) => chain,
             None => {
-                match self.inner.pages[class].alloc_chain(&self.inner.vm, target) {
-                    Ok(chain) => chain,
-                    Err(_) => {
-                        // Low memory: flush our own caches, ask the other
-                        // CPUs to drain theirs, and retry the ladder once.
-                        self.flush_with_cause(FlushCause::LowMemory);
-                        self.request_drain();
-                        let retry = match self.inner.globals[class].get_chain() {
-                            Some(chain) => Some(chain),
-                            None => self.inner.pages[class]
-                                .alloc_chain(&self.inner.vm, target)
-                                .ok(),
-                        };
-                        match retry {
-                            Some(chain) => chain,
-                            None => {
-                                stats.alloc_fail.bump();
-                                return Err(AllocError::OutOfMemory { requested: size });
-                            }
-                        }
+                // Low memory: escalate the pressure ladder (drains, global
+                // spill, full reclaim) and retry the layers once.
+                self.escalate_pressure();
+                match self.take_chain(class, target) {
+                    Some(chain) => chain,
+                    None => {
+                        stats.alloc_fail.bump();
+                        return Err(AllocError::OutOfMemory { requested: size });
                     }
                 }
             }
         };
         debug_assert!(!chain.is_empty());
+        if self.inner.faults.hit(faults::PERCPU_REFILL) {
+            // Injected refill failure. The chain must not be dropped:
+            // route it back through the global layer so every block stays
+            // accounted for, and surface the typed error. No `refill` is
+            // counted, so `refill + alloc_fail == alloc_miss` still holds
+            // at quiescence.
+            self.return_chain(class, chain);
+            stats.alloc_fail.bump();
+            return Err(AllocError::OutOfMemory { requested: size });
+        }
         // Write order matters for live snapshots: `refill` (the bound)
         // before `refill_short` (the detail it bounds).
         stats.refill.bump();
@@ -516,6 +659,7 @@ impl CpuHandle {
         let cache = unsafe { self.cache_mut(class) };
         let block = cache.refill(chain);
         stats.sample_occupancy(cache.len(), 2 * cache.target());
+        self.relax_pressure();
         Ok(block)
     }
 
@@ -533,11 +677,11 @@ impl CpuHandle {
         match self.inner.vm.alloc_large(size) {
             Ok(p) => {
                 self.inner.large_allocs.inc();
+                self.relax_pressure();
                 Ok(p)
             }
             Err(_) => {
-                self.flush_with_cause(FlushCause::LowMemory);
-                self.request_drain();
+                self.escalate_pressure();
                 self.inner
                     .vm
                     .alloc_large(size)
@@ -657,6 +801,22 @@ impl CpuHandle {
                 self.inner.pages[class].free_chain(&self.inner.vm, spill);
             }
         }
+        if self.inner.faults.hit(faults::GLOBAL_SPILL) {
+            // The spill boundary cannot "fail" without dropping blocks, so
+            // injection here perturbs *placement* instead: force an early
+            // trim to `gbltarget`, driving the spill/coalesce path at
+            // arbitrary points in the schedule.
+            if let Some(forced) = pool.spill_to(pool.gbltarget()) {
+                // SAFETY: spilled blocks are free blocks of this class.
+                unsafe {
+                    self.inner.pages[class].free_chain(&self.inner.vm, forced);
+                }
+            }
+        }
+        // No relax here: return_chain runs inside rung-1 flushes, and a
+        // de-escalation driven by the escalation's own actions would undo
+        // the climb before the retry. Successful slow-path *allocations*
+        // relax the ladder instead.
     }
 
     /// Flushes every per-CPU cache of this CPU into the global layer
@@ -993,6 +1153,121 @@ mod tests {
         }
         cpu0.flush();
         cpu1.flush();
+        a.reclaim();
+        verify_empty(&a);
+    }
+
+    #[test]
+    fn injected_refill_failure_conserves_blocks_and_surfaces_typed_error() {
+        use kmem_smp::FailPolicy;
+
+        // Regression (fault audit): a refill fault between take_chain and
+        // cache.refill used to be un-testable; the chain it holds must be
+        // routed back, not dropped.
+        let cfg = KmemConfig {
+            faults: Faults::with_plan(),
+            ..KmemConfig::small()
+        };
+        let a = KmemArena::new(cfg).unwrap();
+        let cpu = a.register_cpu().unwrap();
+        // Warm the global layer: allocate, free, flush.
+        let held: Vec<_> = (0..20).map(|_| cpu.alloc(256).unwrap()).collect();
+        for p in held {
+            // SAFETY: allocated above, freed once.
+            unsafe { cpu.free(p) };
+        }
+        cpu.flush();
+        let global_before = a.inner().globals()[4].len(); // class 256
+        assert!(global_before > 0);
+        a.faults()
+            .plan()
+            .unwrap()
+            .set(faults::PERCPU_REFILL, FailPolicy::Script(vec![true]));
+        let err = cpu.alloc(256).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { requested: 256 }));
+        // Nothing reached the cache and nothing leaked: the chain the
+        // failed refill held went back to the global/page layers.
+        assert_eq!(cpu.cached_blocks(), 0);
+        verify_arena(&a);
+        verify_conservation(&a, &vec![0; a.inner().classes().len()]);
+        // The fault was one-shot: service resumes.
+        let p = cpu.alloc(256).unwrap();
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(p) };
+        let snap = a.snapshot();
+        assert_eq!(snap.fault_fired, 1);
+        cpu.flush();
+        a.reclaim();
+        snap.check_live().unwrap();
+    }
+
+    #[test]
+    fn injected_layer_misses_fall_through_and_recover() {
+        use kmem_smp::FailPolicy;
+
+        let cfg = KmemConfig {
+            faults: Faults::with_plan(),
+            ..KmemConfig::small()
+        };
+        let a = KmemArena::new(cfg).unwrap();
+        let cpu = a.register_cpu().unwrap();
+        let plan = a.faults().plan().unwrap().clone();
+        // A global-layer fault is invisible to callers while the page
+        // layer can still refill.
+        plan.set(faults::GLOBAL_GET, FailPolicy::EveryNth(1));
+        let p = cpu.alloc(128).unwrap();
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(p) };
+        plan.set(faults::GLOBAL_GET, FailPolicy::Off);
+        // Faulting both page-layer attempts (initial + post-escalation
+        // retry) turns a healthy arena into a typed OOM...
+        plan.set(faults::PAGE_GET, FailPolicy::Script(vec![true, true]));
+        let err = cpu.alloc(4096).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { requested: 4096 }));
+        // ...and the escalation was recorded by the ladder.
+        assert!(a.pressure_level() >= 1);
+        assert!(a.snapshot().pressure_escalations[0] >= 1);
+        // The script is spent: service resumes, and successes relax the
+        // ladder back to calm (the pool was never actually short).
+        let q = cpu.alloc(4096).unwrap();
+        // SAFETY: allocated above, freed once.
+        unsafe { cpu.free(q) };
+        assert_eq!(a.pressure_level(), 0);
+        verify_arena(&a);
+        cpu.flush();
+        a.reclaim();
+        verify_empty(&a);
+    }
+
+    #[test]
+    fn forced_spill_faults_keep_conservation() {
+        use kmem_smp::FailPolicy;
+
+        // GLOBAL_SPILL injection trims the pool early on every return;
+        // blocks must land in the page layer, never vanish.
+        let cfg = KmemConfig {
+            faults: Faults::with_plan(),
+            ..KmemConfig::small()
+        };
+        let a = KmemArena::new(cfg).unwrap();
+        let cpu = a.register_cpu().unwrap();
+        a.faults()
+            .plan()
+            .unwrap()
+            .set(faults::GLOBAL_SPILL, FailPolicy::EveryNth(2));
+        for round in 0..5 {
+            let held: Vec<_> = (0..64).map(|_| cpu.alloc(64).unwrap()).collect();
+            for p in held {
+                // SAFETY: allocated above, freed once.
+                unsafe { cpu.free(p) };
+            }
+            if round % 2 == 0 {
+                cpu.flush();
+            }
+        }
+        verify_arena(&a);
+        verify_conservation(&a, &vec![0; a.inner().classes().len()]);
+        cpu.flush();
         a.reclaim();
         verify_empty(&a);
     }

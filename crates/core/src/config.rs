@@ -1,6 +1,9 @@
 //! Allocator configuration and the paper's parameter heuristics.
 
+use kmem_smp::Faults;
 use kmem_vm::{SpaceConfig, PAGE_SIZE};
+
+use crate::pressure::PressureConfig;
 
 /// Per-size-class parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +64,13 @@ pub struct KmemConfig {
     /// descriptor frames too). Kept on by default so "everything freed"
     /// states are observable as `phys.in_use() == 0`.
     pub release_empty_vmblks: bool,
+    /// Failpoint handle threaded through every fallible layer boundary
+    /// (physical claim, vmblk carve, page get, global get/spill, per-CPU
+    /// refill). Defaults to [`Faults::none`]: a dormant handle whose cost
+    /// on the refill path is a single predictable branch.
+    pub faults: Faults,
+    /// Watermarks and hysteresis for the memory-pressure ladder.
+    pub pressure: PressureConfig,
 }
 
 impl KmemConfig {
@@ -77,6 +87,8 @@ impl KmemConfig {
             radix_pages: true,
             split_freelist: true,
             release_empty_vmblks: true,
+            faults: Faults::none(),
+            pressure: PressureConfig::default(),
         }
     }
 
@@ -146,6 +158,7 @@ impl KmemConfig {
             );
             prev = c.size;
         }
+        self.pressure.validate();
     }
 }
 

@@ -46,7 +46,12 @@ pub struct GlobalStats {
     pub put_odd: EventCounter,
     /// Returns that spilled excess blocks to the coalesce-to-page layer.
     pub put_miss: EventCounter,
-    /// Total blocks spilled to the coalesce-to-page layer.
+    /// Spills forced by the pressure ladder ([`GlobalPool::spill_to`])
+    /// rather than by a put exceeding the bound. Counted separately from
+    /// `put_miss`, which stays bounded by `put`.
+    pub pressure_spills: EventCounter,
+    /// Total blocks spilled to the coalesce-to-page layer (bound-exceeding
+    /// puts and forced spills combined).
     pub spill_blocks: EventCounter,
 }
 
@@ -209,7 +214,29 @@ impl GlobalPool {
     /// per spill and inflating page-layer traffic.) The split walk is
     /// bounded by `target` links and happens at most once per spill.
     fn spill_locked(&self, inner: &mut GlobalInner) -> Option<Chain> {
-        let bound = 2 * self.gbltarget;
+        let spill = self.trim_locked(inner, 2 * self.gbltarget)?;
+        self.stats.put_miss.inc();
+        self.stats.spill_blocks.add(spill.len() as u64);
+        Some(spill)
+    }
+
+    /// Trims the pool down to `bound` blocks on behalf of the pressure
+    /// ladder, returning the spill for the caller to push to the
+    /// coalesce-to-page layer. `None` when the pool is already within
+    /// bounds. Counted in `pressure_spills`, not `put_miss`.
+    pub fn spill_to(&self, bound: usize) -> Option<Chain> {
+        let mut inner = self.inner.lock();
+        let spill = self.trim_locked(&mut inner, bound)?;
+        drop(inner);
+        self.stats.pressure_spills.inc();
+        self.stats.spill_blocks.add(spill.len() as u64);
+        Some(spill)
+    }
+
+    /// The trimming walk shared by [`GlobalPool::spill_locked`] and
+    /// [`GlobalPool::spill_to`]; counter-free so each caller can attribute
+    /// the spill to its own cause.
+    fn trim_locked(&self, inner: &mut GlobalInner, bound: usize) -> Option<Chain> {
         let mut total = inner.bucket.len() + inner.chains.iter().map(Chain::len).sum::<usize>();
         if total <= bound {
             return None;
@@ -243,8 +270,6 @@ impl GlobalPool {
                 }
             }
         }
-        self.stats.put_miss.inc();
-        self.stats.spill_blocks.add(spill.len() as u64);
         Some(spill)
     }
 
@@ -440,6 +465,30 @@ mod tests {
         assert_eq!(s.get_miss.get(), 1);
         assert_eq!(s.put.get(), 2);
         assert_eq!(s.put_odd.get(), 1);
+    }
+
+    #[test]
+    fn spill_to_trims_without_touching_put_counters() {
+        let mut blocks = Blocks::new(32);
+        // target 3, gbltarget 6: bound 12.
+        let pool = GlobalPool::new(3, 6);
+        for _ in 0..4 {
+            assert!(pool.put_chain(blocks.chain(3)).is_none());
+        }
+        assert_eq!(pool.len(), 12);
+        // Already within `2 * gbltarget`: nothing to shed at that bound.
+        assert!(pool.spill_to(12).is_none());
+        // A pressure spill down to `gbltarget` sheds exactly 6 blocks and
+        // is attributed to `pressure_spills`, leaving `put_miss` alone.
+        let spill = pool.spill_to(6).unwrap();
+        assert_eq!(spill.len(), 6);
+        assert_eq!(pool.len(), 6);
+        let s = pool.stats();
+        assert_eq!(s.put_miss.get(), 0);
+        assert_eq!(s.pressure_spills.get(), 1);
+        assert_eq!(s.spill_blocks.get(), 6);
+        discard(spill);
+        discard(pool.drain_all());
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod object;
 pub mod pagedesc;
 pub mod pagelayer;
 pub mod percpu;
+pub mod pressure;
 pub mod sizeclass;
 pub mod snapshot;
 pub mod stats;
@@ -75,7 +76,9 @@ pub use arena::{CpuHandle, KmemArena};
 pub use config::{ClassConfig, KmemConfig};
 pub use cookie::Cookie;
 pub use error::AllocError;
+pub use kmem_smp::{faults, FailPolicy, FaultPlan, Faults};
 pub use object::{KBox, Obj, ObjectCache};
+pub use pressure::PressureConfig;
 pub use snapshot::{CacheCounts, ClassSnapshot, GlobalCounts, KmemSnapshot, PageCounts};
 pub use stats::{ClassStats, KmemStats, LayerCounts};
 

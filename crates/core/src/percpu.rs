@@ -51,6 +51,11 @@ pub struct CacheStats {
     /// blocks actually handed out — the snapshot conservation checks rely
     /// on this.
     pub alloc_fail: LocalCounter,
+    /// Failed attempts inside [`crate::KmemArena`]'s `alloc_sleep`
+    /// retry loop. Each one is also counted in `alloc_fail` (the bump
+    /// happens first), so live readers that load `sleep_retries` before
+    /// `alloc_fail` can assert `sleep_retries <= alloc_fail`.
+    pub sleep_retries: LocalCounter,
     /// Frees handled by this cache (including overflows).
     pub free: LocalCounter,
     /// Frees that pushed a chain back to the global layer.

@@ -1,0 +1,267 @@
+//! The memory-pressure ladder: an explicit escalation state machine.
+//!
+//! The paper's allocator recovers from exhaustion *online*: low-memory
+//! flushes push per-CPU caches to the global layer, the global layer spills
+//! to the coalesce-to-page layer, and the coalescing layers return whole
+//! pages (and vmblks) to the system. This module makes that escalation an
+//! explicit, observable state machine instead of an ad-hoc retry:
+//!
+//! * **Level 0** — no pressure; allocations never touch the ladder.
+//! * **Rung 1** — the failing CPU flushes its own caches and posts drain
+//!   requests to every other CPU (the reclaim-IPI stand-in).
+//! * **Rung 2** — every global pool is spilled down to `gbltarget`, feeding
+//!   the page layer so full pages can coalesce and release frames.
+//! * **Rung 3** — full reclaim: the global pools are drained entirely
+//!   through the coalescing layers.
+//!
+//! Entry is driven by watermarks on the physical pool (`avail < pct% of
+//! capacity`, one percentage per rung) — but a failed backend allocation
+//! always escalates at least one rung past the current level, so exhaustion
+//! that the watermarks cannot see (virtual-space exhaustion, injected
+//! faults) still climbs to a full reclaim. De-escalation happens one step
+//! at a time on successful slow-path operations, gated by hysteresis: the
+//! pool must recover `exit_margin_pct` *past* the rung's entry watermark,
+//! so the ladder does not flap at a boundary.
+
+use core::sync::atomic::{AtomicU8, Ordering};
+
+use kmem_smp::EventCounter;
+
+/// Deepest rung of the ladder.
+const MAX_LEVEL: u8 = 3;
+
+/// Watermarks and hysteresis for the pressure ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PressureConfig {
+    /// Entry watermarks, percent of physical capacity: rung `i + 1` is
+    /// indicated while `available < enter_pcts[i]% of capacity`. Must be
+    /// non-increasing with depth.
+    pub enter_pcts: [u8; 3],
+    /// Hysteresis margin: leaving rung `i + 1` requires
+    /// `available >= (enter_pcts[i] + exit_margin_pct)% of capacity`.
+    pub exit_margin_pct: u8,
+}
+
+impl Default for PressureConfig {
+    fn default() -> Self {
+        PressureConfig {
+            enter_pcts: [25, 12, 6],
+            exit_margin_pct: 5,
+        }
+    }
+}
+
+impl PressureConfig {
+    /// Validates structural requirements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unusable watermarks (see [`crate::KmemConfig::validate`]).
+    pub fn validate(&self) {
+        assert!(
+            self.enter_pcts[0] >= self.enter_pcts[1] && self.enter_pcts[1] >= self.enter_pcts[2],
+            "pressure watermarks must be non-increasing with depth"
+        );
+        assert!(
+            self.enter_pcts[0] as usize + self.exit_margin_pct as usize <= 100,
+            "exit watermark above 100% could never de-escalate"
+        );
+    }
+}
+
+/// The shared ladder state: current level plus transition counters.
+pub(crate) struct PressureLadder {
+    cfg: PressureConfig,
+    /// Current level, 0 (calm) through [`MAX_LEVEL`].
+    level: AtomicU8,
+    /// `escalations[i]` counts entries into rung `i + 1`.
+    escalations: [EventCounter; 3],
+    /// De-escalation steps taken (each one level, hysteresis-gated).
+    deescalations: EventCounter,
+    /// Failed allocations that found the ladder already at their target
+    /// rung and re-applied its deepest action.
+    reapplied: EventCounter,
+}
+
+impl PressureLadder {
+    pub(crate) fn new(cfg: PressureConfig) -> Self {
+        cfg.validate();
+        PressureLadder {
+            cfg,
+            level: AtomicU8::new(0),
+            escalations: [
+                EventCounter::new(),
+                EventCounter::new(),
+                EventCounter::new(),
+            ],
+            deescalations: EventCounter::new(),
+            reapplied: EventCounter::new(),
+        }
+    }
+
+    /// Current level (gauge).
+    pub(crate) fn level(&self) -> u8 {
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// Rung indicated by the watermarks alone (0 when none is crossed).
+    fn watermark(&self, avail: usize, cap: usize) -> u8 {
+        let mut level = 0;
+        for (i, &pct) in self.cfg.enter_pcts.iter().enumerate() {
+            if (avail as u128) * 100 < (cap as u128) * u128::from(pct) {
+                level = i as u8 + 1;
+            }
+        }
+        level
+    }
+
+    /// Records a failed backend allocation: the ladder climbs to the
+    /// watermark-indicated rung, or one rung past the current level if the
+    /// watermarks trail behind (never below rung 1, never above rung 3).
+    ///
+    /// Returns `(previous, new)` levels; the caller runs the actions of
+    /// rungs `previous + 1 ..= new`, or re-applies rung `new` when no rung
+    /// was newly entered.
+    pub(crate) fn escalate(&self, avail: usize, cap: usize) -> (u8, u8) {
+        let wm = self.watermark(avail, cap);
+        let cur = self.level.load(Ordering::Relaxed);
+        let next = wm.max(1).max((cur + 1).min(MAX_LEVEL));
+        let prev = self.level.fetch_max(next, Ordering::AcqRel);
+        if next > prev {
+            for rung in prev..next {
+                self.escalations[rung as usize].inc();
+            }
+        } else {
+            self.reapplied.inc();
+        }
+        (prev, next)
+    }
+
+    /// Records a successful slow-path operation: steps the ladder down one
+    /// level if the pool has recovered past the current rung's exit
+    /// watermark (entry percentage plus the hysteresis margin).
+    pub(crate) fn relax(&self, avail: usize, cap: usize) {
+        loop {
+            let cur = self.level.load(Ordering::Acquire);
+            if cur == 0 {
+                return;
+            }
+            let exit_pct = u128::from(self.cfg.enter_pcts[cur as usize - 1])
+                + u128::from(self.cfg.exit_margin_pct);
+            if (avail as u128) * 100 < (cap as u128) * exit_pct {
+                return;
+            }
+            if self
+                .level
+                .compare_exchange(cur, cur - 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.deescalations.inc();
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn escalations(&self) -> [u64; 3] {
+        [
+            self.escalations[0].get(),
+            self.escalations[1].get(),
+            self.escalations[2].get(),
+        ]
+    }
+
+    pub(crate) fn deescalations(&self) -> u64 {
+        self.deescalations.get()
+    }
+
+    pub(crate) fn reapplied(&self) -> u64 {
+        self.reapplied.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> PressureLadder {
+        PressureLadder::new(PressureConfig::default())
+    }
+
+    #[test]
+    fn watermarks_map_availability_to_rungs() {
+        let l = ladder();
+        // 100 frames: 25/12/6 percent watermarks.
+        assert_eq!(l.watermark(100, 100), 0);
+        assert_eq!(l.watermark(25, 100), 0); // strict less-than
+        assert_eq!(l.watermark(24, 100), 1);
+        assert_eq!(l.watermark(11, 100), 2);
+        assert_eq!(l.watermark(5, 100), 3);
+        assert_eq!(l.watermark(0, 100), 3);
+    }
+
+    #[test]
+    fn starvation_jumps_straight_to_the_deepest_rung() {
+        let l = ladder();
+        let (prev, next) = l.escalate(0, 100);
+        assert_eq!((prev, next), (0, 3));
+        assert_eq!(l.level(), 3);
+        assert_eq!(l.escalations(), [1, 1, 1]);
+        // A further failure at the same depth re-applies, not re-enters.
+        let (prev, next) = l.escalate(0, 100);
+        assert_eq!((prev, next), (3, 3));
+        assert_eq!(l.reapplied(), 1);
+        assert_eq!(l.escalations(), [1, 1, 1]);
+    }
+
+    #[test]
+    fn failures_the_watermarks_cannot_see_still_climb() {
+        // Plenty of frames free (e.g. virtual exhaustion or an injected
+        // fault): each failure climbs exactly one rung.
+        let l = ladder();
+        assert_eq!(l.escalate(100, 100), (0, 1));
+        assert_eq!(l.escalate(100, 100), (1, 2));
+        assert_eq!(l.escalate(100, 100), (2, 3));
+        assert_eq!(l.escalate(100, 100), (3, 3));
+        assert_eq!(l.escalations(), [1, 1, 1]);
+        assert_eq!(l.reapplied(), 1);
+    }
+
+    #[test]
+    fn relax_requires_the_hysteresis_margin() {
+        let l = ladder();
+        l.escalate(20, 100); // rung 1 (watermark) — wait, 20 < 25 → wm 1
+        assert_eq!(l.level(), 1);
+        // Exit needs 25 + 5 = 30%: 29 is not enough, 30 is.
+        l.relax(29, 100);
+        assert_eq!(l.level(), 1);
+        l.relax(30, 100);
+        assert_eq!(l.level(), 0);
+        assert_eq!(l.deescalations(), 1);
+        // Relaxing at level 0 is a no-op.
+        l.relax(100, 100);
+        assert_eq!(l.deescalations(), 1);
+    }
+
+    #[test]
+    fn relax_steps_one_level_at_a_time() {
+        let l = ladder();
+        l.escalate(0, 100);
+        assert_eq!(l.level(), 3);
+        l.relax(100, 100);
+        assert_eq!(l.level(), 2);
+        l.relax(100, 100);
+        l.relax(100, 100);
+        assert_eq!(l.level(), 0);
+        assert_eq!(l.deescalations(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn validate_rejects_inverted_watermarks() {
+        PressureConfig {
+            enter_pcts: [10, 20, 5],
+            exit_margin_pct: 5,
+        }
+        .validate();
+    }
+}

@@ -41,6 +41,9 @@ pub struct CacheCounts {
     pub alloc_miss: u64,
     /// Allocation misses that returned `OutOfMemory`.
     pub alloc_fail: u64,
+    /// Failed attempts inside `alloc_sleep` retry loops (each also counted
+    /// in `alloc_fail`).
+    pub sleep_retries: u64,
     /// Frees presented to this cache.
     pub free: u64,
     /// Frees that overflowed a chain to the global layer.
@@ -80,6 +83,7 @@ impl CacheCounts {
         let refill_blocks = s.refill_blocks.get();
         let refill_short = s.refill_short.get();
         let refill = s.refill.get();
+        let sleep_retries = s.sleep_retries.get();
         let alloc_fail = s.alloc_fail.get();
         let free_miss = s.free_miss.get();
         let free = s.free.get();
@@ -89,6 +93,7 @@ impl CacheCounts {
             alloc,
             alloc_miss,
             alloc_fail,
+            sleep_retries,
             free,
             free_miss,
             refill,
@@ -111,6 +116,7 @@ impl CacheCounts {
             alloc: self.alloc.saturating_sub(earlier.alloc),
             alloc_miss: self.alloc_miss.saturating_sub(earlier.alloc_miss),
             alloc_fail: self.alloc_fail.saturating_sub(earlier.alloc_fail),
+            sleep_retries: self.sleep_retries.saturating_sub(earlier.sleep_retries),
             free: self.free.saturating_sub(earlier.free),
             free_miss: self.free_miss.saturating_sub(earlier.free_miss),
             refill: self.refill.saturating_sub(earlier.refill),
@@ -131,6 +137,7 @@ impl CacheCounts {
         self.alloc += other.alloc;
         self.alloc_miss += other.alloc_miss;
         self.alloc_fail += other.alloc_fail;
+        self.sleep_retries += other.sleep_retries;
         self.free += other.free;
         self.free_miss += other.free_miss;
         self.refill += other.refill;
@@ -207,6 +214,10 @@ impl CacheCounts {
             "refill + alloc_fail > alloc_miss",
         )?;
         c(self.refill_short <= self.refill, "refill_short > refill")?;
+        c(
+            self.sleep_retries <= self.alloc_fail,
+            "sleep_retries > alloc_fail",
+        )?;
         Ok(())
     }
 
@@ -256,7 +267,10 @@ pub struct GlobalCounts {
     pub put_odd: u64,
     /// Puts that spilled to the coalesce-to-page layer.
     pub put_miss: u64,
-    /// Blocks spilled to the coalesce-to-page layer.
+    /// Spills forced by the pressure ladder (`spill_to`), counted apart
+    /// from `put_miss` so the latter stays bounded by `put`.
+    pub pressure_spills: u64,
+    /// Blocks spilled to the coalesce-to-page layer (all causes).
     pub spill_blocks: u64,
 }
 
@@ -264,6 +278,7 @@ impl GlobalCounts {
     pub(crate) fn read(s: &GlobalStats) -> GlobalCounts {
         // Detail before totals, as for `CacheCounts::read`.
         let spill_blocks = s.spill_blocks.get();
+        let pressure_spills = s.pressure_spills.get();
         let put_miss = s.put_miss.get();
         let put_odd = s.put_odd.get();
         let put = s.put.get();
@@ -283,6 +298,7 @@ impl GlobalCounts {
             put,
             put_odd,
             put_miss,
+            pressure_spills,
             spill_blocks,
         }
     }
@@ -301,6 +317,7 @@ impl GlobalCounts {
             put: self.put.saturating_sub(earlier.put),
             put_odd: self.put_odd.saturating_sub(earlier.put_odd),
             put_miss: self.put_miss.saturating_sub(earlier.put_miss),
+            pressure_spills: self.pressure_spills.saturating_sub(earlier.pressure_spills),
             spill_blocks: self.spill_blocks.saturating_sub(earlier.spill_blocks),
         }
     }
@@ -456,6 +473,19 @@ pub struct KmemSnapshot {
     pub phys_in_use: usize,
     /// Physical frame capacity (gauge).
     pub phys_capacity: usize,
+    /// Current pressure-ladder level, 0–3 (gauge).
+    pub pressure_level: u8,
+    /// `pressure_escalations[i]` counts entries into ladder rung `i + 1`.
+    pub pressure_escalations: [u64; 3],
+    /// De-escalation steps taken by the ladder (hysteresis-gated).
+    pub pressure_deescalations: u64,
+    /// Failed allocations that re-applied the ladder's deepest rung rather
+    /// than entering a new one.
+    pub pressure_reapplied: u64,
+    /// Failpoint consultations while a fault plan was armed.
+    pub fault_hits: u64,
+    /// Failpoint firings (injected failures).
+    pub fault_fired: u64,
 }
 
 impl KmemSnapshot {
@@ -523,6 +553,18 @@ impl KmemSnapshot {
             vmblks_live: self.vmblks_live,
             phys_in_use: self.phys_in_use,
             phys_capacity: self.phys_capacity,
+            pressure_level: self.pressure_level,
+            pressure_escalations: core::array::from_fn(|i| {
+                self.pressure_escalations[i].saturating_sub(earlier.pressure_escalations[i])
+            }),
+            pressure_deescalations: self
+                .pressure_deescalations
+                .saturating_sub(earlier.pressure_deescalations),
+            pressure_reapplied: self
+                .pressure_reapplied
+                .saturating_sub(earlier.pressure_reapplied),
+            fault_hits: self.fault_hits.saturating_sub(earlier.fault_hits),
+            fault_fired: self.fault_fired.saturating_sub(earlier.fault_fired),
         }
     }
 
@@ -566,6 +608,112 @@ impl KmemSnapshot {
             phys_in_use: self.phys_in_use,
             phys_capacity: self.phys_capacity,
         }
+    }
+
+    /// Renders the snapshot as a single-line JSON object (hand-rolled —
+    /// the workspace is hermetic, so no serde). Field names match the Rust
+    /// field names; all values are numbers or arrays of numbers, so the
+    /// output needs no string escaping.
+    pub fn to_json(&self) -> String {
+        use core::fmt::Write as _;
+
+        fn arr(out: &mut String, vals: &[u64]) {
+            out.push('[');
+            for (i, v) in vals.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push(']');
+        }
+
+        fn cache(out: &mut String, c: &CacheCounts) {
+            let _ = write!(
+                out,
+                "{{\"alloc\":{},\"alloc_miss\":{},\"alloc_fail\":{},\"sleep_retries\":{},\
+                 \"free\":{},\"free_miss\":{},\"refill\":{},\"refill_short\":{},\
+                 \"refill_blocks\":{},\"flush_explicit\":{},\"flush_drain\":{},\
+                 \"flush_lowmem\":{},\"flush_blocks\":{},\"occupancy\":",
+                c.alloc,
+                c.alloc_miss,
+                c.alloc_fail,
+                c.sleep_retries,
+                c.free,
+                c.free_miss,
+                c.refill,
+                c.refill_short,
+                c.refill_blocks,
+                c.flush_explicit,
+                c.flush_drain,
+                c.flush_lowmem,
+                c.flush_blocks,
+            );
+            arr(out, &c.occupancy);
+            out.push('}');
+        }
+
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"classes\":[");
+        for (i, cs) in self.classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"size\":{},\"target\":{},\"gbltarget\":{},\"per_cpu\":[",
+                cs.size, cs.target, cs.gbltarget
+            );
+            for (cpu, c) in cs.per_cpu.iter().enumerate() {
+                if cpu > 0 {
+                    out.push(',');
+                }
+                cache(&mut out, c);
+            }
+            let g = &cs.global;
+            let _ = write!(
+                out,
+                "],\"global\":{{\"get\":{},\"get_chain_hits\":{},\"get_bucket_hits\":{},\
+                 \"get_short\":{},\"get_short_deficit\":{},\"get_miss\":{},\"put\":{},\
+                 \"put_odd\":{},\"put_miss\":{},\"pressure_spills\":{},\"spill_blocks\":{}}}",
+                g.get,
+                g.get_chain_hits,
+                g.get_bucket_hits,
+                g.get_short,
+                g.get_short_deficit,
+                g.get_miss,
+                g.put,
+                g.put_odd,
+                g.put_miss,
+                g.pressure_spills,
+                g.spill_blocks,
+            );
+            let p = &cs.page;
+            let _ = write!(
+                out,
+                ",\"page\":{{\"refills\":{},\"page_acquires\":{},\"page_releases\":{},\
+                 \"block_frees\":{}}}}}",
+                p.refills, p.page_acquires, p.page_releases, p.block_frees,
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"large_allocs\":{},\"large_frees\":{},\"vmblks_live\":{},\"phys_in_use\":{},\
+             \"phys_capacity\":{},\"pressure\":{{\"level\":{},\"escalations\":",
+            self.large_allocs,
+            self.large_frees,
+            self.vmblks_live,
+            self.phys_in_use,
+            self.phys_capacity,
+            self.pressure_level,
+        );
+        arr(&mut out, &self.pressure_escalations);
+        let _ = write!(
+            out,
+            ",\"deescalations\":{},\"reapplied\":{}}},\"faults\":{{\"hits\":{},\"fired\":{}}}}}",
+            self.pressure_deescalations, self.pressure_reapplied, self.fault_hits, self.fault_fired,
+        );
+        out
     }
 
     /// Checks every invariant that holds even on a live, unsynchronized
@@ -614,6 +762,7 @@ impl KmemSnapshot {
                 mono(w("alloc"), n.alloc, t.alloc)?;
                 mono(w("alloc_miss"), n.alloc_miss, t.alloc_miss)?;
                 mono(w("alloc_fail"), n.alloc_fail, t.alloc_fail)?;
+                mono(w("sleep_retries"), n.sleep_retries, t.sleep_retries)?;
                 mono(w("free"), n.free, t.free)?;
                 mono(w("free_miss"), n.free_miss, t.free_miss)?;
                 mono(w("refill"), n.refill, t.refill)?;
@@ -654,6 +803,11 @@ impl KmemSnapshot {
             mono(w("put_odd"), now.global.put_odd, then.global.put_odd)?;
             mono(w("put_miss"), now.global.put_miss, then.global.put_miss)?;
             mono(
+                w("pressure_spills"),
+                now.global.pressure_spills,
+                then.global.pressure_spills,
+            )?;
+            mono(
                 w("spill_blocks"),
                 now.global.spill_blocks,
                 then.global.spill_blocks,
@@ -681,6 +835,25 @@ impl KmemSnapshot {
             earlier.large_allocs,
         )?;
         mono("large_frees".into(), self.large_frees, earlier.large_frees)?;
+        for i in 0..3 {
+            mono(
+                format!("pressure_escalations[{i}]"),
+                self.pressure_escalations[i],
+                earlier.pressure_escalations[i],
+            )?;
+        }
+        mono(
+            "pressure_deescalations".into(),
+            self.pressure_deescalations,
+            earlier.pressure_deescalations,
+        )?;
+        mono(
+            "pressure_reapplied".into(),
+            self.pressure_reapplied,
+            earlier.pressure_reapplied,
+        )?;
+        mono("fault_hits".into(), self.fault_hits, earlier.fault_hits)?;
+        mono("fault_fired".into(), self.fault_fired, earlier.fault_fired)?;
         Ok(())
     }
 }
@@ -715,6 +888,12 @@ mod tests {
             vmblks_live: 0,
             phys_in_use: 0,
             phys_capacity: 0,
+            pressure_level: 0,
+            pressure_escalations: [0; 3],
+            pressure_deescalations: 0,
+            pressure_reapplied: 0,
+            fault_hits: 0,
+            fault_fired: 0,
         }
     }
 
@@ -778,6 +957,37 @@ mod tests {
         c.occupancy[7] = 1;
         let m = c.mean_occupancy().unwrap();
         assert!((m - 0.5).abs() < 1e-12, "{m}");
+    }
+
+    #[test]
+    fn json_rendering_is_structurally_sound() {
+        let mut s = snapshot_of(vec![counts(10, 2, 5), counts(4, 1, 0)]);
+        s.pressure_level = 2;
+        s.pressure_escalations = [3, 2, 1];
+        s.fault_hits = 7;
+        s.fault_fired = 2;
+        let json = s.to_json();
+        // Balanced structure and no trailing garbage.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        // Spot-check fields, including the new pressure/fault groups.
+        assert!(json.contains("\"classes\":[{\"size\":64,"));
+        assert!(json.contains("\"alloc\":10,"));
+        assert!(json.contains("\"pressure\":{\"level\":2,\"escalations\":[3,2,1]"));
+        assert!(json.contains("\"faults\":{\"hits\":7,\"fired\":2}"));
+        assert!(json.contains("\"sleep_retries\":0"));
+        assert!(json.contains("\"pressure_spills\":0"));
+        // No pretty-printing: a single machine-readable line.
+        assert!(!json.contains('\n'));
     }
 
     #[test]

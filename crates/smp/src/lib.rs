@@ -17,6 +17,9 @@
 //!   parallelizations of the baseline allocators.
 //! * Relaxed-atomic event counters for layer hit/miss statistics
 //!   ([`counter::EventCounter`]).
+//! * Deterministic, seed-driven failpoints ([`faults::Faults`]) that the
+//!   allocator layers consult at every fallible boundary, so out-of-memory
+//!   paths can be forced and tested instead of waiting for real exhaustion.
 //! * A probe layer ([`probe`]) through which allocator slow paths report
 //!   lock and shared-cache-line events to the discrete-event SMP simulator
 //!   (`kmem-sim`), standing in for the logic analyzer and 25-CPU Symmetry
@@ -24,6 +27,7 @@
 
 pub mod counter;
 pub mod cpu;
+pub mod faults;
 pub mod irq;
 pub mod pad;
 pub mod percpu;
@@ -33,6 +37,7 @@ pub mod spinlock;
 
 pub use counter::{EventCounter, LocalCounter};
 pub use cpu::{CpuId, MAX_CPUS};
+pub use faults::{FailPolicy, FaultPlan, Faults, SiteStats};
 pub use irq::ExclusionFlag;
 pub use pad::CachePadded;
 pub use percpu::PerCpu;

@@ -16,6 +16,11 @@
 //!   cookie), including cross-thread frees and flush pressure, and runs
 //!   the cross-layer invariant walkers at every quiescent phase
 //!   boundary. Failures report a seed replayable via `KMEM_TORTURE_SEED`.
+//!   With `KMEM_TORTURE_FAULTS=1` (or `TortureConfig::faults`) it also
+//!   rotates deterministic failpoint policies across every allocator
+//!   layer boundary, phase by phase, replayable via
+//!   `KMEM_TORTURE_FAULT_SEED` — proving injected failures surface as
+//!   typed errors without leaking blocks or wedging drain flags.
 //!
 //! The paper's central claims are concurrency claims — per-CPU caches
 //! never touch other CPUs' state, the global layer stays within

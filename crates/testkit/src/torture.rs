@@ -26,10 +26,10 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::ptr::NonNull;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use kmem::verify::{verify_arena, verify_conservation};
-use kmem::{AllocError, Cookie, CpuHandle, KmemArena, KmemSnapshot};
+use kmem::{faults, AllocError, Cookie, CpuHandle, FailPolicy, FaultPlan, KmemArena, KmemSnapshot};
 use kmem_vm::PAGE_SIZE;
 
 use crate::rng::Rng;
@@ -55,6 +55,17 @@ pub struct TortureConfig {
     pub large_weight: u64,
     /// Run exact block conservation at every checkpoint (slower).
     pub check_conservation: bool,
+    /// Rotate deterministic fault-injection policies across every
+    /// failpoint site, re-drawn each phase (`KMEM_TORTURE_FAULTS=1`/`0`
+    /// overrides). Requires an arena built with
+    /// `KmemConfig { faults: Faults::with_plan(), .. }`; silently inert on
+    /// an arena without a plan, so a blanket env flag cannot break
+    /// fault-less tests.
+    pub faults: bool,
+    /// Seed for the fault-policy rotation (`KMEM_TORTURE_FAULT_SEED`
+    /// overrides), independent of the op-stream seed so the same ops can
+    /// be replayed under different fault schedules.
+    pub fault_seed: u64,
 }
 
 impl TortureConfig {
@@ -72,6 +83,18 @@ impl TortureConfig {
             seed: 0x7042_7475_7265_4b4d, // "tOrTureKM"
             large_weight: 2,
             check_conservation: true,
+            faults: false,
+            fault_seed: 0x4641_554c_5453_2121, // "FAULTS!!"
+        }
+    }
+
+    /// Whether this run should rotate fault policies, after applying the
+    /// `KMEM_TORTURE_FAULTS` environment override. Tests use this to
+    /// decide whether to build the arena with a fault plan.
+    pub fn faults_requested(&self) -> bool {
+        match std::env::var("KMEM_TORTURE_FAULTS") {
+            Ok(v) => !matches!(v.trim(), "" | "0"),
+            Err(_) => self.faults,
         }
     }
 }
@@ -99,6 +122,8 @@ pub struct TortureReport {
     pub large_allocs: u64,
     /// Quiescent checkpoints at which the invariant walkers ran.
     pub checkpoints: u64,
+    /// Failpoint firings during the run (0 when fault rotation is off).
+    pub injected_faults: u64,
 }
 
 impl TortureReport {
@@ -112,6 +137,7 @@ impl TortureReport {
         self.flushes += other.flushes;
         self.large_allocs += other.large_allocs;
         self.checkpoints += other.checkpoints;
+        self.injected_faults += other.injected_faults;
     }
 }
 
@@ -182,6 +208,44 @@ struct Shared {
     /// checkpoint's counter sweep and per-class torture holdings, so each
     /// checkpoint can verify the snapshot *delta* against ground truth.
     observer: Mutex<ObserverState>,
+    /// Fault-policy rotation state; present only when fault injection is
+    /// active for this run.
+    injector: Option<FaultInjector>,
+}
+
+/// Rotates deterministic failpoint policies across every site at each
+/// phase boundary, drawing from a dedicated RNG stream (independent of the
+/// op streams, so the same ops replay under different fault schedules).
+struct FaultInjector {
+    plan: Arc<FaultPlan>,
+    rng: Mutex<Rng>,
+}
+
+impl FaultInjector {
+    /// Installs this phase's policy at every site. Policy *shapes* rotate
+    /// by `(phase + site_index) % 5`, so within one phase different sites
+    /// run different shapes, and over five phases every site sees every
+    /// shape — including `Off`, which exercises disarming under load.
+    fn rotate(&self, phase: usize) {
+        let mut rng = self.rng.lock().unwrap();
+        for (i, site) in faults::ALL_SITES.iter().enumerate() {
+            let r = rng.next_u64();
+            let policy = match (phase + i) % 5 {
+                0 => FailPolicy::EveryNth(2 + r % 6),
+                1 => FailPolicy::AfterK(r % 4),
+                2 => FailPolicy::Prob {
+                    threshold: (2048 + (r % 8192)) as u16,
+                    seed: rng.next_u64(),
+                },
+                3 => {
+                    let len = (4 + r % 12) as usize;
+                    FailPolicy::Script((0..len).map(|_| rng.range_u64(0..2) == 1).collect())
+                }
+                _ => FailPolicy::Off,
+            };
+            self.plan.set(site, policy);
+        }
+    }
 }
 
 struct ObserverState {
@@ -208,6 +272,23 @@ pub fn run_torture(arena: &KmemArena, cfg: &TortureConfig) -> TortureReport {
         .ok()
         .and_then(|s| parse_seed(&s))
         .unwrap_or(cfg.seed);
+    let fault_seed = std::env::var("KMEM_TORTURE_FAULT_SEED")
+        .ok()
+        .and_then(|s| parse_seed(&s))
+        .unwrap_or(cfg.fault_seed);
+    // A fault-armed run needs an arena that carries a plan. A blanket
+    // `KMEM_TORTURE_FAULTS=1` in the environment must not break tests whose
+    // arenas were built without one, so the request is ignored, not an
+    // error, when no plan is present.
+    let injector = if cfg.faults_requested() {
+        arena.faults().plan().cloned().map(|plan| FaultInjector {
+            plan,
+            rng: Mutex::new(Rng::new(fault_seed)),
+        })
+    } else {
+        None
+    };
+    let fired_baseline = arena.faults().totals().1;
     let cookies: Vec<Cookie> = cfg
         .sizes
         .iter()
@@ -230,7 +311,13 @@ pub fn run_torture(arena: &KmemArena, cfg: &TortureConfig) -> TortureReport {
             prev: arena.snapshot(),
             prev_held: vec![0; nclasses],
         }),
+        injector,
     };
+    // Arm the first phase's policies before any worker runs, so injection
+    // covers the run end-to-end (it stays armed through teardown, too).
+    if let Some(inj) = &shared.injector {
+        inj.rotate(0);
+    }
     let mut master = Rng::new(seed);
     let thread_rngs: Vec<Rng> = (0..cfg.threads).map(|t| master.fork(t as u64)).collect();
 
@@ -257,6 +344,12 @@ pub fn run_torture(arena: &KmemArena, cfg: &TortureConfig) -> TortureReport {
         for p in &partials {
             total.absorb(p);
         }
+        // Disarm before handing the arena back (counters are preserved), so
+        // the caller's own post-run allocations cannot be injected.
+        if let Some(inj) = &shared.injector {
+            inj.plan.reset();
+        }
+        total.injected_faults = arena.faults().totals().1 - fired_baseline;
         total
     }));
     match result {
@@ -304,7 +397,7 @@ fn worker(
 
     let per_phase = cfg.ops_per_thread.div_ceil(cfg.phases);
     let mut remaining = cfg.ops_per_thread;
-    for _phase in 0..cfg.phases {
+    for phase in 0..cfg.phases {
         for _ in 0..per_phase.min(remaining) {
             step(
                 cfg,
@@ -325,8 +418,27 @@ fn worker(
         if !shared.sync.wait() {
             return report;
         }
+        // Dedicated drain-service round: with every thread stopped, one
+        // poll() per CPU must clear every drain flag the phase posted —
+        // nothing here allocates, so no new requests can appear.
+        cpu.poll();
+        if !shared.sync.wait() {
+            return report;
+        }
         if leader {
+            // Only meaningful when this run polls every configured CPU;
+            // request_drain flags slots nobody claimed, too.
+            if cfg.threads == arena.ncpus() {
+                assert_eq!(
+                    arena.pending_drains(),
+                    0,
+                    "drain request survived a full poll round (wedged flag)"
+                );
+            }
             checkpoint(arena, cfg, shared, cookies, &mut report);
+            if let Some(inj) = &shared.injector {
+                inj.rotate(phase + 1);
+            }
         }
         if !shared.sync.wait() {
             return report;
@@ -368,6 +480,12 @@ fn worker(
         return report;
     }
     if leader {
+        // Faults stay armed through teardown: every path that ran since the
+        // last phase (frees, flushes, reclaim) must tolerate injection
+        // without losing a block or wedging a drain flag.
+        if cfg.threads == arena.ncpus() {
+            assert_eq!(arena.pending_drains(), 0, "drain flag wedged at teardown");
+        }
         arena.reclaim();
         verify_arena(arena);
         verify_conservation(arena, &vec![0; arena.nclasses()]);

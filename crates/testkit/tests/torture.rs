@@ -2,7 +2,7 @@
 //! invariant walkers at every quiescent checkpoint.
 
 use kmem::verify::{verify_arena, verify_empty};
-use kmem::{KmemArena, KmemConfig};
+use kmem::{Faults, KmemArena, KmemConfig};
 use kmem_testkit::{check, interleaving, no_shrink, run_torture, TortureConfig};
 use kmem_vm::SpaceConfig;
 
@@ -68,6 +68,58 @@ fn torture_survives_low_memory_pressure() {
     );
     assert!(report.allocs > 1_000, "too few allocs: {report:?}");
     assert_eq!(report.checkpoints, cfg.phases as u64 + 1);
+
+    arena.reclaim();
+    verify_empty(&arena);
+}
+
+/// Every failpoint site armed in rotation (all five policy shapes over six
+/// phases) while the full multi-threaded mix runs. Injected failures must
+/// surface as typed errors, never leak a block, and never wedge a drain
+/// flag — every checkpoint runs the same invariant walkers as the clean
+/// run, plus a dedicated poll round asserting no drain request survives.
+///
+/// Run any torture test with faults via `KMEM_TORTURE_FAULTS=1`; this one
+/// opts in unconditionally so fault coverage is part of plain `cargo test`.
+#[test]
+fn fault_injection_torture_covers_every_site() {
+    let cfg = TortureConfig {
+        threads: 3,
+        ops_per_thread: 25_000,
+        phases: 6, // ≥ 5 phases: every site cycles through every policy shape
+        max_held_per_thread: 1_024,
+        faults: true,
+        ..TortureConfig::standard()
+    };
+    // Tight enough that the backend sites (vm.carve, phys.claim) see real
+    // traffic every phase, loose enough that allocation mostly succeeds.
+    // 64 KB vmblks mean page-layer growth carves constantly, so the carve
+    // failpoint gets hits in every policy rotation, not just at startup.
+    let mut kcfg = KmemConfig::new(
+        cfg.threads,
+        SpaceConfig::new(64 << 20).phys_pages(384).vmblk_shift(16),
+    );
+    // The torture driver programs the plan; the arena only has to carry one.
+    kcfg.faults = Faults::with_plan();
+    let arena = KmemArena::new(kcfg).unwrap();
+    let report = run_torture(&arena, &cfg);
+
+    assert_eq!(report.ops, (cfg.threads * cfg.ops_per_thread) as u64);
+    assert_eq!(report.checkpoints, cfg.phases as u64 + 1);
+    assert!(report.allocs > 1_000, "too few allocs: {report:?}");
+    assert!(
+        report.injected_faults > 0,
+        "no fault ever fired: {report:?}"
+    );
+    // Coverage: every registered site was both consulted and fired.
+    let stats = arena.faults().plan().unwrap().site_stats();
+    for site in kmem::faults::ALL_SITES {
+        let s = stats
+            .iter()
+            .find(|s| s.site == site)
+            .unwrap_or_else(|| panic!("site {site} never consulted"));
+        assert!(s.fired > 0, "site {site} armed but never fired: {s:?}");
+    }
 
     arena.reclaim();
     verify_empty(&arena);

@@ -13,6 +13,8 @@
 
 use core::sync::atomic::{AtomicUsize, Ordering};
 
+use kmem_smp::{faults, Faults};
+
 use crate::error::VmError;
 
 /// A bounded pool of physical page frames.
@@ -25,17 +27,25 @@ pub struct PhysPool {
     maps: AtomicUsize,
     /// Total unmap operations, for stats.
     unmaps: AtomicUsize,
+    /// Failpoint handle; `faults::PHYS_CLAIM` can force claim failures.
+    faults: Faults,
 }
 
 impl PhysPool {
-    /// Creates a pool of `capacity` frames.
+    /// Creates a pool of `capacity` frames with failpoints off.
     pub fn new(capacity: usize) -> Self {
+        PhysPool::with_faults(capacity, Faults::none())
+    }
+
+    /// Creates a pool of `capacity` frames wired to `faults`.
+    pub fn with_faults(capacity: usize, faults: Faults) -> Self {
         PhysPool {
             capacity,
             in_use: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
             maps: AtomicUsize::new(0),
             unmaps: AtomicUsize::new(0),
+            faults,
         }
     }
 
@@ -71,6 +81,12 @@ impl PhysPool {
 
     /// Claims `n` frames, failing (with no partial claim) if fewer are free.
     pub fn claim(&self, n: usize) -> Result<(), VmError> {
+        if self.faults.hit(faults::PHYS_CLAIM) {
+            return Err(VmError::OutOfPhysical {
+                requested: n,
+                available: self.available(),
+            });
+        }
         let mut cur = self.in_use.load(Ordering::Relaxed);
         loop {
             let new = cur + n;
@@ -159,6 +175,31 @@ mod tests {
         let p = PhysPool::new(2);
         p.claim(1).unwrap();
         p.release(2);
+    }
+
+    #[test]
+    fn injected_claim_failure_is_typed_and_leaves_accounting_intact() {
+        use kmem_smp::FailPolicy;
+
+        let faults = Faults::with_plan();
+        let p = PhysPool::with_faults(10, faults.clone());
+        p.claim(2).unwrap();
+        faults
+            .plan()
+            .unwrap()
+            .set(faults::PHYS_CLAIM, FailPolicy::Script(vec![true]));
+        let err = p.claim(1).unwrap_err();
+        assert_eq!(
+            err,
+            VmError::OutOfPhysical {
+                requested: 1,
+                available: 8
+            }
+        );
+        // The injected failure consumed no frames; the next claim works.
+        assert_eq!(p.in_use(), 2);
+        p.claim(8).unwrap();
+        p.release(10);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use core::ptr::NonNull;
 use core::sync::atomic::{AtomicUsize, Ordering};
 use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
 
-use kmem_smp::SpinLock;
+use kmem_smp::{faults, Faults, SpinLock};
 
 use crate::error::VmError;
 use crate::page::PAGE_SIZE;
@@ -116,6 +116,8 @@ pub struct KernelSpace {
     /// (paper Figure 6).
     dope: Box<[AtomicUsize]>,
     phys: PhysPool,
+    /// Failpoint handle; `faults::VM_CARVE` can force carve failures.
+    faults: Faults,
 }
 
 // SAFETY: all mutation of carve state goes through the spinlock; the dope
@@ -134,6 +136,16 @@ impl KernelSpace {
     /// Panics if `space_bytes` is zero or not a multiple of the vmblk size,
     /// or aborts if the host refuses the reservation.
     pub fn new(config: SpaceConfig) -> Self {
+        KernelSpace::new_with_faults(config, Faults::none())
+    }
+
+    /// Reserves the space described by `config`, wiring the carve path and
+    /// the embedded [`PhysPool`] to `faults`.
+    ///
+    /// # Panics
+    ///
+    /// As [`KernelSpace::new`].
+    pub fn new_with_faults(config: SpaceConfig, faults: Faults) -> Self {
         let vmblk_size = 1usize << config.vmblk_shift;
         assert!(
             config.vmblk_shift >= 14,
@@ -163,7 +175,8 @@ impl KernelSpace {
                 free: Vec::new(),
             }),
             dope,
-            phys: PhysPool::new(config.phys_pages),
+            phys: PhysPool::with_faults(config.phys_pages, faults.clone()),
+            faults,
         }
     }
 
@@ -200,6 +213,9 @@ impl KernelSpace {
 
     /// Carves a fresh vmblk out of the space.
     pub fn alloc_vmblk(&self) -> Result<VmblkRegion, VmError> {
+        if self.faults.hit(faults::VM_CARVE) {
+            return Err(VmError::OutOfVirtual);
+        }
         let index = {
             let mut carve = self.carve.lock();
             if let Some(index) = carve.free.pop() {
@@ -363,6 +379,29 @@ mod tests {
         s.phys().claim(10).unwrap();
         assert_eq!(s.phys().in_use(), 10);
         s.phys().release(10);
+    }
+
+    #[test]
+    fn injected_carve_failure_is_transient() {
+        use kmem_smp::FailPolicy;
+
+        let faults = Faults::with_plan();
+        let s = KernelSpace::new_with_faults(
+            SpaceConfig {
+                space_bytes: 1 << 20,
+                vmblk_shift: 14,
+                phys_pages: 256,
+            },
+            faults.clone(),
+        );
+        faults
+            .plan()
+            .unwrap()
+            .set(faults::VM_CARVE, FailPolicy::Script(vec![true]));
+        assert_eq!(s.alloc_vmblk().unwrap_err(), VmError::OutOfVirtual);
+        // The failed carve consumed no slot; the retry gets vmblk 0.
+        let r = s.alloc_vmblk().unwrap();
+        assert_eq!(r.index(), 0);
     }
 
     #[test]

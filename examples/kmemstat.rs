@@ -11,7 +11,12 @@
 //! counters are single-writer; the sampler only reads), so the tool can
 //! poll as fast as it likes — try `--interval-ms 1`.
 //!
-//! Usage: kmemstat [--interval-ms N] [--count N] [--threads N]
+//! Usage: kmemstat [--interval-ms N] [--count N] [--threads N] [--json]
+//!
+//! With `--json`, each tick emits the full cumulative snapshot as one JSON
+//! object per line (newline-delimited JSON, via the hand-rolled
+//! [`KmemSnapshot::to_json`] writer) instead of the delta table — ready to
+//! pipe into `jq` or a time-series collector.
 //!
 //! Columns (all per interval):
 //!   allocs/frees  class-sized operations across all CPUs
@@ -33,6 +38,7 @@ struct Args {
     interval_ms: u64,
     count: usize,
     threads: usize,
+    json: bool,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +46,7 @@ fn parse_args() -> Args {
         interval_ms: 200,
         count: 20,
         threads: 4,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -49,6 +56,7 @@ fn parse_args() -> Args {
             }
             "--count" => args.count = it.next().expect("--count N").parse().expect("number"),
             "--threads" => args.threads = it.next().expect("--threads N").parse().expect("number"),
+            "--json" => args.json = true,
             other => panic!("unknown argument {other}"),
         }
     }
@@ -141,10 +149,12 @@ fn main() {
             s.spawn(move || churn(arena, 0xBEEF_0000 + t as u64, stop));
         }
 
-        println!(
-            "kmemstat: {} churn threads, {} ticks every {} ms\n",
-            args.threads, args.count, args.interval_ms
-        );
+        if !args.json {
+            println!(
+                "kmemstat: {} churn threads, {} ticks every {} ms\n",
+                args.threads, args.count, args.interval_ms
+            );
+        }
         let header = format!(
             "{:>9} {:>5} {:>9} {:>5} {:>6} {:>5} {:>5} {:>7} {:>6} {:>5} {:>5} {:>6}",
             "allocs",
@@ -162,7 +172,7 @@ fn main() {
         );
         let mut prev = arena.snapshot();
         for tick in 0..args.count {
-            if tick % 10 == 0 {
+            if !args.json && tick % 10 == 0 {
                 println!("{header}");
             }
             std::thread::sleep(Duration::from_millis(args.interval_ms));
@@ -170,13 +180,20 @@ fn main() {
             // Live-sample invariants hold on every tick even though the
             // workload never pauses — see kmem::snapshot.
             snap.check_live().expect("live snapshot invariant");
-            let delta = snap.delta(&prev);
-            println!("{}", tick_line(&delta, &snap));
+            if args.json {
+                println!("{}", snap.to_json());
+            } else {
+                let delta = snap.delta(&prev);
+                println!("{}", tick_line(&delta, &snap));
+            }
             prev = snap;
         }
         stop.store(true, Ordering::Relaxed);
     });
 
+    if args.json {
+        return;
+    }
     // Parting shot: cumulative per-CPU totals, the skew view.
     let end = arena.snapshot();
     println!("\nper-CPU cumulative totals:");

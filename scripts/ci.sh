@@ -34,4 +34,16 @@ cargo test -q --offline --workspace
 echo "==> snapshot invariant tests (live sampling + delta exactness)"
 cargo test -q --offline --test observability
 
+echo "==> fault-injection torture (3 bounded rounds, rotated fault seeds)"
+# Every failpoint site, every policy shape, under the multi-threaded mix.
+# The seed only rotates the fault schedule; the op streams stay fixed, so
+# a failure reproduces with the printed KMEM_TORTURE_FAULT_SEED.
+for i in 1 2 3; do
+    fault_seed=$(( 0x5EED + i * 7919 ))
+    echo "    round $i/3: KMEM_TORTURE_FAULT_SEED=$fault_seed"
+    KMEM_TORTURE_FAULTS=1 KMEM_TORTURE_FAULT_SEED="$fault_seed" \
+        cargo test -q --release --offline -p kmem-testkit --test torture \
+        fault_injection
+done
+
 echo "==> OK: all tier-1 checks passed"

@@ -9,17 +9,22 @@
 # Usage: scripts/soak.sh [rounds]           (default: 3)
 #   KMEM_SOAK_BASE_SEED=N   fix the seed ladder for reproducible rotation
 #                           (default: current epoch seconds)
+#   KMEM_SOAK_FAULTS=1      additionally run the fault-injection torture
+#                           each round, rotating KMEM_TORTURE_FAULT_SEED
+#                           on the same ladder as KMEM_TORTURE_SEED
 #
 # A failing round prints the reproducing seed in the panic message;
 # re-run just that round with KMEM_TORTURE_SEED=<seed> cargo test ...
+# (faulted rounds also need KMEM_TORTURE_FAULT_SEED=<fault seed>).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 rounds="${1:-3}"
 base_seed="${KMEM_SOAK_BASE_SEED:-$(date +%s)}"
+faults="${KMEM_SOAK_FAULTS:-0}"
 
-echo "==> soak: $rounds rounds, seed ladder from $base_seed"
+echo "==> soak: $rounds rounds, seed ladder from $base_seed (faults: $faults)"
 echo "==> building release test binaries (offline)"
 cargo build --release --offline --tests
 
@@ -29,6 +34,16 @@ for i in $(seq 1 "$rounds"); do
     echo "==> round $i/$rounds: KMEM_TORTURE_SEED=$seed"
     KMEM_TORTURE_SEED="$seed" \
         cargo test -q --release --offline --test soak -- --ignored
+    if [ "$faults" != "0" ]; then
+        # Same ladder, different stream: the fault schedule rotates with
+        # the round while the op seed above keeps its own rotation.
+        fault_seed=$(( base_seed + i * 1000033 ))
+        echo "==> round $i/$rounds: KMEM_TORTURE_FAULT_SEED=$fault_seed"
+        KMEM_TORTURE_FAULTS=1 KMEM_TORTURE_FAULT_SEED="$fault_seed" \
+            KMEM_TORTURE_SEED="$seed" \
+            cargo test -q --release --offline -p kmem-testkit \
+            --test torture fault_injection
+    fi
 done
 
 echo "==> OK: $rounds soak rounds passed"

@@ -1,0 +1,132 @@
+//! The memory-pressure ladder, end to end: starve the physical pool,
+//! watch the escalation state machine climb through all three rungs,
+//! refill, and watch service resume and the ladder relax back to calm.
+
+use kmem::verify::{verify_arena, verify_empty};
+use kmem::{AllocError, KmemArena, KmemConfig};
+use kmem_vm::SpaceConfig;
+
+const SIZE: usize = 1024;
+
+fn starved_arena() -> KmemArena {
+    // 64 frames (256 KB) against unbounded demand: a few hundred
+    // allocations exhaust the pool outright.
+    KmemArena::new(KmemConfig::new(
+        1,
+        SpaceConfig::new(16 << 20).phys_pages(64).vmblk_shift(16),
+    ))
+    .unwrap()
+}
+
+/// Allocates until the pool is dry, returning everything handed out.
+fn drain_pool(cpu: &kmem::CpuHandle) -> Vec<std::ptr::NonNull<u8>> {
+    let mut held = Vec::new();
+    loop {
+        match cpu.alloc(SIZE) {
+            Ok(p) => held.push(p),
+            Err(AllocError::OutOfMemory { requested }) => {
+                assert_eq!(requested, SIZE, "typed error reports the request");
+                return held;
+            }
+            Err(e) => panic!("starvation must surface as OutOfMemory, got {e}"),
+        }
+    }
+}
+
+/// Starvation drives the ladder through every rung; refilling lets it
+/// step back down (one hysteresis-gated level per recovered allocation)
+/// until the arena is calm, quiescent, and fully reclaimable.
+#[test]
+fn pressure_ladder_climbs_all_rungs_and_relaxes() {
+    let arena = starved_arena();
+    let cpu = arena.register_cpu().unwrap();
+
+    let held = drain_pool(&cpu);
+    assert!(held.len() > 100, "only {} blocks before dry", held.len());
+
+    // The pool is empty, so the failing allocation maps straight to the
+    // deepest watermark: one climb enters rungs 1, 2 and 3 together.
+    let snap = arena.snapshot();
+    assert_eq!(snap.pressure_level, 3, "starved arena must sit at rung 3");
+    for (i, &count) in snap.pressure_escalations.iter().enumerate() {
+        assert!(count >= 1, "rung {} never entered: {count}", i + 1);
+    }
+    // Continued failures re-apply the deepest rung instead of re-posting
+    // drains and re-flushing.
+    assert!(cpu.alloc(SIZE).is_err());
+    assert!(cpu.alloc(SIZE).is_err());
+    let snap = arena.snapshot();
+    assert!(
+        snap.pressure_reapplied >= 2,
+        "repeated failures must re-apply, not re-climb: {}",
+        snap.pressure_reapplied
+    );
+
+    // Refill the pool: service resumes immediately...
+    for p in held {
+        // SAFETY: allocated above, freed exactly once.
+        unsafe { cpu.free_sized(p, SIZE) };
+    }
+    // ...and every successful slow-path allocation steps the ladder down
+    // one (hysteresis-checked) level. Flushing between allocations forces
+    // the slow path; cache hits never touch the ladder.
+    for _ in 0..4 {
+        let p = cpu.alloc(SIZE).expect("service must resume after refill");
+        // SAFETY: allocated above, freed exactly once.
+        unsafe { cpu.free_sized(p, SIZE) };
+        cpu.flush();
+    }
+    let snap = arena.snapshot();
+    assert_eq!(snap.pressure_level, 0, "recovered arena must relax to calm");
+    assert!(
+        snap.pressure_deescalations >= 3,
+        "three rungs up need three steps down: {}",
+        snap.pressure_deescalations
+    );
+
+    snap.check_quiescent()
+        .unwrap_or_else(|e| panic!("quiescent invariants after recovery: {e}"));
+    verify_arena(&arena);
+    arena.reclaim();
+    verify_empty(&arena);
+}
+
+/// `alloc_sleep` on a starved pool: bounded spin/yield retries, one
+/// `sleep_retries` count per failed attempt, and a typed error when the
+/// attempts run out — then success as soon as memory comes back.
+#[test]
+fn alloc_sleep_backs_off_and_reports_retries() {
+    let arena = starved_arena();
+    let cpu = arena.register_cpu().unwrap();
+    let held = drain_pool(&cpu);
+
+    let err = cpu.alloc_sleep(SIZE, 5).expect_err("pool is dry");
+    assert!(matches!(err, AllocError::OutOfMemory { requested: s } if s == SIZE));
+
+    let class = arena.cookie_for(SIZE).unwrap().class_index();
+    let snap = arena.snapshot();
+    let total = snap.classes[class].cache_total();
+    assert_eq!(total.sleep_retries, 5, "one retry count per failed attempt");
+    assert!(
+        total.sleep_retries <= total.alloc_fail,
+        "retries are a subset of failures"
+    );
+
+    for p in held {
+        // SAFETY: allocated above, freed exactly once.
+        unsafe { cpu.free_sized(p, SIZE) };
+    }
+    let p = cpu.alloc_sleep(SIZE, 5).expect("memory is back");
+    // SAFETY: allocated above, freed exactly once.
+    unsafe { cpu.free_sized(p, SIZE) };
+    let snap = arena.snapshot();
+    assert_eq!(
+        snap.classes[class].cache_total().sleep_retries,
+        5,
+        "successful attempts add no retries"
+    );
+
+    cpu.flush();
+    arena.reclaim();
+    verify_empty(&arena);
+}
