@@ -124,7 +124,13 @@ impl KmemArena {
         let globals = config
             .classes
             .iter()
-            .map(|c| CachePadded::new(GlobalPool::new(c.target, c.gbltarget)))
+            .map(|c| {
+                CachePadded::new(GlobalPool::new_with_faults(
+                    c.target,
+                    c.gbltarget,
+                    faults.clone(),
+                ))
+            })
             .collect();
         let pages = config
             .classes
@@ -546,12 +552,9 @@ impl CpuHandle {
     /// coalesce-to-page layer — each behind its failpoint, so injected
     /// faults exercise every fall-through combination.
     fn take_chain(&self, class: usize, target: usize) -> Option<Chain> {
-        let from_global = if self.inner.faults.hit(faults::GLOBAL_GET) {
-            None
-        } else {
-            self.inner.globals[class].get_chain()
-        };
-        from_global.or_else(|| {
+        // The pool consults `faults::GLOBAL_GET` itself, on both its CAS
+        // fast path and its locked slow path.
+        self.inner.globals[class].get_chain().or_else(|| {
             if self.inner.faults.hit(faults::PAGE_GET) {
                 return None;
             }

@@ -45,6 +45,92 @@ pub unsafe fn write_next(block: *mut u8, next: *mut u8) {
     unsafe { (block as *mut *mut u8).write(next) };
 }
 
+/// Atomically reads the next-free-block link from a free block.
+///
+/// The lock-free global stack threads its stack links through the first
+/// word of chain-head blocks. A popping CPU reads that word *before* its
+/// tag CAS confirms ownership, so a racing thread may read the word of a
+/// block that was just popped by someone else (and is even being handed
+/// to a user). The read therefore must be atomic: the value may be
+/// stale garbage, but the access itself is a plain relaxed load that
+/// cannot fault (the arena reservation is type-stable), and the stale
+/// value is discarded when the generation-tag CAS fails.
+///
+/// # Safety
+///
+/// `block` must point into the arena reservation and be at least
+/// [`MIN_BLOCK`] bytes; unlike [`read_next`], the caller need *not* own
+/// it — a stale read returns garbage rather than UB-free data, and the
+/// caller must validate ownership (tag CAS) before trusting the value.
+#[inline]
+pub unsafe fn read_next_atomic(block: *mut u8) -> *mut u8 {
+    use core::sync::atomic::{AtomicUsize, Ordering};
+    // SAFETY: per the function contract, the first word of `block` is
+    // mapped, aligned memory inside the reservation.
+    unsafe { (*(block as *const AtomicUsize)).load(Ordering::Acquire) as *mut u8 }
+}
+
+/// Atomically writes the next-free-block link into a free block the
+/// caller owns.
+///
+/// Counterpart of [`read_next_atomic`]: any block that is (or recently
+/// was) the head of the lock-free global stack may still be speculatively
+/// loaded by CPUs spinning in a pop, so its link word is only ever
+/// written atomically while that window is open.
+///
+/// # Safety
+///
+/// `block` must satisfy the module-level free-block conditions.
+#[inline]
+pub unsafe fn write_next_atomic(block: *mut u8, next: *mut u8) {
+    use core::sync::atomic::{AtomicUsize, Ordering};
+    // SAFETY: per the function contract, offset 0 of `block` is writable
+    // and owned by the caller.
+    unsafe { (*(block as *const AtomicUsize)).store(next as usize, Ordering::Release) };
+}
+
+/// Stashes a pointer in the *second* word of a free block (the word the
+/// poison normally occupies).
+///
+/// The lock-free global stack keeps whole chains intact on the stack:
+/// the head block's first word becomes the stack link, so the displaced
+/// intra-chain link moves into the head's second word, and the chain's
+/// tail pointer into the second block's second word. [`take_stash`]
+/// reverses the theft and restores the poison.
+///
+/// # Safety
+///
+/// `block` must satisfy the module-level free-block conditions, and the
+/// caller must restore the word via [`take_stash`] before the block can
+/// reach [`check_and_clear_poison_on_alloc`].
+#[inline]
+pub unsafe fn write_stash(block: *mut u8, val: *mut u8) {
+    // SAFETY: blocks are at least [`MIN_BLOCK`] bytes, so the second
+    // word is in bounds and allocator-owned.
+    unsafe { (block as *mut usize).add(1).write(val as usize) };
+}
+
+/// Reads back a pointer stashed by [`write_stash`] and re-poisons the
+/// word (debug builds), so the free-poison invariant holds again by the
+/// time the block leaves the global stack.
+///
+/// # Safety
+///
+/// `block` must satisfy the module-level free-block conditions and carry
+/// a value written by [`write_stash`].
+#[inline]
+pub unsafe fn take_stash(block: *mut u8) -> *mut u8 {
+    // SAFETY: as in `write_stash`.
+    let word = unsafe { (block as *mut usize).add(1) };
+    // SAFETY: as in `write_stash`.
+    let val = unsafe { word.read() } as *mut u8;
+    if cfg!(debug_assertions) {
+        // SAFETY: as in `write_stash`.
+        unsafe { word.write(POISON) };
+    }
+    val
+}
+
 /// Marks `block` as freed (debug builds only).
 ///
 /// # Safety
@@ -129,6 +215,36 @@ mod tests {
             check_and_clear_poison_on_alloc(pa);
             check_not_double_free(pa);
         }
+    }
+
+    #[test]
+    fn stash_round_trip_restores_poison() {
+        let mut a = block();
+        let mut b = block();
+        let pa = a.as_mut_ptr();
+        let pb = b.as_mut_ptr();
+        // SAFETY: both point to 32 owned, writable bytes.
+        unsafe {
+            poison(pa);
+            write_stash(pa, pb);
+            assert_eq!(take_stash(pa), pb);
+            // Poison is back: the alloc-time check passes.
+            check_and_clear_poison_on_alloc(pa);
+        }
+    }
+
+    #[test]
+    fn atomic_link_round_trip() {
+        let mut a = block();
+        let mut b = block();
+        let pa = a.as_mut_ptr();
+        let pb = b.as_mut_ptr();
+        // SAFETY: `pa` points to 32 owned, writable bytes.
+        unsafe { write_next_atomic(pa, pb) };
+        // SAFETY: link was just written; mixed atomic/plain access to the
+        // same word is fine from a single thread.
+        assert_eq!(unsafe { read_next_atomic(pa) }, pb);
+        assert_eq!(unsafe { read_next(pa) }, pb);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The global layer (paper Figure 3).
+//! The global layer (paper Figure 3), lock-free on its common path.
 //!
 //! "The only purpose of the global layer is to support reasonable
 //! performance in cases when one CPU allocates buffers of a given size,
@@ -6,31 +6,62 @@
 //! allows the freed buffers to move back to the allocating CPU without
 //! incurring the overhead of coalescing."
 //!
-//! Each size class has one [`GlobalPool`]: a spinlock-protected list of
-//! `target`-sized chains (`gblfree`) plus a *bucket list* that accumulates
-//! odd-sized chains (from low-memory cache flushes) and regroups them into
-//! `target`-sized chains. The pool holds at most `2 * gbltarget` blocks;
-//! excess goes to the coalesce-to-page layer, and an empty pool is
+//! Each size class has one [`GlobalPool`]. The ready `target`-sized
+//! chains — the paper's `gblfree` list, and the only structure the
+//! common CPU-to-CPU recycling pattern touches — live on a **lock-free
+//! Treiber stack** whose head is a generation-tagged word
+//! ([`kmem_smp::TaggedAtomic`]): [`GlobalPool::get_chain`] is a single
+//! CAS pop and [`GlobalPool::put_chain`] of an exact-`target` chain is a
+//! single CAS push, so the last lock on the alloc/free fast path is
+//! gone. Chains stay intact on the stack by threading the stack link
+//! through each chain head's first word and stashing the displaced
+//! intra-chain link and the tail pointer in the spare (poison) words —
+//! see [`crate::block::write_stash`].
+//!
+//! Everything else — the *bucket list* that regroups odd-sized chains
+//! (from low-memory cache flushes), short pools, bound-exceeding puts,
+//! and pressure-ladder spills — stays behind a narrow [`SpinLock`]ed
+//! slow path. The `2 * gbltarget` bound is approximated on the fast path
+//! by a block-count estimate *derived* from counters the pool already
+//! keeps ([`GlobalPool::stack_blocks`] — no dedicated count, no extra
+//! hot-path RMW); exact enforcement happens on the slow path, so
+//! concurrent fast puts can transiently overshoot the bound by at most
+//! one chain per CPU (see DESIGN.md §9 for the argument).
+//! Excess goes to the coalesce-to-page layer and an empty pool is
 //! replenished from it — both via return values, so the page layer is
-//! never entered while the global spinlock is held.
+//! never entered while the slow-path lock is held.
 
-use kmem_smp::{EventCounter, SpinLock};
+use core::ptr;
+use core::sync::atomic::{AtomicI64, Ordering};
 
+use kmem_smp::{faults, EventCounter, Faults, SpinLock, TaggedAtomic};
+
+use crate::block;
 use crate::chain::Chain;
 
 /// Statistics for one global pool.
 ///
 /// Beyond the access/miss pair the paper's tables need, the counters break
 /// every event down by *how* it was served — the detail the snapshot layer
-/// (`crate::snapshot`) exposes per class. The owner bumps `get`/`put`
-/// before the outcome detail, so a concurrent reader that loads the detail
-/// first can assert `detail <= total` on live samples.
+/// (`crate::snapshot`) exposes per class. The counters are chosen so the
+/// lock-free fast path bumps exactly **one** of them per operation
+/// ([`GlobalStats::get_fast`] or [`GlobalStats::put_fast`]): totals like
+/// [`GlobalStats::get`] are *derived* as `fast + slow` at read time rather
+/// than maintained with an extra hot-path RMW. The slow path bumps its
+/// entry counter (`get_slow`/`put_slow`) before any outcome detail, so a
+/// concurrent reader that loads the details first can still assert
+/// `detail <= slow-entries` on live samples.
 #[derive(Default)]
 pub struct GlobalStats {
-    /// Chain requests served (hits and misses).
-    pub get: EventCounter,
-    /// Gets whose first block came from a ready `target`-sized chain.
-    pub get_chain_hits: EventCounter,
+    /// Gets served entirely by the lock-free CAS pop (no spinlock); every
+    /// one handed out a ready `target`-sized chain.
+    pub get_fast: EventCounter,
+    /// Gets that took the locked slow path (bucket serves, short pools,
+    /// misses, and the under-lock stack retry).
+    pub get_slow: EventCounter,
+    /// Slow-path gets served by a ready chain (a racing put landed one
+    /// between the failed fast pop and the lock).
+    pub get_chain_hits_slow: EventCounter,
     /// Gets whose first block came from the bucket list.
     pub get_bucket_hits: EventCounter,
     /// Gets that handed back a sub-`target` chain (the pool held fewer
@@ -40,49 +71,96 @@ pub struct GlobalStats {
     pub get_short_deficit: EventCounter,
     /// Chain requests that fell through to the coalesce-to-page layer.
     pub get_miss: EventCounter,
-    /// Chains returned by per-CPU caches.
-    pub put: EventCounter,
+    /// Exact-`target` puts served entirely by the lock-free CAS push.
+    pub put_fast: EventCounter,
+    /// Puts that took the locked slow path (odd chains, bound-exceeding
+    /// puts).
+    pub put_slow: EventCounter,
     /// Puts that took the odd-sized bucket path (low-memory flushes).
     pub put_odd: EventCounter,
     /// Returns that spilled excess blocks to the coalesce-to-page layer.
     pub put_miss: EventCounter,
     /// Spills forced by the pressure ladder ([`GlobalPool::spill_to`])
     /// rather than by a put exceeding the bound. Counted separately from
-    /// `put_miss`, which stays bounded by `put`.
+    /// `put_miss`, which stays bounded by [`GlobalStats::put`].
     pub pressure_spills: EventCounter,
     /// Total blocks spilled to the coalesce-to-page layer (bound-exceeding
     /// puts and forced spills combined).
     pub spill_blocks: EventCounter,
+    /// Failed tag-CAS attempts on the Treiber stack head (both pops and
+    /// pushes; monotone, and zero without contention).
+    pub cas_retries: EventCounter,
 }
 
-struct GlobalInner {
-    /// `target`-sized chains, ready for O(1) hand-off to a per-CPU cache.
-    chains: Vec<Chain>,
-    /// Odd-sized leftovers awaiting regrouping.
-    bucket: Chain,
+impl GlobalStats {
+    /// Chain requests served (hits and misses): every get is either fast
+    /// or slow, so the total is derived instead of costing the fast path
+    /// a second RMW.
+    pub fn get(&self) -> u64 {
+        // Fast before slow: a live reader must never see a partition
+        // exceed a total it reads later, and `get_fast` is the half that
+        // races snapshots without a lock.
+        let fast = self.get_fast.get();
+        fast + self.get_slow.get()
+    }
+
+    /// Gets whose first block came from a ready `target`-sized chain —
+    /// every fast get plus the slow path's under-lock stack hits.
+    pub fn get_chain_hits(&self) -> u64 {
+        let fast = self.get_fast.get();
+        fast + self.get_chain_hits_slow.get()
+    }
+
+    /// Chains returned by per-CPU caches (derived, like
+    /// [`GlobalStats::get`]).
+    pub fn put(&self) -> u64 {
+        let fast = self.put_fast.get();
+        fast + self.put_slow.get()
+    }
 }
 
 /// The global free pool for one size class.
 pub struct GlobalPool {
-    inner: SpinLock<GlobalInner>,
+    /// Treiber stack of intact, exactly-`target`-sized chains. Only
+    /// [`GlobalPool::push_stack`] / [`GlobalPool::pop_stack`] touch it.
+    stack: TaggedAtomic,
+    /// Net blocks the *slow path* has moved onto (+) or off (−) the
+    /// stack: bound-exceeding puts and regrouped bucket chains add
+    /// before pushing; trims, drains, and the under-lock get retry
+    /// subtract after popping. Written only by bucket-lock holders, read
+    /// lock-free by [`GlobalPool::stack_blocks`]. Fast-path traffic is
+    /// *not* tracked here — it is derived from `put_fast`/`get_fast`, so
+    /// the fast path pays no extra RMW for the block count.
+    slow_net: AtomicI64,
+    /// The slow path: the odd-sized bucket list awaiting regrouping,
+    /// behind the pool's only lock. Holding this lock also serializes
+    /// structural decisions (trims, short gets, drains) — the lock-free
+    /// stack itself may still be pushed/popped concurrently.
+    bucket: SpinLock<Chain>,
     target: usize,
     gbltarget: usize,
+    faults: Faults,
     stats: GlobalStats,
 }
 
 impl GlobalPool {
     /// Creates an empty pool with the class's `target` and `gbltarget`.
     pub fn new(target: usize, gbltarget: usize) -> Self {
-        // The pool holds at most `2 * gbltarget` blocks; preallocating the
-        // chain vector keeps the hot path free of host-heap traffic.
-        let max_chains = (2 * gbltarget).div_ceil(target) + 2;
+        GlobalPool::new_with_faults(target, gbltarget, Faults::none())
+    }
+
+    /// Creates an empty pool wired to `faults`: the `faults::GLOBAL_GET`
+    /// site is consulted on *both* the CAS fast path and the locked slow
+    /// path of [`GlobalPool::get_chain`].
+    pub fn new_with_faults(target: usize, gbltarget: usize, faults: Faults) -> Self {
+        assert!(target >= 1, "target-sized chains must hold a block");
         GlobalPool {
-            inner: SpinLock::new(GlobalInner {
-                chains: Vec::with_capacity(max_chains),
-                bucket: Chain::new(),
-            }),
+            stack: TaggedAtomic::null(),
+            slow_net: AtomicI64::new(0),
+            bucket: SpinLock::new(Chain::new()),
             target,
             gbltarget,
+            faults,
             stats: GlobalStats::default(),
         }
     }
@@ -102,71 +180,247 @@ impl GlobalPool {
         &self.stats
     }
 
-    /// Fetches a chain for a per-CPU cache.
+    /// Pushes an exactly-`target`-sized chain onto the lock-free stack.
     ///
-    /// Prefers a ready `target`-sized chain, then tops the chain up to
-    /// `target` blocks from the bucket list (and any further chains), so
-    /// the caller receives `min(target, pool_total)` blocks — the most the
-    /// paper's hysteresis guarantee ("the global layer will be accessed at
-    /// most one time per target-number of accesses") can get. A chain
-    /// shorter than `target` is handed back only when the whole pool holds
-    /// fewer than `target` blocks, and is counted in `get_short` /
-    /// `get_short_deficit`. (This used to return whatever single source it
-    /// hit first, so a sub-`target` chain could come back while other
-    /// blocks sat in the pool.)
-    ///
-    /// Returns `None` only when the pool is empty — the caller then asks
-    /// the coalesce-to-page layer (the counted miss).
-    pub fn get_chain(&self) -> Option<Chain> {
-        self.stats.get.inc();
-        let mut inner = self.inner.lock();
-        let mut chain = inner.chains.pop().unwrap_or_default();
-        let from_ready_chain = !chain.is_empty();
-        while chain.len() < self.target {
-            let need = self.target - chain.len();
-            if !inner.bucket.is_empty() {
-                let n = inner.bucket.len().min(need);
-                let mut cut = inner.bucket.split_first(n);
-                chain.append(&mut cut);
-            } else if let Some(mut next) = inner.chains.pop() {
-                if next.len() > need {
-                    let mut cut = next.split_first(need);
-                    chain.append(&mut cut);
-                    // The remainder is odd-sized now; it waits in the
-                    // bucket for regrouping.
-                    inner.bucket.append(&mut next);
-                } else {
-                    chain.append(&mut next);
-                }
-            } else {
-                break;
+    /// The chain is kept intact: the head's first word becomes the stack
+    /// link, the displaced intra-chain link moves to the head's second
+    /// word, and the tail pointer to the second block's second word
+    /// (single-block chains need no stashing — head *is* tail). Only the
+    /// head's first word is ever read by non-owners, so only it uses
+    /// atomic accesses.
+    fn push_stack(&self, chain: Chain) {
+        let (head, tail, len) = chain.into_raw();
+        debug_assert_eq!(len, self.target, "stack chains must be exactly target");
+        if len > 1 {
+            // SAFETY: we own the chain; head and its successor are free
+            // blocks of at least MIN_BLOCK bytes.
+            unsafe {
+                let second = block::read_next(head);
+                block::write_stash(head, second);
+                block::write_stash(second, tail);
             }
         }
-        drop(inner);
-        if chain.is_empty() {
+        let mut cur = self.stack.load();
+        loop {
+            // SAFETY: we still own `head` until the CAS publishes it.
+            unsafe { block::write_next_atomic(head, cur.ptr()) };
+            match self.stack.compare_exchange(cur, head) {
+                Ok(_) => return,
+                Err(seen) => {
+                    self.stats.cas_retries.inc();
+                    cur = seen;
+                }
+            }
+        }
+    }
+
+    /// Pops one intact `target`-sized chain off the lock-free stack, or
+    /// `None` if the stack is empty. Counter-free: callers attribute the
+    /// pop to their own path.
+    fn pop_stack(&self) -> Option<Chain> {
+        let mut cur = self.stack.load();
+        loop {
+            if cur.is_null() {
+                return None;
+            }
+            let head = cur.ptr();
+            // SAFETY: `head` may already have been popped by a racing
+            // CPU — the arena reservation is type-stable, so this atomic
+            // load cannot fault, and a stale value is discarded below
+            // when the generation-tag CAS fails.
+            let next = unsafe { block::read_next_atomic(head) };
+            match self.stack.compare_exchange(cur, next) {
+                Ok(_) => {
+                    // SAFETY: the successful tag CAS transferred the
+                    // whole chain under `head` to us.
+                    return Some(unsafe { self.rebuild_chain(head) });
+                }
+                Err(seen) => {
+                    self.stats.cas_retries.inc();
+                    cur = seen;
+                }
+            }
+        }
+    }
+
+    /// Restores the intra-chain layout of a freshly popped stack chain.
+    ///
+    /// # Safety
+    ///
+    /// `head` must be a chain head this CPU just popped (owns) that was
+    /// laid out by [`GlobalPool::push_stack`] for this pool's `target`.
+    unsafe fn rebuild_chain(&self, head: *mut u8) -> Chain {
+        if self.target == 1 {
+            // SAFETY: we own `head`; racing poppers may still load its
+            // first word, hence the atomic store.
+            unsafe { block::write_next_atomic(head, ptr::null_mut()) };
+            // SAFETY: a single owned block is a well-formed chain.
+            return unsafe { Chain::from_raw(head, head, 1) };
+        }
+        // SAFETY: push_stack stashed the second-block and tail pointers
+        // in the spare words; taking them back re-poisons the words.
+        let second = unsafe { block::take_stash(head) };
+        // SAFETY: as above.
+        let tail = unsafe { block::take_stash(second) };
+        // SAFETY: restoring the intra-chain link we displaced; atomic
+        // because racing poppers may still load this word.
+        unsafe { block::write_next_atomic(head, second) };
+        // SAFETY: head -> second -> … -> tail is the original chain.
+        unsafe { Chain::from_raw(head, tail, self.target) }
+    }
+
+    /// Conservative lock-free estimate of the blocks on the stack.
+    ///
+    /// No dedicated counter is maintained — that would put a
+    /// `fetch_add`/`fetch_sub` pair back on the CAS fast path. Instead
+    /// the estimate is derived from counters the pool already keeps:
+    /// the fast-path op counters (`put_fast` rises *before* its push,
+    /// `get_fast` *after* its pop) plus [`GlobalPool::slow_net`], the
+    /// lock holders' net block movement (also added before pushes,
+    /// subtracted after pops). A torn sweep — another CPU completing
+    /// round trips between the loads — could inflate the estimate
+    /// without bound, so the sweep is seqlock-style: it retries while
+    /// `put_fast` moves. With `put_fast` stable across the window, any
+    /// pop the window counts is of a chain whose push it also counts:
+    /// fast pushes raise `put_fast` first and would force a retry, and
+    /// slow pushes raise `slow_net` before publishing, which reading
+    /// `slow_net` *after* `get_fast` picks up through the pop's release
+    /// chain. The result therefore overstates only by in-flight pushes
+    /// that have raised their counter but not yet landed — at most one
+    /// chain per CPU, the overshoot already granted by the approximate
+    /// bound (DESIGN.md §9) — and never understates. Exact at
+    /// quiescence. Under a sustained put storm the retry loop could
+    /// spin, so after a few rounds it falls back to the torn-but-
+    /// conservative read of [`GlobalPool::bound_estimate`].
+    ///
+    /// Callers are the slow-path consumers (trims, `len`, drains),
+    /// where the retry cost is irrelevant and accuracy prevents
+    /// spurious spills; the put fast path uses `bound_estimate`.
+    fn stack_blocks(&self) -> usize {
+        let mut pushed = self.stats.put_fast.get();
+        for attempt in 0.. {
+            let popped = self.stats.get_fast.get();
+            let slow = self.slow_net.load(Ordering::Acquire);
+            let pushed_after = self.stats.put_fast.get();
+            if pushed_after == pushed || attempt == 8 {
+                let est = self.target as i64 * (pushed_after as i64 - popped as i64) + slow;
+                return est.max(0) as usize;
+            }
+            pushed = pushed_after;
+        }
+        unreachable!("loop above always returns")
+    }
+
+    /// Cheapest bound-safe estimate — three loads, no retry — for the
+    /// put fast path. Reading `get_fast` (stale) before `put_fast`
+    /// (fresh) means round trips completing mid-sweep *inflate* the
+    /// result, so it never understates the stack and the `2 *
+    /// gbltarget` check stays sound. The inflation is unbounded in
+    /// theory (a long preemption mid-sweep), but the only consequence
+    /// is a spurious slow-path entry, where [`GlobalPool::stack_blocks`]
+    /// re-judges accurately under the lock.
+    fn bound_estimate(&self) -> usize {
+        let popped = self.stats.get_fast.get() as i64;
+        let slow = self.slow_net.load(Ordering::Acquire);
+        let pushed = self.stats.put_fast.get() as i64;
+        (self.target as i64 * (pushed - popped) + slow).max(0) as usize
+    }
+
+    /// Slow-path push: accounts the chain in `slow_net` *before*
+    /// publishing it, so [`GlobalPool::stack_blocks`] never understates.
+    /// Caller must hold the bucket lock.
+    fn push_stack_slow(&self, chain: Chain) {
+        self.slow_net
+            .fetch_add(chain.len() as i64, Ordering::Release);
+        self.push_stack(chain);
+    }
+
+    /// Slow-path pop: accounts the chain *after* it is off the stack.
+    /// Caller must hold the bucket lock.
+    fn pop_stack_slow(&self) -> Option<Chain> {
+        let chain = self.pop_stack()?;
+        self.slow_net
+            .fetch_sub(chain.len() as i64, Ordering::Release);
+        Some(chain)
+    }
+
+    /// Fetches a chain for a per-CPU cache.
+    ///
+    /// The common case is a single tag-CAS pop of a ready `target`-sized
+    /// chain — no lock. When the stack is empty the locked slow path
+    /// serves from the bucket list instead, so the caller receives
+    /// `min(target, pool_total)` blocks — the most the paper's
+    /// hysteresis guarantee ("the global layer will be accessed at most
+    /// one time per target-number of accesses") can get. A chain shorter
+    /// than `target` is handed back only when the whole pool holds fewer
+    /// than `target` blocks, counted in `get_short`/`get_short_deficit`.
+    ///
+    /// Returns `None` when the pool is empty — the caller then asks the
+    /// coalesce-to-page layer (the counted miss) — or when the
+    /// `faults::GLOBAL_GET` failpoint fires.
+    pub fn get_chain(&self) -> Option<Chain> {
+        // The failpoint preempts the pool entirely (fast and slow path
+        // alike), exactly as an injected global-layer miss should.
+        if self.faults.hit(faults::GLOBAL_GET) {
+            return None;
+        }
+        if let Some(chain) = self.pop_stack() {
+            // The fast path's *only* counter write; `get` and
+            // `get_chain_hits` are derived from it at read time.
+            self.stats.get_fast.inc();
+            return Some(chain);
+        }
+        self.get_slow()
+    }
+
+    /// The locked get path: retry the stack under the lock, then serve
+    /// (possibly short) from the bucket list.
+    #[cold]
+    fn get_slow(&self) -> Option<Chain> {
+        self.stats.get_slow.inc();
+        let mut bucket = self.bucket.lock();
+        // The slow path honours the same failpoint: a lock-free rework
+        // must never route around an armed site.
+        if self.faults.hit(faults::GLOBAL_GET) {
+            drop(bucket);
             self.stats.get_miss.inc();
             return None;
         }
-        if chain.len() < self.target {
-            self.stats
-                .get_short_deficit
-                .add((self.target - chain.len()) as u64);
+        // A racing put may have pushed a chain after our empty fast-path
+        // pop; prefer it over a short bucket serve.
+        if let Some(chain) = self.pop_stack_slow() {
+            self.stats.get_chain_hits_slow.inc();
+            return Some(chain);
+        }
+        if bucket.is_empty() {
+            drop(bucket);
+            self.stats.get_miss.inc();
+            return None;
+        }
+        let n = bucket.len().min(self.target);
+        let chain = bucket.split_first(n);
+        drop(bucket);
+        if n < self.target {
+            self.stats.get_short_deficit.add((self.target - n) as u64);
             self.stats.get_short.inc();
         }
-        if from_ready_chain {
-            self.stats.get_chain_hits.inc();
-        } else {
-            self.stats.get_bucket_hits.inc();
-        }
+        self.stats.get_bucket_hits.inc();
         Some(chain)
     }
 
     /// Accepts an exactly-`target`-sized chain from a per-CPU cache.
     ///
+    /// The common case is a single tag-CAS push — no lock. The derived
+    /// block-count estimate ([`GlobalPool::stack_blocks`]) approximates
+    /// the `2 * gbltarget` bound: a put that would exceed it takes the
+    /// locked slow path, which pushes the chain and then trims the pool
+    /// exactly. Concurrent fast puts can overshoot transiently by at
+    /// most one chain per CPU.
+    ///
     /// A chain of any other length is routed through the bucket list
-    /// instead of corrupting the ready-chain list (the internal callers
-    /// always pass exact chains; the routing keeps the pool's invariants —
-    /// every ready chain holds exactly `target` blocks — intact under
+    /// instead of corrupting the ready-chain stack (the internal callers
+    /// always pass exact chains; the routing keeps the stack's invariant —
+    /// every stacked chain holds exactly `target` blocks — intact under
     /// misuse).
     ///
     /// Returns the excess to push down to the coalesce-to-page layer when
@@ -175,33 +429,43 @@ impl GlobalPool {
         if chain.len() != self.target {
             return self.put_odd(chain);
         }
-        self.stats.put.inc();
-        let mut inner = self.inner.lock();
-        inner.chains.push(chain);
-        self.spill_locked(&mut inner)
+        if self.bound_estimate() + self.target <= 2 * self.gbltarget {
+            // The fast path's only counter write; `put` is derived, and
+            // `stack_blocks` folds this increment into its estimate —
+            // hence inc *before* push (the mirror of `get_chain`'s
+            // pop-then-inc), keeping the estimate conservative.
+            self.stats.put_fast.inc();
+            self.push_stack(chain);
+            return None;
+        }
+        self.stats.put_slow.inc();
+        let mut bucket = self.bucket.lock();
+        self.push_stack_slow(chain);
+        self.spill_locked(&mut bucket)
     }
 
     /// Accepts an odd-sized chain (low-memory flushes, partial refills
     /// handed back). Blocks land in the bucket list, which regroups them
-    /// into `target`-sized chains.
+    /// into `target`-sized chains pushed back onto the lock-free stack.
     pub fn put_odd(&self, mut chain: Chain) -> Option<Chain> {
         if chain.is_empty() {
             return None;
         }
-        self.stats.put.inc();
+        self.stats.put_slow.inc();
         self.stats.put_odd.inc();
-        let mut inner = self.inner.lock();
-        inner.bucket.append(&mut chain);
-        Self::regroup(&mut inner, self.target);
-        self.spill_locked(&mut inner)
+        let mut bucket = self.bucket.lock();
+        bucket.append(&mut chain);
+        self.regroup(&mut bucket);
+        self.spill_locked(&mut bucket)
     }
 
     /// Regroup: "the bucket list, which is used to group the blocks back
-    /// into target-sized lists".
-    fn regroup(inner: &mut GlobalInner, target: usize) {
-        while inner.bucket.len() >= target {
-            let grouped = inner.bucket.split_first(target);
-            inner.chains.push(grouped);
+    /// into target-sized lists". Exact chains leave the bucket for the
+    /// lock-free stack, where gets can reach them without the lock.
+    fn regroup(&self, bucket: &mut Chain) {
+        while bucket.len() >= self.target {
+            let grouped = bucket.split_first(self.target);
+            self.push_stack_slow(grouped);
         }
     }
 
@@ -209,12 +473,10 @@ impl GlobalPool {
     /// spill.
     ///
     /// Whole chains are shed first (O(1) each); the final chain is *split*
-    /// so the pool lands exactly on the bound. (It used to shed whole
-    /// chains only, overshooting the bound by up to `target - 1` blocks
-    /// per spill and inflating page-layer traffic.) The split walk is
-    /// bounded by `target` links and happens at most once per spill.
-    fn spill_locked(&self, inner: &mut GlobalInner) -> Option<Chain> {
-        let spill = self.trim_locked(inner, 2 * self.gbltarget)?;
+    /// so the pool lands exactly on the bound. The split walk is bounded
+    /// by `target` links and happens at most once per spill.
+    fn spill_locked(&self, bucket: &mut Chain) -> Option<Chain> {
+        let spill = self.trim_locked(bucket, 2 * self.gbltarget)?;
         self.stats.put_miss.inc();
         self.stats.spill_blocks.add(spill.len() as u64);
         Some(spill)
@@ -225,9 +487,9 @@ impl GlobalPool {
     /// coalesce-to-page layer. `None` when the pool is already within
     /// bounds. Counted in `pressure_spills`, not `put_miss`.
     pub fn spill_to(&self, bound: usize) -> Option<Chain> {
-        let mut inner = self.inner.lock();
-        let spill = self.trim_locked(&mut inner, bound)?;
-        drop(inner);
+        let mut bucket = self.bucket.lock();
+        let spill = self.trim_locked(&mut bucket, bound)?;
+        drop(bucket);
         self.stats.pressure_spills.inc();
         self.stats.spill_blocks.add(spill.len() as u64);
         Some(spill)
@@ -235,24 +497,27 @@ impl GlobalPool {
 
     /// The trimming walk shared by [`GlobalPool::spill_locked`] and
     /// [`GlobalPool::spill_to`]; counter-free so each caller can attribute
-    /// the spill to its own cause.
-    fn trim_locked(&self, inner: &mut GlobalInner, bound: usize) -> Option<Chain> {
-        let mut total = inner.bucket.len() + inner.chains.iter().map(Chain::len).sum::<usize>();
+    /// the spill to its own cause. Caller holds the bucket lock; stack
+    /// chains are shed through ordinary lock-free pops, so concurrent
+    /// fast-path traffic stays correct (and may make the trim
+    /// approximate — the next slow-path entry re-trims).
+    fn trim_locked(&self, bucket: &mut Chain, bound: usize) -> Option<Chain> {
+        let mut total = self.stack_blocks() + bucket.len();
         if total <= bound {
             return None;
         }
         let mut spill = Chain::new();
         while total > bound {
             let excess = total - bound;
-            match inner.chains.pop() {
+            match self.pop_stack_slow() {
                 Some(mut chain) if chain.len() > excess => {
                     let mut cut = chain.split_first(excess);
                     total -= excess;
                     spill.append(&mut cut);
                     // The kept remainder is odd-sized; it goes back through
                     // the bucket (and regroups if the bucket fills up).
-                    inner.bucket.append(&mut chain);
-                    Self::regroup(inner, self.target);
+                    bucket.append(&mut chain);
+                    self.regroup(bucket);
                 }
                 Some(mut chain) => {
                     total -= chain.len();
@@ -260,11 +525,11 @@ impl GlobalPool {
                 }
                 None => {
                     // Only the bucket is left; trim it directly.
-                    let n = excess.min(inner.bucket.len());
+                    let n = excess.min(bucket.len());
                     if n == 0 {
                         break;
                     }
-                    let mut cut = inner.bucket.split_first(n);
+                    let mut cut = bucket.split_first(n);
                     total -= n;
                     spill.append(&mut cut);
                 }
@@ -273,10 +538,12 @@ impl GlobalPool {
         Some(spill)
     }
 
-    /// Current block count (tests and the invariant walker).
+    /// Current block count (tests and the invariant walker). Exact at
+    /// quiescence; a live sample may transiently overstate by chains
+    /// whose push has been counted but not yet published.
     pub fn len(&self) -> usize {
-        let inner = self.inner.lock();
-        inner.bucket.len() + inner.chains.iter().map(Chain::len).sum::<usize>()
+        let bucket = self.bucket.lock().len();
+        self.stack_blocks() + bucket
     }
 
     /// Returns whether the pool is empty.
@@ -286,9 +553,9 @@ impl GlobalPool {
 
     /// Drains every block (arena teardown and low-memory reclaim).
     pub fn drain_all(&self) -> Chain {
-        let mut inner = self.inner.lock();
-        let mut all = inner.bucket.take();
-        while let Some(mut c) = inner.chains.pop() {
+        let mut bucket = self.bucket.lock();
+        let mut all = bucket.take();
+        while let Some(mut c) = self.pop_stack_slow() {
             all.append(&mut c);
         }
         all
@@ -298,6 +565,8 @@ impl GlobalPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kmem_smp::probe::{self, ProbeEvent};
+    use kmem_smp::FailPolicy;
 
     // Boxed so each block keeps a stable address while the Vec grows.
     #[expect(clippy::vec_box)]
@@ -348,6 +617,45 @@ mod tests {
     }
 
     #[test]
+    fn single_block_targets_round_trip() {
+        // target == 1: chain head == tail, no stash words in play.
+        let mut blocks = Blocks::new(8);
+        let pool = GlobalPool::new(1, 4);
+        for _ in 0..4 {
+            assert!(pool.put_chain(blocks.chain(1)).is_none());
+        }
+        assert_eq!(pool.len(), 4);
+        for _ in 0..4 {
+            let c = pool.get_chain().unwrap();
+            assert_eq!(c.len(), 1);
+            discard(c);
+        }
+        assert!(pool.get_chain().is_none());
+    }
+
+    #[test]
+    fn popped_chains_walk_intact() {
+        // The stack borrows chain-interior words; a popped chain must walk
+        // head-to-tail with its original blocks and a working tail.
+        let mut blocks = Blocks::new(64);
+        for target in [2usize, 3, 5, 8] {
+            let pool = GlobalPool::new(target, 4 * target);
+            let c = blocks.chain(target);
+            let members: Vec<*mut u8> = c.iter().collect();
+            pool.put_chain(c);
+            pool.put_chain(blocks.chain(target)); // stack depth 2
+            discard(pool.get_chain().unwrap()); // pops the second chain
+            let mut got = pool.get_chain().unwrap();
+            assert_eq!(got.iter().collect::<Vec<_>>(), members);
+            // The tail pointer survived the stash round trip: append works.
+            let mut more = blocks.chain(1);
+            got.append(&mut more);
+            assert_eq!(got.len(), target + 1);
+            discard(got);
+        }
+    }
+
+    #[test]
     fn bucket_regroups_odd_chains() {
         let mut blocks = Blocks::new(64);
         let pool = GlobalPool::new(3, 12);
@@ -388,8 +696,7 @@ mod tests {
         let pool = GlobalPool::new(5, 5);
         // 12 odd blocks regroup into two chains of 5 plus 2 in the bucket;
         // exactly the 2 excess blocks are shed (the final chain is split),
-        // leaving the pool at its 10-block bound. (It used to shed a whole
-        // 5-chain, overshooting down to 7.)
+        // leaving the pool at its 10-block bound.
         let spill = pool.put_odd(blocks.chain(12)).unwrap();
         assert_eq!(spill.len(), 2);
         assert_eq!(pool.len(), 10);
@@ -429,8 +736,8 @@ mod tests {
         // Regression: a sub-`target` chain in the pool used to be handed
         // back as-is even when the bucket held more blocks, breaking the
         // "one global access per `target` operations" hysteresis. A
-        // wrong-sized put now routes through the bucket and gets are
-        // topped up to `target` whenever the pool holds enough blocks.
+        // wrong-sized put routes through the bucket, which regroups into
+        // exact `target`-sized stack chains whenever it holds enough.
         let mut blocks = Blocks::new(32);
         let pool = GlobalPool::new(4, 8);
         pool.put_chain(blocks.chain(2)); // misuse: short "exact" put
@@ -459,12 +766,18 @@ mod tests {
         discard(pool.get_chain().unwrap()); // then the bucket
         assert!(pool.get_chain().is_none());
         let s = pool.stats();
-        assert_eq!(s.get.get(), 3);
-        assert_eq!(s.get_chain_hits.get(), 1);
+        assert_eq!(s.get(), 3);
+        assert_eq!(s.get_chain_hits(), 1);
         assert_eq!(s.get_bucket_hits.get(), 1);
         assert_eq!(s.get_miss.get(), 1);
-        assert_eq!(s.put.get(), 2);
+        assert_eq!(s.put(), 2);
         assert_eq!(s.put_odd.get(), 1);
+        // Fast/slow partition: the ready-chain pop was lock-free; the
+        // bucket hit and the miss took the slow path.
+        assert_eq!(s.get_fast.get(), 1);
+        assert_eq!(s.get_slow.get(), 2);
+        assert_eq!(s.put_fast.get(), 1);
+        assert_eq!(s.put_slow.get(), 1);
     }
 
     #[test]
@@ -509,11 +822,11 @@ mod tests {
         let mut blocks = Blocks::new(16);
         let pool = GlobalPool::new(2, 4);
         assert!(pool.get_chain().is_none());
-        assert_eq!(pool.stats().get.get(), 1);
+        assert_eq!(pool.stats().get(), 1);
         assert_eq!(pool.stats().get_miss.get(), 1);
         pool.put_chain(blocks.chain(2));
         let c = pool.get_chain().unwrap();
-        assert_eq!(pool.stats().get.get(), 2);
+        assert_eq!(pool.stats().get(), 2);
         assert_eq!(pool.stats().get_miss.get(), 1);
         discard(c);
     }
@@ -526,6 +839,96 @@ mod tests {
         pool.put_odd(blocks.chain(2));
         assert_eq!(discard(pool.drain_all()), 5);
         assert!(pool.is_empty());
+    }
+
+    /// The acceptance-criterion probe test: an exact-`target` ping-pong
+    /// must acquire no spinlock — the whole hot path is the tag CAS.
+    #[test]
+    fn exact_target_ping_pong_takes_no_spinlock() {
+        let mut blocks = Blocks::new(16);
+        let pool = GlobalPool::new(4, 16);
+        pool.put_chain(blocks.chain(4));
+        let ((), ev) = probe::record(|| {
+            for _ in 0..100 {
+                let c = pool.get_chain().unwrap();
+                assert!(pool.put_chain(c).is_none());
+            }
+        });
+        assert!(
+            ev.iter().all(|e| !matches!(
+                e,
+                ProbeEvent::LockAcquire { .. } | ProbeEvent::LockRelease { .. }
+            )),
+            "fast path acquired a lock: {ev:?}"
+        );
+        // The CAS traffic itself is visible to the simulator.
+        assert!(ev.iter().any(|e| matches!(e, ProbeEvent::LineWrite { .. })));
+        let s = pool.stats();
+        assert_eq!(s.get_fast.get(), 100);
+        assert_eq!(s.get_slow.get(), 0);
+        assert_eq!(s.put_fast.get(), 101);
+        assert_eq!(s.put_slow.get(), 0);
+        assert_eq!(s.cas_retries.get(), 0, "single thread never retries");
+        discard(pool.drain_all());
+    }
+
+    /// Fast/slow totals partition `get`/`put` exactly at quiescence.
+    #[test]
+    fn fast_slow_counters_partition_totals() {
+        let mut blocks = Blocks::new(64);
+        let pool = GlobalPool::new(3, 6);
+        for _ in 0..5 {
+            // The 5th put exceeds the 12-block bound and goes slow.
+            if let Some(sp) = pool.put_chain(blocks.chain(3)) {
+                discard(sp);
+            }
+        }
+        if let Some(sp) = pool.put_odd(blocks.chain(2)) {
+            discard(sp);
+        }
+        while let Some(c) = pool.get_chain() {
+            discard(c);
+        }
+        let s = pool.stats();
+        assert_eq!(s.get_fast.get() + s.get_slow.get(), s.get());
+        assert_eq!(s.put_fast.get() + s.put_slow.get(), s.put());
+        assert_eq!(s.put_fast.get(), 4);
+        assert_eq!(s.put_slow.get(), 2);
+        discard(pool.drain_all());
+    }
+
+    /// An armed `global.get` failpoint must preempt *both* paths: the
+    /// CAS fast path (ready chains on the stack) and the locked slow
+    /// path (blocks only in the bucket).
+    #[test]
+    fn global_get_fault_covers_fast_and_slow_paths() {
+        let mut blocks = Blocks::new(32);
+        let faults = Faults::with_plan();
+        let pool = GlobalPool::new_with_faults(3, 8, faults.clone());
+        pool.put_chain(blocks.chain(3)); // fast-path ammunition
+        pool.put_odd(blocks.chain(2)); // slow-path ammunition
+
+        let plan = faults.plan().unwrap();
+        plan.set(faults::GLOBAL_GET, FailPolicy::EveryNth(1));
+        // Stack non-empty, yet the armed site forces a miss before the CAS.
+        assert!(pool.get_chain().is_none(), "fast path bypassed the site");
+        plan.set(faults::GLOBAL_GET, FailPolicy::Off);
+        discard(pool.get_chain().unwrap()); // stack drains normally
+
+        // Now only the bucket holds blocks: fire on the slow path. The
+        // script passes the entry consult and fires the locked one.
+        plan.set(faults::GLOBAL_GET, FailPolicy::Script(vec![false, true]));
+        assert!(pool.get_chain().is_none(), "slow path bypassed the site");
+        assert_eq!(pool.stats().get_miss.get(), 1);
+        assert_eq!(pool.len(), 2, "faulted gets must not lose blocks");
+        let fired = plan
+            .site_stats()
+            .iter()
+            .find(|s| s.site == faults::GLOBAL_GET)
+            .unwrap()
+            .fired;
+        assert_eq!(fired, 2, "one firing per path");
+        discard(pool.drain_all());
     }
 
     #[test]
@@ -550,6 +953,38 @@ mod tests {
             }
         });
         assert_eq!(pool.len() + spilled.get() as usize, 80);
+        discard(pool.drain_all());
+    }
+
+    /// Exact-chain recycling under real threads: the headline pattern the
+    /// Treiber stack exists for. Conservation plus counter partitions.
+    #[test]
+    fn concurrent_exact_ping_pong_is_conserving_and_lock_free_counted() {
+        const THREADS: usize = 4;
+        const OPS: usize = 500;
+        let pool = GlobalPool::new(4, 4 * THREADS * 2);
+        let mut blocks = Blocks::new(4 * THREADS * 2);
+        for _ in 0..THREADS * 2 {
+            pool.put_chain(blocks.chain(4));
+        }
+        let total = pool.len();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..OPS {
+                        if let Some(c) = pool.get_chain() {
+                            assert_eq!(c.len(), 4, "stack chains are exact");
+                            assert!(pool.put_chain(c).is_none());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.len(), total);
+        let s = pool.stats();
+        assert_eq!(s.get_fast.get() + s.get_slow.get(), s.get());
+        assert_eq!(s.put_fast.get() + s.put_slow.get(), s.put());
+        assert!(s.put_fast.get() > 0);
         discard(pool.drain_all());
     }
 }

@@ -249,8 +249,13 @@ impl CacheCounts {
 /// Global-pool per-event detail for one class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GlobalCounts {
-    /// Chain requests (hits and misses).
+    /// Chain requests (hits and misses); derived as
+    /// `get_fast + get_slow` from the same sweep.
     pub get: u64,
+    /// Gets served entirely by the lock-free CAS pop.
+    pub get_fast: u64,
+    /// Gets that took the locked slow path.
+    pub get_slow: u64,
     /// Gets first served from a ready `target`-sized chain.
     pub get_chain_hits: u64,
     /// Gets first served from the bucket list.
@@ -261,8 +266,13 @@ pub struct GlobalCounts {
     pub get_short_deficit: u64,
     /// Gets that fell through to the coalesce-to-page layer.
     pub get_miss: u64,
-    /// Chains returned by per-CPU caches.
+    /// Chains returned by per-CPU caches; derived as
+    /// `put_fast + put_slow` from the same sweep.
     pub put: u64,
+    /// Exact-`target` puts served entirely by the lock-free CAS push.
+    pub put_fast: u64,
+    /// Puts that took the locked slow path.
+    pub put_slow: u64,
     /// Puts through the odd-sized bucket path.
     pub put_odd: u64,
     /// Puts that spilled to the coalesce-to-page layer.
@@ -272,34 +282,51 @@ pub struct GlobalCounts {
     pub pressure_spills: u64,
     /// Blocks spilled to the coalesce-to-page layer (all causes).
     pub spill_blocks: u64,
+    /// Failed tag-CAS attempts on the lock-free chain stack (monotone;
+    /// zero without contention).
+    pub cas_retries: u64,
 }
 
 impl GlobalCounts {
     pub(crate) fn read(s: &GlobalStats) -> GlobalCounts {
-        // Detail before totals, as for `CacheCounts::read`.
+        // Slow-path outcome details before the slow-entry counters that
+        // bound them (reverse of the writers' order), as for
+        // `CacheCounts::read`. The totals (`get`, `put`,
+        // `get_chain_hits`) are then *derived* from this single sweep —
+        // the pool keeps no total counters, so the lock-free fast path
+        // pays one RMW per operation — which makes the fast/slow
+        // partition an equality even on live samples.
+        let cas_retries = s.cas_retries.get();
         let spill_blocks = s.spill_blocks.get();
         let pressure_spills = s.pressure_spills.get();
         let put_miss = s.put_miss.get();
         let put_odd = s.put_odd.get();
-        let put = s.put.get();
+        let put_slow = s.put_slow.get();
+        let put_fast = s.put_fast.get();
         let get_miss = s.get_miss.get();
         let get_short = s.get_short.get();
         let get_short_deficit = s.get_short_deficit.get();
-        let get_chain_hits = s.get_chain_hits.get();
+        let get_chain_hits_slow = s.get_chain_hits_slow.get();
         let get_bucket_hits = s.get_bucket_hits.get();
-        let get = s.get.get();
+        let get_slow = s.get_slow.get();
+        let get_fast = s.get_fast.get();
         GlobalCounts {
-            get,
-            get_chain_hits,
+            get: get_fast + get_slow,
+            get_fast,
+            get_slow,
+            get_chain_hits: get_fast + get_chain_hits_slow,
             get_bucket_hits,
             get_short,
             get_short_deficit,
             get_miss,
-            put,
+            put: put_fast + put_slow,
+            put_fast,
+            put_slow,
             put_odd,
             put_miss,
             pressure_spills,
             spill_blocks,
+            cas_retries,
         }
     }
 
@@ -307,6 +334,8 @@ impl GlobalCounts {
     pub fn delta(&self, earlier: &GlobalCounts) -> GlobalCounts {
         GlobalCounts {
             get: self.get.saturating_sub(earlier.get),
+            get_fast: self.get_fast.saturating_sub(earlier.get_fast),
+            get_slow: self.get_slow.saturating_sub(earlier.get_slow),
             get_chain_hits: self.get_chain_hits.saturating_sub(earlier.get_chain_hits),
             get_bucket_hits: self.get_bucket_hits.saturating_sub(earlier.get_bucket_hits),
             get_short: self.get_short.saturating_sub(earlier.get_short),
@@ -315,10 +344,13 @@ impl GlobalCounts {
                 .saturating_sub(earlier.get_short_deficit),
             get_miss: self.get_miss.saturating_sub(earlier.get_miss),
             put: self.put.saturating_sub(earlier.put),
+            put_fast: self.put_fast.saturating_sub(earlier.put_fast),
+            put_slow: self.put_slow.saturating_sub(earlier.put_slow),
             put_odd: self.put_odd.saturating_sub(earlier.put_odd),
             put_miss: self.put_miss.saturating_sub(earlier.put_miss),
             pressure_spills: self.pressure_spills.saturating_sub(earlier.pressure_spills),
             spill_blocks: self.spill_blocks.saturating_sub(earlier.spill_blocks),
+            cas_retries: self.cas_retries.saturating_sub(earlier.cas_retries),
         }
     }
 
@@ -351,10 +383,18 @@ impl GlobalCounts {
             "get outcomes exceed gets",
         )?;
         c(
+            self.get_fast + self.get_slow <= self.get,
+            "fast/slow gets exceed gets",
+        )?;
+        c(
             self.get_short <= self.get_short_deficit,
             "short gets with no deficit",
         )?;
         c(self.put_odd <= self.put, "put_odd > put")?;
+        c(
+            self.put_fast + self.put_slow <= self.put,
+            "fast/slow puts exceed puts",
+        )?;
         c(self.put_miss <= self.put, "put_miss > put")?;
         Ok(())
     }
@@ -364,6 +404,16 @@ impl GlobalCounts {
         if self.get_chain_hits + self.get_bucket_hits + self.get_miss != self.get {
             return Err(format!(
                 "{what}: quiescent get outcomes must partition gets ({self:?})"
+            ));
+        }
+        if self.get_fast + self.get_slow != self.get {
+            return Err(format!(
+                "{what}: quiescent fast/slow gets must partition gets ({self:?})"
+            ));
+        }
+        if self.put_fast + self.put_slow != self.put {
+            return Err(format!(
+                "{what}: quiescent fast/slow puts must partition puts ({self:?})"
             ));
         }
         Ok(())
@@ -673,20 +723,27 @@ impl KmemSnapshot {
             let g = &cs.global;
             let _ = write!(
                 out,
-                "],\"global\":{{\"get\":{},\"get_chain_hits\":{},\"get_bucket_hits\":{},\
+                "],\"global\":{{\"get\":{},\"get_fast\":{},\"get_slow\":{},\
+                 \"get_chain_hits\":{},\"get_bucket_hits\":{},\
                  \"get_short\":{},\"get_short_deficit\":{},\"get_miss\":{},\"put\":{},\
-                 \"put_odd\":{},\"put_miss\":{},\"pressure_spills\":{},\"spill_blocks\":{}}}",
+                 \"put_fast\":{},\"put_slow\":{},\"put_odd\":{},\"put_miss\":{},\
+                 \"pressure_spills\":{},\"spill_blocks\":{},\"cas_retries\":{}}}",
                 g.get,
+                g.get_fast,
+                g.get_slow,
                 g.get_chain_hits,
                 g.get_bucket_hits,
                 g.get_short,
                 g.get_short_deficit,
                 g.get_miss,
                 g.put,
+                g.put_fast,
+                g.put_slow,
                 g.put_odd,
                 g.put_miss,
                 g.pressure_spills,
                 g.spill_blocks,
+                g.cas_retries,
             );
             let p = &cs.page;
             let _ = write!(
@@ -782,6 +839,8 @@ impl KmemSnapshot {
             }
             let w = |f: &str| format!("class {class} global {f}");
             mono(w("get"), now.global.get, then.global.get)?;
+            mono(w("get_fast"), now.global.get_fast, then.global.get_fast)?;
+            mono(w("get_slow"), now.global.get_slow, then.global.get_slow)?;
             mono(
                 w("get_chain_hits"),
                 now.global.get_chain_hits,
@@ -800,6 +859,8 @@ impl KmemSnapshot {
             )?;
             mono(w("get_miss"), now.global.get_miss, then.global.get_miss)?;
             mono(w("put"), now.global.put, then.global.put)?;
+            mono(w("put_fast"), now.global.put_fast, then.global.put_fast)?;
+            mono(w("put_slow"), now.global.put_slow, then.global.put_slow)?;
             mono(w("put_odd"), now.global.put_odd, then.global.put_odd)?;
             mono(w("put_miss"), now.global.put_miss, then.global.put_miss)?;
             mono(
@@ -811,6 +872,11 @@ impl KmemSnapshot {
                 w("spill_blocks"),
                 now.global.spill_blocks,
                 then.global.spill_blocks,
+            )?;
+            mono(
+                w("cas_retries"),
+                now.global.cas_retries,
+                then.global.cas_retries,
             )?;
             mono(w("page refills"), now.page.refills, then.page.refills)?;
             mono(
@@ -986,6 +1052,9 @@ mod tests {
         assert!(json.contains("\"faults\":{\"hits\":7,\"fired\":2}"));
         assert!(json.contains("\"sleep_retries\":0"));
         assert!(json.contains("\"pressure_spills\":0"));
+        assert!(json.contains("\"get_fast\":0"));
+        assert!(json.contains("\"put_slow\":0"));
+        assert!(json.contains("\"cas_retries\":0"));
         // No pretty-printing: a single machine-readable line.
         assert!(!json.contains('\n'));
     }

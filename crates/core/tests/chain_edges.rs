@@ -157,7 +157,7 @@ fn exactly_target_odd_chain_becomes_a_ready_chain() {
 fn empty_odd_chain_is_ignored() {
     let pool = GlobalPool::new(4, 8);
     assert!(pool.put_odd(Chain::new()).is_none());
-    assert_eq!(pool.stats().put.get(), 0);
+    assert_eq!(pool.stats().put(), 0);
     assert!(pool.is_empty());
 }
 

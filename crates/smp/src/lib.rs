@@ -17,6 +17,9 @@
 //!   parallelizations of the baseline allocators.
 //! * Relaxed-atomic event counters for layer hit/miss statistics
 //!   ([`counter::EventCounter`]).
+//! * A generation-counted tagged-pointer atomic
+//!   ([`atomics::TaggedAtomic`]) — the ABA-safe head word for the
+//!   lock-free Treiber stacks used by the allocator's global layer.
 //! * Deterministic, seed-driven failpoints ([`faults::Faults`]) that the
 //!   allocator layers consult at every fallible boundary, so out-of-memory
 //!   paths can be forced and tested instead of waiting for real exhaustion.
@@ -25,6 +28,7 @@
 //!   (`kmem-sim`), standing in for the logic analyzer and 25-CPU Symmetry
 //!   hardware used in the paper.
 
+pub mod atomics;
 pub mod counter;
 pub mod cpu;
 pub mod faults;
@@ -35,6 +39,7 @@ pub mod probe;
 pub mod registry;
 pub mod spinlock;
 
+pub use atomics::{TaggedAtomic, TaggedPtr};
 pub use counter::{EventCounter, LocalCounter};
 pub use cpu::{CpuId, MAX_CPUS};
 pub use faults::{FailPolicy, FaultPlan, Faults, SiteStats};

@@ -410,6 +410,16 @@ fn worker(
                 &mut report,
             );
             report.ops += 1;
+            // Leader-only live sampling: a sweep taken while every other
+            // thread keeps running must still satisfy the live-sample
+            // bounds — including the fast/slow partitions of the global
+            // layer's lock-free paths (`get_fast + get_slow <= get`).
+            if leader && report.ops.is_multiple_of(1024) {
+                arena
+                    .snapshot()
+                    .check_live()
+                    .unwrap_or_else(|e| panic!("live snapshot invariant failed: {e}"));
+            }
         }
         remaining = remaining.saturating_sub(per_phase);
 

@@ -46,4 +46,8 @@ for i in $(seq 1 "$rounds"); do
     fi
 done
 
+echo "==> global contention bench (threaded ping-pong, writes BENCH_global.json)"
+cargo bench -q --offline -p kmem-bench --features bench-ext \
+    --bench global_contention
+
 echo "==> OK: $rounds soak rounds passed"
