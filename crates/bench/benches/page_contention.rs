@@ -1,0 +1,495 @@
+//! Page-layer contention: lock-free radix lists vs the spinlocked layer.
+//!
+//! The same workload — real threads (or virtual CPUs) cycling short block
+//! chains through one shared coalesce-to-page layer, the refill/free
+//! traffic the global layer generates under load — runs twice: once
+//! through the lock-free [`PageLayer`] (tagged radix stacks, per-page
+//! atomic free counts, vmblk page cache) and once through an op-for-op
+//! reproduction of the spinlocked layer it replaced (one lock around
+//! every radix-list move, page-freelist splice, and counter, with the
+//! vmblk boundary-tag lock behind it and no whole-page cache).
+//!
+//! Two measurements are taken and both land in `BENCH_page.json`:
+//!
+//! * **Wall clock** on the host, ns per alloc+free pair per OS-thread
+//!   count. Informational: on a small host (this repo's CI box has one
+//!   core) threads serialize anyway, so wall clock shows the lock-free
+//!   layer's higher per-op instruction count — the price it pays — and
+//!   none of the independence it buys.
+//! * **Simulated SMP**, the repo's standard methodology for pricing
+//!   scaling the host cannot exhibit (Figure 7, `kmem-sim`): the same
+//!   pools run on N virtual CPUs of the discrete-event simulator, every
+//!   probe-emitted shared-line access priced through the MESI model and
+//!   every lock hold serializing its waiters. The spinlocked baseline
+//!   predates the probe layer, so this bench emits its under-lock
+//!   shared-line traffic explicitly — the same modelling the `analysis`
+//!   module applies to the paper's measured allocator.
+//!
+//! The asserted shape pin is on the simulated 8-CPU point: the lock-free
+//! layer must beat the spinlocked baseline there, and the baseline must
+//! be visibly lock-bound. (At 1 simulated CPU the spinlock *wins* — no
+//! contention, fewer RMWs — which the model reproduces honestly, matching
+//! the wall-clock picture.)
+//!
+//! Run: `cargo bench --features bench-ext --bench page_contention`.
+
+use std::sync::Arc;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use kmem::block;
+use kmem::chain::Chain;
+use kmem::pagedesc::{PageDesc, PdKind, PdList};
+use kmem::pagelayer::PageLayer;
+use kmem::vmblklayer::VmblkLayer;
+use kmem::Faults;
+use kmem_sim::{SimConfig, Simulator};
+use kmem_smp::probe::{self, ProbeEvent};
+use kmem_smp::SpinLock;
+use kmem_vm::{KernelSpace, SpaceConfig, VmError, PAGE_SIZE};
+
+const BLOCK_SIZE: usize = 512;
+const CLASS: usize = 3;
+/// Blocks per alloc/free chain; rings of these keep pages partial, so the
+/// radix lists — not just page acquire/release — carry the contention.
+const WANT: usize = 3;
+/// Standing chains each thread holds, oldest freed before each alloc.
+const RING: usize = 4;
+const OPS_PER_THREAD: usize = 50_000;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Timed repetitions per (layer, thread count); the minimum is reported.
+const REPS: usize = 7;
+
+/// Simulated-SMP sweep points.
+const SIM_CPUS: [usize; 4] = [1, 2, 4, 8];
+const SIM_PAIRS_PER_CPU: u64 = 2_000;
+/// Probe-free out-of-lock driver overhead per pair in cycles (the `calib`
+/// convention); identical for both layers, so only priced events separate
+/// them.
+const SIM_BASE: u64 = 60;
+
+fn space() -> Arc<KernelSpace> {
+    Arc::new(KernelSpace::new(
+        SpaceConfig::new(32 << 20).vmblk_shift(16).phys_pages(2048),
+    ))
+}
+
+/// Emits the read a real CPU would issue for a shared line the baseline
+/// touches under its lock.
+#[inline]
+fn rd<T>(p: *const T) {
+    probe::emit(ProbeEvent::LineRead {
+        line: probe::line_of(p),
+    });
+}
+
+/// As [`rd`], for a store.
+#[inline]
+fn wr<T>(p: *const T) {
+    probe::emit(ProbeEvent::LineWrite {
+        line: probe::line_of(p),
+    });
+}
+
+/// The two page layers under one interface.
+trait PagePool: Sync {
+    fn alloc(&self, want: usize) -> Result<Chain, VmError>;
+    /// # Safety
+    ///
+    /// `chain` holds blocks allocated from this pool, each freed once.
+    unsafe fn free(&self, chain: Chain);
+}
+
+struct LockFree {
+    vm: VmblkLayer,
+    layer: PageLayer,
+}
+
+impl LockFree {
+    fn new() -> Self {
+        LockFree {
+            // The production stack: lock-free layer fronting the vmblk
+            // boundary-tag lock with the whole-page cache.
+            vm: VmblkLayer::new_with_cache(space(), true, Faults::none()),
+            layer: PageLayer::new(CLASS, BLOCK_SIZE, true),
+        }
+    }
+
+    fn assert_drained(&self) {
+        self.layer.flush_full_pages(&self.vm);
+        self.vm.drain_page_cache();
+        assert_eq!(self.layer.usage(), (0, 0), "bench leaked pages");
+    }
+}
+
+impl PagePool for LockFree {
+    fn alloc(&self, want: usize) -> Result<Chain, VmError> {
+        self.layer.alloc_chain(&self.vm, want)
+    }
+
+    unsafe fn free(&self, chain: Chain) {
+        // SAFETY: forwarded caller contract.
+        unsafe { self.layer.free_chain(&self.vm, chain) };
+    }
+}
+
+/// The pre-rework layer, reproduced op-for-op: one spinlock serializes
+/// every radix-list move, page-freelist splice, and counter update, and
+/// page acquire/release always goes to the (locked) vmblk carve/merge
+/// path — there was no whole-page cache. Shared-line touches under the
+/// lock are probe-emitted so the simulator prices the baseline's cache
+/// traffic the same way it prices the lock-free layer's.
+struct SpinPage {
+    vm: VmblkLayer,
+    inner: SpinLock<SpinInner>,
+    blocks_per_page: usize,
+}
+
+struct SpinInner {
+    /// `buckets[c]` lists pages with exactly `c` free blocks.
+    buckets: Box<[PdList]>,
+    npages: usize,
+    free_blocks: usize,
+}
+
+impl SpinPage {
+    fn new() -> Self {
+        let blocks_per_page = PAGE_SIZE / BLOCK_SIZE;
+        SpinPage {
+            vm: VmblkLayer::new(space(), true),
+            inner: SpinLock::new(SpinInner {
+                buckets: (0..=blocks_per_page).map(|_| PdList::new()).collect(),
+                npages: 0,
+                free_blocks: 0,
+            }),
+            blocks_per_page,
+        }
+    }
+
+    /// Ascending radix scan; each probed bucket head is a shared line.
+    fn fullest_page(&self, inner: &SpinInner) -> Option<(*mut PageDesc, usize)> {
+        for c in 1..=self.blocks_per_page {
+            rd(&inner.buckets[c]);
+            if let Some(pd) = inner.buckets[c].front() {
+                return Some((pd, c));
+            }
+        }
+        None
+    }
+
+    fn acquire_page(&self, inner: &mut SpinInner) -> Result<(), VmError> {
+        let (page, pd) = self.vm.alloc_span(1)?;
+        let base = page.as_ptr();
+        pd.set_class(CLASS);
+        pd.set_kind(PdKind::BlockPage);
+        let pd_ptr = pd as *const PageDesc as *mut PageDesc;
+        // SAFETY: the page is exclusively ours; lock held.
+        let pdi = unsafe { pd.inner() };
+        pdi.freelist = core::ptr::null_mut();
+        for i in (0..self.blocks_per_page).rev() {
+            // SAFETY: offsets stay inside the page we own.
+            let blk = unsafe { base.add(i * BLOCK_SIZE) };
+            // SAFETY: `blk` is a fresh free block of this page.
+            unsafe {
+                block::write_next(blk, pdi.freelist);
+                block::poison(blk);
+            }
+            pdi.freelist = blk;
+        }
+        pdi.free_count = self.blocks_per_page as u32;
+        wr(pd_ptr);
+        inner.free_blocks += self.blocks_per_page;
+        inner.npages += 1;
+        wr(&inner.free_blocks);
+        // SAFETY: lock held; the fresh page descriptor is unlisted.
+        unsafe { inner.buckets[self.blocks_per_page].push_front(pd_ptr) };
+        wr(&inner.buckets[self.blocks_per_page]);
+        Ok(())
+    }
+
+    fn release_page(&self, inner: &mut SpinInner, pd: &PageDesc) {
+        // SAFETY: lock held; page fully free.
+        let pdi = unsafe { pd.inner() };
+        pdi.freelist = core::ptr::null_mut();
+        pdi.free_count = 0;
+        wr(pd as *const PageDesc);
+        inner.free_blocks -= self.blocks_per_page;
+        inner.npages -= 1;
+        wr(&inner.free_blocks);
+        pd.set_kind(PdKind::Unused);
+        pd.set_class(0);
+        let page_addr = {
+            let hdr = self
+                .vm
+                .header_of(pd as *const PageDesc as usize)
+                .expect("descriptor outside any vmblk");
+            hdr.data_page(hdr.pd_index_of(pd))
+        };
+        // SAFETY: the span is exactly the fully free page we own.
+        unsafe { self.vm.free_span(page_addr, 1) };
+    }
+}
+
+impl PagePool for SpinPage {
+    fn alloc(&self, want: usize) -> Result<Chain, VmError> {
+        let mut chain = Chain::new();
+        let mut inner = self.inner.lock();
+        while chain.len() < want {
+            let Some((pd, count)) = self.fullest_page(&inner) else {
+                match self.acquire_page(&mut inner) {
+                    Ok(()) => continue,
+                    Err(_) if !chain.is_empty() => break,
+                    Err(e) => return Err(e),
+                }
+            };
+            let take = count.min(want - chain.len());
+            // SAFETY: lock held; this class owns the page.
+            let pdi = unsafe { (*pd).inner() };
+            rd(pd);
+            for _ in 0..take {
+                let blk = pdi.freelist;
+                rd(blk);
+                // SAFETY: freelist blocks are free blocks of this page.
+                pdi.freelist = unsafe { block::read_next(blk) };
+                // SAFETY: as above; the block enters the outgoing chain.
+                unsafe { chain.push(blk) };
+            }
+            let left = count - take;
+            pdi.free_count = left as u32;
+            wr(pd);
+            inner.free_blocks -= take;
+            wr(&inner.free_blocks);
+            // SAFETY: lock held; pd was in bucket(count).
+            unsafe { inner.buckets[count].remove(pd) };
+            wr(&inner.buckets[count]);
+            if left > 0 {
+                // SAFETY: lock held; pd is unlisted.
+                unsafe { inner.buckets[left].push_front(pd) };
+                wr(&inner.buckets[left]);
+            }
+        }
+        Ok(chain)
+    }
+
+    unsafe fn free(&self, mut chain: Chain) {
+        let mut inner = self.inner.lock();
+        while let Some(blk) = chain.pop() {
+            let pd = self
+                .vm
+                .pd_of(blk as usize)
+                .expect("freed block not managed by this allocator");
+            let pd_ptr = pd as *const PageDesc as *mut PageDesc;
+            // SAFETY: page-layer lock held; this class owns the page.
+            let pdi = unsafe { pd.inner() };
+            rd(pd_ptr);
+            // SAFETY: `blk` is free and ours per the function contract.
+            unsafe { block::write_next(blk, pdi.freelist) };
+            wr(blk);
+            pdi.freelist = blk;
+            let count = pdi.free_count as usize + 1;
+            pdi.free_count = count as u32;
+            wr(pd_ptr);
+            inner.free_blocks += 1;
+            wr(&inner.free_blocks);
+            if count == self.blocks_per_page {
+                if count > 1 {
+                    // SAFETY: lock held; pd was in bucket (count - 1).
+                    unsafe { inner.buckets[count - 1].remove(pd_ptr) };
+                    wr(&inner.buckets[count - 1]);
+                }
+                self.release_page(&mut inner, pd);
+            } else if count == 1 {
+                // SAFETY: lock held; pd is unlisted.
+                unsafe { inner.buckets[1].push_front(pd_ptr) };
+                wr(&inner.buckets[1]);
+            } else {
+                // SAFETY: lock held; pd is in bucket (count - 1).
+                unsafe {
+                    inner.buckets[count - 1].remove(pd_ptr);
+                    inner.buckets[count].push_front(pd_ptr);
+                }
+                wr(&inner.buckets[count - 1]);
+                wr(&inner.buckets[count]);
+            }
+        }
+    }
+}
+
+/// Times `threads` × [`OPS_PER_THREAD`] free-oldest + alloc-replacement
+/// pairs against `pool`; returns ns per pair.
+fn run_pairs(pool: &dyn PagePool, threads: usize) -> f64 {
+    let barrier = Barrier::new(threads + 1);
+    let mut start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                // Standing ring: keeps pages partial so the radix lists,
+                // not just carve/merge, carry the traffic.
+                let mut ring: Vec<Chain> = (0..RING)
+                    .map(|_| pool.alloc(WANT).expect("bench sized for no pressure"))
+                    .collect();
+                barrier.wait();
+                for i in 0..OPS_PER_THREAD {
+                    let old = std::mem::replace(
+                        &mut ring[i % RING],
+                        pool.alloc(WANT).expect("bench sized for no pressure"),
+                    );
+                    // SAFETY: `old` was allocated from `pool` above.
+                    unsafe { pool.free(old) };
+                }
+                for c in ring {
+                    // SAFETY: ring chains were allocated from `pool`.
+                    unsafe { pool.free(c) };
+                }
+            });
+        }
+        barrier.wait();
+        start = Instant::now();
+        // The scope joins every worker before returning.
+    });
+    start.elapsed().as_nanos() as f64 / (threads * OPS_PER_THREAD) as f64
+}
+
+fn bench_spin(threads: usize) -> f64 {
+    run_pairs(&SpinPage::new(), threads)
+}
+
+fn bench_lockfree(threads: usize) -> f64 {
+    let pool = LockFree::new();
+    let ns = run_pairs(&pool, threads);
+    pool.assert_drained();
+    ns
+}
+
+/// Runs the ring workload on `ncpus` virtual CPUs of the DES and returns
+/// (pairs per simulated second, fraction of CPU-time spent lock-waiting).
+fn sim_point(pool: &dyn PagePool, ncpus: usize) -> (f64, f64) {
+    // Rings are built (and torn down) outside the recording window, as
+    // the wall-clock runs build theirs before the barrier.
+    let mut rings: Vec<Vec<Chain>> = (0..ncpus)
+        .map(|_| {
+            (0..RING)
+                .map(|_| pool.alloc(WANT).expect("bench sized for no pressure"))
+                .collect()
+        })
+        .collect();
+    let mut next = vec![0usize; ncpus];
+    let result = Simulator::new(SimConfig::new(ncpus, SIM_PAIRS_PER_CPU)).run(|vcpu| {
+        let i = next[vcpu];
+        next[vcpu] = (i + 1) % RING;
+        let old = std::mem::replace(
+            &mut rings[vcpu][i],
+            pool.alloc(WANT).expect("bench sized for no pressure"),
+        );
+        // SAFETY: `old` was allocated from `pool` above.
+        unsafe { pool.free(old) };
+        SIM_BASE
+    });
+    for ring in rings {
+        for c in ring {
+            // SAFETY: ring chains were allocated from `pool`.
+            unsafe { pool.free(c) };
+        }
+    }
+    let wait_frac =
+        result.lock_wait_cycles as f64 / (result.elapsed_cycles.max(1) as f64 * ncpus as f64);
+    (result.ops_per_sec(), wait_frac)
+}
+
+fn main() {
+    use core::fmt::Write as _;
+
+    // Wall clock: informational on a small host (see module docs).
+    let mut wall = Vec::new();
+    for threads in THREAD_COUNTS {
+        // Warm-up pass absorbs thread-spawn and first-touch costs.
+        let _ = bench_spin(threads);
+        let _ = bench_lockfree(threads);
+        // Interleaved repetitions, min of each side: scheduler spikes are
+        // filtered out of both layers alike.
+        let mut spin = f64::INFINITY;
+        let mut lockfree = f64::INFINITY;
+        for _ in 0..REPS {
+            spin = spin.min(bench_spin(threads));
+            lockfree = lockfree.min(bench_lockfree(threads));
+        }
+        println!(
+            "page_contention/wall {threads:>2} threads   spinlock {spin:>8.1} ns/pair   \
+             lock-free {lockfree:>8.1} ns/pair   ({:.2}x)",
+            spin / lockfree
+        );
+        wall.push((threads, spin, lockfree));
+    }
+
+    // Simulated SMP: the priced comparison the assertion pins.
+    let mut sim = Vec::new();
+    for ncpus in SIM_CPUS {
+        let (spin_rate, spin_wait) = sim_point(&SpinPage::new(), ncpus);
+        let pool = LockFree::new();
+        let (lf_rate, _) = sim_point(&pool, ncpus);
+        pool.assert_drained();
+        println!(
+            "page_contention/sim  {ncpus:>2} cpus      spinlock {spin_rate:>9.0} pairs/s \
+             (lock-wait {:>4.1}%)   lock-free {lf_rate:>9.0} pairs/s   ({:.2}x)",
+            spin_wait * 100.0,
+            lf_rate / spin_rate
+        );
+        sim.push((ncpus, spin_rate, lf_rate, spin_wait));
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"page_contention\",\"block_size\":{BLOCK_SIZE},\
+         \"chain_len\":{WANT},\"ops_per_thread\":{OPS_PER_THREAD},\"wall\":["
+    );
+    for (i, (threads, spin, lockfree)) in wall.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"threads\":{threads},\"spinlock_ns\":{spin:.1},\
+             \"lockfree_ns\":{lockfree:.1}}}"
+        );
+    }
+    let _ = write!(
+        json,
+        "],\"sim\":{{\"pairs_per_cpu\":{SIM_PAIRS_PER_CPU},\"base_cycles\":{SIM_BASE},\
+         \"results\":["
+    );
+    for (i, (ncpus, spin_rate, lf_rate, spin_wait)) in sim.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"cpus\":{ncpus},\"spinlock_pairs_per_sec\":{spin_rate:.0},\
+             \"lockfree_pairs_per_sec\":{lf_rate:.0},\
+             \"spinlock_lock_wait_frac\":{spin_wait:.3}}}"
+        );
+    }
+    json.push_str("]}}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_page.json");
+    std::fs::write(path, &json).expect("write BENCH_page.json");
+    println!("wrote {path}");
+
+    // Shape pins on the simulated sweep: at 8+ CPUs the lock-free layer
+    // must beat the spinlocked baseline, and the baseline must be
+    // visibly lock-bound (that being the mechanism of its defeat).
+    for &(ncpus, spin_rate, lf_rate, spin_wait) in &sim {
+        if ncpus >= 8 {
+            assert!(
+                lf_rate > spin_rate,
+                "lock-free page layer slower than spinlock at {ncpus} simulated CPUs: \
+                 {lf_rate:.0} vs {spin_rate:.0} pairs/s"
+            );
+            assert!(
+                spin_wait > 0.2,
+                "spinlocked baseline at {ncpus} CPUs waits only {:.1}% — \
+                 contention model regressed",
+                spin_wait * 100.0
+            );
+        }
+    }
+}

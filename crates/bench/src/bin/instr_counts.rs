@@ -41,7 +41,9 @@ fn shared_footprint<A: KernelAllocator>(alloc: &A, size: usize) -> (usize, usize
         .filter(|e| {
             matches!(
                 e,
-                ProbeEvent::LineRead { .. } | ProbeEvent::LineWrite { .. }
+                ProbeEvent::LineRead { .. }
+                    | ProbeEvent::LineWrite { .. }
+                    | ProbeEvent::LineRmw { .. }
             )
         })
         .count();

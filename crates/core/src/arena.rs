@@ -119,7 +119,11 @@ impl KmemArena {
         config.validate();
         let faults = config.faults.clone();
         let space = Arc::new(KernelSpace::new_with_faults(config.space, faults.clone()));
-        let vm = VmblkLayer::new(Arc::clone(&space), config.release_empty_vmblks);
+        let vm = VmblkLayer::new_with_cache(
+            Arc::clone(&space),
+            config.release_empty_vmblks,
+            faults.clone(),
+        );
         let max_large = vm.max_span_pages() * PAGE_SIZE;
         let globals = config
             .classes
@@ -136,7 +140,14 @@ impl KmemArena {
             .classes
             .iter()
             .enumerate()
-            .map(|(i, c)| CachePadded::new(PageLayer::new(i, c.size, config.radix_pages)))
+            .map(|(i, c)| {
+                CachePadded::new(PageLayer::new_with_faults(
+                    i,
+                    c.size,
+                    config.radix_pages,
+                    faults.clone(),
+                ))
+            })
             .collect();
         let slots = PerCpu::new(config.ncpus, |_| CpuSlot {
             caches: config
@@ -295,6 +306,8 @@ impl KmemArena {
             classes,
             large_allocs: inner.large_allocs.get(),
             large_frees: inner.large_frees.get(),
+            vmblk_cache_hits: inner.vm.stats().cache_hits.get(),
+            vmblk_cache_puts: inner.vm.stats().cache_puts.get(),
             vmblks_live: inner.vm.nvmblks(),
             phys_in_use: inner.space.phys().in_use(),
             phys_capacity: inner.space.phys().capacity(),
@@ -335,7 +348,12 @@ impl ArenaInner {
                     self.pages[idx].free_chain(&self.vm, chain);
                 }
             }
+            // Settle fault-deferred (or freshly drained-to-full) pages so
+            // idle memory actually leaves the page layer.
+            self.pages[idx].flush_full_pages(&self.vm);
         }
+        // And un-park the whole-page cache so empty vmblks can release.
+        self.vm.drain_page_cache();
     }
 
     pub(crate) fn vm(&self) -> &VmblkLayer {
@@ -553,11 +571,9 @@ impl CpuHandle {
     /// faults exercise every fall-through combination.
     fn take_chain(&self, class: usize, target: usize) -> Option<Chain> {
         // The pool consults `faults::GLOBAL_GET` itself, on both its CAS
-        // fast path and its locked slow path.
+        // fast path and its locked slow path, and the page layer consults
+        // `faults::PAGE_GET` on both its pop path and its vmblk slow path.
         self.inner.globals[class].get_chain().or_else(|| {
-            if self.inner.faults.hit(faults::PAGE_GET) {
-                return None;
-            }
             self.inner.pages[class]
                 .alloc_chain(&self.inner.vm, target)
                 .ok()

@@ -66,6 +66,12 @@ impl Chain {
         self.len += 1;
     }
 
+    /// Returns the head block without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<*mut u8> {
+        (!self.head.is_null()).then_some(self.head)
+    }
+
     /// Pops a block from the head.
     #[inline]
     pub fn pop(&mut self) -> Option<*mut u8> {

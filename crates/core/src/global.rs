@@ -862,7 +862,7 @@ mod tests {
             "fast path acquired a lock: {ev:?}"
         );
         // The CAS traffic itself is visible to the simulator.
-        assert!(ev.iter().any(|e| matches!(e, ProbeEvent::LineWrite { .. })));
+        assert!(ev.iter().any(|e| matches!(e, ProbeEvent::LineRmw { .. })));
         let s = pool.stats();
         assert_eq!(s.get_fast.get(), 100);
         assert_eq!(s.get_slow.get(), 0);

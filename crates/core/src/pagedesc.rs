@@ -18,7 +18,9 @@
 
 use core::cell::UnsafeCell;
 use core::ptr;
-use core::sync::atomic::{AtomicU8, Ordering};
+use core::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
+
+use kmem_smp::TaggedAtomic;
 
 /// Role of a page, stored in its descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +38,11 @@ pub enum PdKind {
     BlockPage = 3,
     /// First page of an *allocated* multi-page block; `span_pages` valid.
     Large = 4,
+    /// Whole page parked on the vmblk layer's lock-free page cache: its
+    /// physical frame is released, its virtual page is neither in a span
+    /// freelist nor counted free, and it is linked through
+    /// [`PageDesc::anext`].
+    Cached = 5,
 }
 
 impl PdKind {
@@ -46,6 +53,7 @@ impl PdKind {
             2 => PdKind::SpanFreeTail,
             3 => PdKind::BlockPage,
             4 => PdKind::Large,
+            5 => PdKind::Cached,
             _ => unreachable!("corrupt page descriptor kind {v}"),
         }
     }
@@ -86,6 +94,18 @@ impl PdInner {
 pub struct PageDesc {
     kind: AtomicU8,
     class: AtomicU8,
+    /// Block pages, lock-free layer state: a packed
+    /// `(free count | bucket | LISTED | OWNED)` word with a generation
+    /// tag (see `pagelayer`'s `PageState`). Written with
+    /// [`TaggedAtomic::fetch_count_add`] by freeing CPUs and CAS'd by
+    /// possessors; the tag serializes the two against each other.
+    state: TaggedAtomic,
+    /// Block pages: tagged head of the page's lock-free block freelist
+    /// (links through each block's first word, as `global.rs` does).
+    afree: TaggedAtomic,
+    /// Lock-free intrusive linkage for [`PdStack`] (radix buckets, the
+    /// vmblk page cache). Only the stack holding the page may follow it.
+    anext: AtomicPtr<PageDesc>,
     inner: UnsafeCell<PdInner>,
 }
 
@@ -113,9 +133,24 @@ impl PageDesc {
             slot.write(PageDesc {
                 kind: AtomicU8::new(PdKind::Unused as u8),
                 class: AtomicU8::new(0),
+                state: TaggedAtomic::null(),
+                afree: TaggedAtomic::null(),
+                anext: AtomicPtr::new(ptr::null_mut()),
                 inner: UnsafeCell::new(PdInner::new()),
             });
         }
+    }
+
+    /// The page's packed lock-free state word (block pages only).
+    #[inline]
+    pub fn state(&self) -> &TaggedAtomic {
+        &self.state
+    }
+
+    /// The page's lock-free block-freelist head (block pages only).
+    #[inline]
+    pub fn afree(&self) -> &TaggedAtomic {
+        &self.afree
     }
 
     /// Reads the page's role (lock-free; see module docs).
@@ -299,6 +334,129 @@ impl Iterator for PdListIter {
     }
 }
 
+/// A lock-free Treiber stack of page descriptors, linked through
+/// [`PageDesc::anext`] under a generation-tagged head — the page-descriptor
+/// analogue of the global layer's chain stack.
+///
+/// Used for the per-class radix buckets (lazy positions: a listed page's
+/// true free count may exceed its bucket; poppers repair by relisting) and
+/// the vmblk layer's whole-page cache. A descriptor is in **at most one**
+/// stack at a time; a successful [`pop`](PdStack::pop) transfers possession
+/// of the descriptor to the caller.
+pub struct PdStack {
+    head: TaggedAtomic,
+}
+
+// SAFETY: all mutation is through tagged CAS; possession of popped
+// descriptors transfers with the successful exchange.
+unsafe impl Send for PdStack {}
+unsafe impl Sync for PdStack {}
+
+impl PdStack {
+    /// Creates an empty stack.
+    pub const fn new() -> Self {
+        PdStack {
+            head: TaggedAtomic::null(),
+        }
+    }
+
+    /// Whether the stack looked empty at the load — a hint only; racing
+    /// pushes and pops may change it immediately.
+    #[inline]
+    pub fn is_empty_hint(&self) -> bool {
+        self.head.load().is_null()
+    }
+
+    /// Pushes `pd`, returning the number of failed CAS attempts (for the
+    /// caller's `cas_retries` counter).
+    ///
+    /// # Safety
+    ///
+    /// The caller possesses `pd` (it is in no stack) and `pd` stays valid
+    /// for the stack's lifetime (vmblk descriptor storage is type-stable).
+    pub unsafe fn push(&self, pd: *mut PageDesc) -> u64 {
+        let mut retries = 0;
+        let mut cur = self.head.load();
+        loop {
+            // SAFETY: we possess `pd` until the CAS publishes it.
+            unsafe {
+                (*pd)
+                    .anext
+                    .store(cur.ptr() as *mut PageDesc, Ordering::Release)
+            };
+            match self.head.compare_exchange(cur, pd as *mut u8) {
+                Ok(_) => return retries,
+                Err(seen) => {
+                    retries += 1;
+                    cur = seen;
+                }
+            }
+        }
+    }
+
+    /// Iterates raw descriptor pointers without popping (verification).
+    ///
+    /// # Safety
+    ///
+    /// The stack must be quiescent for the whole iteration: no concurrent
+    /// push or pop may run, or the `anext` chain may be rewired mid-walk.
+    pub unsafe fn iter(&self) -> PdStackIter {
+        PdStackIter {
+            next: self.head.load().ptr() as *mut PageDesc,
+        }
+    }
+
+    /// Pops the top descriptor, transferring possession to the caller.
+    /// Also returns the number of failed CAS attempts.
+    pub fn pop(&self) -> (Option<*mut PageDesc>, u64) {
+        let mut retries = 0;
+        let mut cur = self.head.load();
+        loop {
+            if cur.is_null() {
+                return (None, retries);
+            }
+            let pd = cur.ptr() as *mut PageDesc;
+            // SAFETY: descriptor storage is type-stable, so this load
+            // cannot fault even if `pd` was popped by a racing CPU; a
+            // stale next is discarded when the tag CAS fails.
+            let next = unsafe { (*pd).anext.load(Ordering::Acquire) };
+            match self.head.compare_exchange(cur, next as *mut u8) {
+                Ok(_) => return (Some(pd), retries),
+                Err(seen) => {
+                    retries += 1;
+                    cur = seen;
+                }
+            }
+        }
+    }
+}
+
+impl Default for PdStack {
+    fn default() -> Self {
+        PdStack::new()
+    }
+}
+
+/// Iterator over a quiescent [`PdStack`]; see [`PdStack::iter`].
+pub struct PdStackIter {
+    next: *mut PageDesc,
+}
+
+impl Iterator for PdStackIter {
+    type Item = *mut PageDesc;
+
+    fn next(&mut self) -> Option<*mut PageDesc> {
+        if self.next.is_null() {
+            return None;
+        }
+        let pd = self.next;
+        // SAFETY: the iteration contract guarantees quiescence, so the
+        // chain through `anext` is stable and every member valid.
+        self.next = unsafe { (*pd).anext.load(Ordering::Acquire) };
+        Some(pd)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +536,69 @@ mod tests {
             list.remove(ptrs[1]);
             assert!(list.is_empty());
         }
+    }
+
+    #[test]
+    fn init_zeroes_the_lock_free_words() {
+        let pds = make_pds(1);
+        let pd = &*pds[0];
+        assert!(pd.state().load().is_null());
+        assert_eq!(pd.state().load().value(), 0);
+        assert!(pd.afree().load().is_null());
+    }
+
+    #[test]
+    fn pd_stack_push_pop_lifo() {
+        let mut pds = make_pds(3);
+        let ptrs: Vec<*mut PageDesc> = pds.iter_mut().map(|b| &mut **b as *mut _).collect();
+        let stack = PdStack::new();
+        assert!(stack.is_empty_hint());
+        // SAFETY: single-threaded test owns all descriptors.
+        unsafe {
+            for &p in &ptrs {
+                stack.push(p);
+            }
+        }
+        assert!(!stack.is_empty_hint());
+        assert_eq!(stack.pop().0, Some(ptrs[2]));
+        assert_eq!(stack.pop().0, Some(ptrs[1]));
+        assert_eq!(stack.pop().0, Some(ptrs[0]));
+        assert_eq!(stack.pop().0, None);
+    }
+
+    #[test]
+    fn pd_stack_concurrent_cycling_conserves_descriptors() {
+        const N: usize = 6;
+        let mut pds = make_pds(N);
+        let ptrs: Vec<usize> = pds
+            .iter_mut()
+            .map(|b| &mut **b as *mut PageDesc as usize)
+            .collect();
+        let stack = PdStack::new();
+        for &p in &ptrs {
+            // SAFETY: descriptors are owned and in no stack.
+            unsafe { stack.push(p as *mut PageDesc) };
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        if let (Some(pd), _) = stack.pop() {
+                            // SAFETY: pop transferred possession.
+                            unsafe { stack.push(pd) };
+                        }
+                    }
+                });
+            }
+        });
+        let mut seen = Vec::new();
+        while let (Some(pd), _) = stack.pop() {
+            seen.push(pd as usize);
+        }
+        seen.sort_unstable();
+        let mut want = ptrs.clone();
+        want.sort_unstable();
+        assert_eq!(seen, want, "every descriptor back exactly once");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The coalesce-to-page layer (paper Figure 5).
+//! The coalesce-to-page layer (paper Figure 5), lock-free.
 //!
 //! One instance per size class. "The coalesce-to-page layer gathers blocks
 //! of a given size and coalesces them into pages. This layer maintains a
@@ -11,13 +11,52 @@
 //! (one bucket per free count) "so that pages with the fewest free blocks
 //! will be allocated from most frequently", giving nearly-free pages time
 //! to gather their last outstanding blocks and drain completely.
+//!
+//! # Lock-free protocol
+//!
+//! The spinlock of the original layer is gone. Each page descriptor carries
+//! two tagged words: `afree`, the page's block freelist (a Treiber stack
+//! through each free block's first word), and `state`, a packed
+//! `(count | bucket | LISTED | OWNED)` snapshot of the page's standing. The
+//! radix buckets are [`PdStack`]s of whole descriptors.
+//!
+//! **Possession.** Physically popping a descriptor from a bucket grants
+//! *possession*: the popper CASes `state` from `{c, LISTED, b}` to
+//! `{c, OWNED}` and is then the only CPU allowed to take blocks, relist the
+//! page, or release it. Freeing CPUs never pop; they only push blocks and
+//! bump the count with one `fetch_count_add`.
+//!
+//! **Freelist before count.** A freer pushes the block onto `afree`
+//! *before* incrementing the count, and a possessor reserves blocks by
+//! CASing the count *down* before popping them, so the freelist length `L`
+//! and count `C` obey `L >= C + reserved` at all times. When a count
+//! reaches `blocks_per_page` every block is physically on the freelist and
+//! the page can be handed back whole.
+//!
+//! **Coalescing without a lock.** The freer whose increment takes a LISTED
+//! page's count to `blocks_per_page` *hunts* the bucket recorded in the
+//! state: it pops pages, possesses each, releases any it finds full, and
+//! stops once the target is met. An empty-handed hunt is absolved — some
+//! other CPU possessed the page and will itself observe the full count.
+//! Every possessor that observes `count == blocks_per_page` releases the
+//! page, so a full page is never relisted and never double-freed.
+//!
+//! **Lazy buckets.** A listed page's bucket only records the count at
+//! listing time; the true count may have grown since (it is monotone
+//! non-decreasing while LISTED). Poppers repair stale positions by
+//! relisting the page at its true count, which keeps the radix policy —
+//! fewest-free-first under an ascending scan — exact in the absence of
+//! concurrent frees and a best-effort approximation under them.
 
-use kmem_smp::{EventCounter, SpinLock};
+use core::ptr;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+use kmem_smp::{faults, EventCounter, Faults, TaggedPtr};
 use kmem_vm::{VmError, PAGE_SIZE};
 
 use crate::block;
 use crate::chain::Chain;
-use crate::pagedesc::{PageDesc, PdKind, PdList};
+use crate::pagedesc::{PageDesc, PdKind, PdStack};
 use crate::vmblklayer::VmblkLayer;
 
 /// Statistics for one coalesce-to-page instance.
@@ -31,16 +70,60 @@ pub struct PageLayerStats {
     pub page_releases: EventCounter,
     /// Individual blocks pushed down from the global layer.
     pub block_frees: EventCounter,
+    /// Failed CAS attempts across every lock-free path of the layer.
+    pub cas_retries: EventCounter,
 }
 
-struct PageInner {
-    /// `buckets[c]` lists pages with exactly `c` free blocks. Bucket 0 is
-    /// unused: pages with no free blocks are not listed.
-    buckets: Box<[PdList]>,
-    /// Pages currently owned by this class.
-    npages: usize,
-    /// Free blocks across all owned pages.
-    free_blocks: usize,
+/// Decoded view of a page's packed `state` word. Layout inside the 48-bit
+/// value half of the [`TaggedAtomic`](kmem_smp::TaggedAtomic):
+/// count in bits 0..16, listing bucket in bits 16..32, flags above. The
+/// count sits in the low bits so a freer's `fetch_count_add(1)` increments
+/// it without disturbing bucket or flags (a page holds at most
+/// `PAGE_SIZE / MIN_BLOCK` = 256 blocks, far below the 16-bit field).
+#[derive(Clone, Copy)]
+struct PageState(u64);
+
+const COUNT_MASK: u64 = 0xFFFF;
+const BUCKET_SHIFT: u32 = 16;
+const LISTED: u64 = 1 << 32;
+const OWNED: u64 = 1 << 33;
+
+impl PageState {
+    #[inline]
+    fn of(tp: TaggedPtr) -> Self {
+        PageState(tp.value())
+    }
+
+    #[inline]
+    fn count(self) -> usize {
+        (self.0 & COUNT_MASK) as usize
+    }
+
+    /// Bucket recorded at listing time; meaningful only while LISTED.
+    #[inline]
+    fn bucket(self) -> usize {
+        ((self.0 >> BUCKET_SHIFT) & COUNT_MASK) as usize
+    }
+
+    #[inline]
+    fn listed(self) -> bool {
+        self.0 & LISTED != 0
+    }
+
+    #[inline]
+    fn owned(self) -> bool {
+        self.0 & OWNED != 0
+    }
+
+    #[inline]
+    fn owned_value(count: usize) -> u64 {
+        count as u64 | OWNED
+    }
+
+    #[inline]
+    fn listed_value(count: usize, bucket: usize) -> u64 {
+        count as u64 | ((bucket as u64) << BUCKET_SHIFT) | LISTED
+    }
 }
 
 /// The coalesce-to-page layer for one size class.
@@ -49,13 +132,27 @@ pub struct PageLayer {
     block_size: usize,
     blocks_per_page: usize,
     radix: bool,
-    inner: SpinLock<PageInner>,
+    /// `buckets[c]` lists pages listed with `c` free blocks (lazily: the
+    /// true count may since have grown). Bucket 0 is unused; bucket
+    /// `blocks_per_page` holds only fault-deferred full pages.
+    buckets: Box<[PdStack]>,
+    /// Pages currently owned by this class.
+    npages: AtomicUsize,
+    /// Free blocks across all owned pages.
+    free_blocks: AtomicUsize,
+    faults: Faults,
     stats: PageLayerStats,
 }
 
 impl PageLayer {
     /// Creates the layer for size class `class` with the given block size.
     pub fn new(class: usize, block_size: usize, radix: bool) -> Self {
+        PageLayer::new_with_faults(class, block_size, radix, Faults::none())
+    }
+
+    /// As [`new`](PageLayer::new), wired to a fault-injection plan
+    /// (consults `page.get` and `page.coalesce`).
+    pub fn new_with_faults(class: usize, block_size: usize, radix: bool, faults: Faults) -> Self {
         assert!(block_size.is_power_of_two() && block_size <= PAGE_SIZE);
         let blocks_per_page = PAGE_SIZE / block_size;
         PageLayer {
@@ -63,11 +160,10 @@ impl PageLayer {
             block_size,
             blocks_per_page,
             radix,
-            inner: SpinLock::new(PageInner {
-                buckets: (0..=blocks_per_page).map(|_| PdList::new()).collect(),
-                npages: 0,
-                free_blocks: 0,
-            }),
+            buckets: (0..=blocks_per_page).map(|_| PdStack::new()).collect(),
+            npages: AtomicUsize::new(0),
+            free_blocks: AtomicUsize::new(0),
+            faults,
             stats: PageLayerStats::default(),
         }
     }
@@ -82,11 +178,6 @@ impl PageLayer {
         &self.stats
     }
 
-    #[inline]
-    fn bucket_of(&self, free_count: usize) -> usize {
-        free_count
-    }
-
     /// Collects up to `want` blocks for the global layer.
     ///
     /// Blocks come from the pages with the *fewest* free blocks first; a
@@ -94,29 +185,32 @@ impl PageLayer {
     /// has a free block. Returns a possibly short chain under memory
     /// pressure, or the error when not a single block could be produced.
     pub fn alloc_chain(&self, vm: &VmblkLayer, want: usize) -> Result<Chain, VmError> {
+        if self.faults.hit(faults::PAGE_GET) {
+            // Injected refill failure on the common (lock-free) path.
+            return Err(VmError::OutOfPhysical {
+                requested: 1,
+                available: 0,
+            });
+        }
         self.stats.refills.inc();
         let mut chain = Chain::new();
-        let mut inner = self.inner.lock();
         while chain.len() < want {
-            let Some((pd, count)) = self.fullest_page(&inner) else {
-                // No free blocks anywhere: pull a fresh page in.
-                match self.acquire_page(&mut inner, vm) {
-                    Ok(()) => continue,
-                    Err(e) if !chain.is_empty() => {
-                        // Low memory: hand back what we gathered.
-                        let _ = e;
-                        break;
-                    }
+            let pd = match self.pop_page() {
+                Some(pd) => pd,
+                None => match self.acquire_page(vm) {
+                    Ok(pd) => pd,
+                    Err(_) if !chain.is_empty() => break, // low memory: short chain
                     Err(e) => return Err(e),
-                }
+                },
             };
-            self.take_blocks(&mut inner, pd, count, want, &mut chain);
+            // SAFETY: `pd` is possessed by us (popped or freshly acquired).
+            unsafe { self.take_from(vm, pd, want, &mut chain) };
         }
         Ok(chain)
     }
 
-    /// Returns one block's worth of chain for each block in `chain` to the
-    /// per-page freelists; fully drained pages go back to the vmblk layer.
+    /// Returns each block in `chain` to its page's lock-free freelist;
+    /// fully drained pages go back to the vmblk layer.
     ///
     /// "There is no reason to maintain a split freelist at the global
     /// layer, since each block must be individually examined by the
@@ -128,146 +222,486 @@ impl PageLayer {
     /// Every block in `chain` must belong to this class (allocated through
     /// it) and be free and unaliased.
     pub unsafe fn free_chain(&self, vm: &VmblkLayer, mut chain: Chain) {
-        let mut inner = self.inner.lock();
         while let Some(blk) = chain.pop() {
-            self.stats.block_frees.inc();
             let pd = vm
                 .pd_of(blk as usize)
                 .expect("freed block not managed by this allocator");
             debug_assert_eq!(pd.kind(), PdKind::BlockPage);
             debug_assert_eq!(pd.class(), self.class);
             let pd_ptr = pd as *const PageDesc as *mut PageDesc;
-            // SAFETY: page-layer lock held; this class owns the page.
-            let pdi = unsafe { pd.inner() };
-            // SAFETY: `blk` is free and ours per the function contract.
-            unsafe { block::write_next(blk, pdi.freelist) };
-            pdi.freelist = blk;
-            let count = pdi.free_count as usize + 1;
-            pdi.free_count = count as u32;
-            inner.free_blocks += 1;
 
-            if count == self.blocks_per_page {
-                // Whole page free: give it back immediately.
-                if count > 1 {
-                    // Pages with count 0 were unlisted; all others listed.
-                    // SAFETY: lock held; pd was in bucket (count - 1).
-                    unsafe { inner.buckets[self.bucket_of(count - 1)].remove(pd_ptr) };
+            // Gather the run of consecutive chain blocks landing on the
+            // same page and pre-link it privately: however long the run,
+            // it then costs one freelist splice and one count add. Chains
+            // built from one page's blocks (the common refill shape) fold
+            // to a single RMW pair.
+            let run_tail = blk;
+            let mut run_head = blk;
+            let mut k = 1u64;
+            while let Some(next) = chain.peek() {
+                match vm.pd_of(next as usize) {
+                    Some(p) if ptr::eq(p, pd) => {}
+                    _ => break,
                 }
-                self.release_page(&mut inner, vm, pd);
-            } else if count == 1 {
-                // Page had no free blocks: list it now.
-                // SAFETY: lock held; pd is unlisted.
-                unsafe { inner.buckets[self.bucket_of(1)].push_front(pd_ptr) };
-            } else if self.bucket_of(count) != self.bucket_of(count - 1) {
-                // SAFETY: lock held; pd is in bucket (count - 1).
-                unsafe {
-                    inner.buckets[self.bucket_of(count - 1)].remove(pd_ptr);
-                    inner.buckets[self.bucket_of(count)].push_front(pd_ptr);
+                chain.pop();
+                // SAFETY: `next` is free and ours per the function
+                // contract; the run stays private until the splice below
+                // publishes it.
+                unsafe { block::write_next_atomic(next, run_head) };
+                run_head = next;
+                k += 1;
+            }
+            self.stats.block_frees.add(k);
+
+            // Freelist before count: splice the run, then announce it, so
+            // any CPU seeing the count can also pop the blocks it promises.
+            let mut head = pd.afree().load();
+            loop {
+                // SAFETY: `run_tail` is free and ours per the contract.
+                unsafe { block::write_next_atomic(run_tail, head.ptr()) };
+                match pd.afree().compare_exchange(head, run_head) {
+                    Ok(_) => break,
+                    Err(seen) => {
+                        self.stats.cas_retries.inc();
+                        head = seen;
+                    }
                 }
+            }
+            self.free_blocks.fetch_add(k as usize, Ordering::Relaxed);
+
+            let old = PageState::of(pd.state().fetch_count_add(k));
+            let count = old.count() + k as usize;
+            debug_assert!(count <= self.blocks_per_page);
+            if old.owned() {
+                // A possessor is working the page; it settles the count.
+            } else if old.listed() {
+                if count == self.blocks_per_page {
+                    // Our increment filled the page: coalesce it.
+                    self.hunt(vm, old.bucket(), pd_ptr);
+                }
+            } else if old.count() == 0 {
+                // First free into an unlisted page: we are the unique
+                // lister. (Later freers see a nonzero count and rely on
+                // us listing at the count we re-read.)
+                self.list_unowned(vm, pd_ptr);
             }
         }
     }
 
-    /// Picks the page to allocate from. The paper's radix policy takes
-    /// the page with the *fewest* free blocks, so sparse pages get time
-    /// to drain; the ablation (`radix = false`) takes the page with the
-    /// *most* free blocks — the tempting "fewest page visits per refill"
-    /// optimization that destroys page drain.
-    fn fullest_page(&self, inner: &PageInner) -> Option<(*mut PageDesc, usize)> {
-        let counts: Box<dyn Iterator<Item = usize>> = if self.radix {
-            Box::new(1..=self.blocks_per_page)
+    /// Pops a page to allocate from, transferring possession to the
+    /// caller. The paper's radix policy scans buckets *ascending* so the
+    /// page with the fewest free blocks is taken; the ablation
+    /// (`radix = false`) scans descending — the tempting "fewest page
+    /// visits per refill" optimization that destroys page drain.
+    ///
+    /// Stale positions (true count above the listed bucket) are repaired
+    /// by relisting; fault-deferred full pages are returned directly for
+    /// consumption.
+    fn pop_page(&self) -> Option<*mut PageDesc> {
+        let bpp = self.blocks_per_page;
+        if self.radix {
+            for b in 1..=bpp {
+                loop {
+                    let (popped, retries) = self.buckets[b].pop();
+                    self.stats.cas_retries.add(retries);
+                    let Some(pd) = popped else { break };
+                    let c = self.possess(pd);
+                    if c == b || c == bpp {
+                        return Some(pd);
+                    }
+                    // Stale (c > b): relist at the true count and keep
+                    // scanning this bucket — repairs never move a page
+                    // *down*, so the ascending scan stays exact.
+                    self.settle_one_no_release(pd);
+                }
+            }
+            None
         } else {
-            Box::new((1..=self.blocks_per_page).rev())
+            'restart: loop {
+                for b in (1..=bpp).rev() {
+                    let (popped, retries) = self.buckets[b].pop();
+                    self.stats.cas_retries.add(retries);
+                    let Some(pd) = popped else { continue };
+                    let c = self.possess(pd);
+                    if c == b || c == bpp {
+                        return Some(pd);
+                    }
+                    // Stale: the true count is *higher*, i.e. in a bucket
+                    // the descending scan already passed. Relist and
+                    // rescan from the top.
+                    self.settle_one_no_release(pd);
+                    continue 'restart;
+                }
+                return None;
+            }
+        }
+    }
+
+    /// CASes a physically popped page from LISTED to OWNED, returning the
+    /// observed free count. Flags are stable while the page is popped
+    /// (only freers touch the word, and they only move the count), so the
+    /// loop converges.
+    fn possess(&self, pd: *mut PageDesc) -> usize {
+        // SAFETY: a physical pop grants possession; `pd` is valid
+        // (descriptor storage is type-stable).
+        let pdr = unsafe { &*pd };
+        let mut cur = pdr.state().load();
+        loop {
+            let st = PageState::of(cur);
+            debug_assert!(st.listed() && !st.owned(), "possessing an unlisted page");
+            match pdr
+                .state()
+                .compare_exchange_value(cur, PageState::owned_value(st.count()))
+            {
+                Ok(_) => return st.count(),
+                Err(seen) => {
+                    self.stats.cas_retries.inc();
+                    cur = seen;
+                }
+            }
+        }
+    }
+
+    /// Takes up to `want - chain.len()` blocks from possessed page `pd`,
+    /// then settles it (relist / release / unlist).
+    ///
+    /// # Safety
+    ///
+    /// The caller possesses `pd`.
+    unsafe fn take_from(&self, vm: &VmblkLayer, pd: *mut PageDesc, want: usize, chain: &mut Chain) {
+        // SAFETY: possessed per contract.
+        let pdr = unsafe { &*pd };
+        // Reserve first: CAS the count down, then pop that many blocks.
+        // The freelist-before-count discipline guarantees they are there.
+        let mut cur = pdr.state().load();
+        let take = loop {
+            let st = PageState::of(cur);
+            debug_assert!(st.owned());
+            let k = st.count().min(want - chain.len());
+            if k == 0 {
+                break 0;
+            }
+            match pdr
+                .state()
+                .compare_exchange_value(cur, PageState::owned_value(st.count() - k))
+            {
+                Ok(_) => break k,
+                Err(seen) => {
+                    self.stats.cas_retries.inc();
+                    cur = seen;
+                }
+            }
         };
-        for c in counts {
-            if let Some(pd) = inner.buckets[c].front() {
-                return Some((pd, c));
+        self.free_blocks.fetch_sub(take, Ordering::Relaxed);
+        if take > 0 {
+            // Possession makes this CPU the freelist's only consumer, so
+            // the whole list comes off in one exchange and is walked
+            // privately — per-block CAS traffic collapses to at most two
+            // RMWs regardless of `take`.
+            let mut head = pdr.afree().load();
+            let taken = loop {
+                debug_assert!(!head.is_null(), "page freelist under-supplied");
+                match pdr.afree().compare_exchange(head, ptr::null_mut()) {
+                    Ok(_) => break head.ptr(),
+                    Err(seen) => {
+                        self.stats.cas_retries.inc();
+                        head = seen;
+                    }
+                }
+            };
+            // Keep the first `take` blocks — the reservation made them
+            // exclusively ours, and the freelist-before-count discipline
+            // guarantees they are physically present.
+            let mut blk = taken;
+            for _ in 0..take {
+                debug_assert!(!blk.is_null(), "page freelist under-supplied");
+                // SAFETY: `blk` is a free block of this page; its next
+                // field was published by the pushing CPU's Release CAS.
+                let next = unsafe { block::read_next_atomic(blk) };
+                // SAFETY: reserved above.
+                unsafe { chain.push(blk) };
+                blk = next;
+            }
+            // Splice back any surplus (blocks beyond the reservation, or
+            // freed after the count snapshot). The surplus is private
+            // until the CAS republishes it, so the tail walk is plain
+            // reads; racing freers meanwhile push onto the empty head and
+            // merge when this CAS lands.
+            if !blk.is_null() {
+                let mut tail = blk;
+                loop {
+                    // SAFETY: surplus blocks are ours until respliced.
+                    let next = unsafe { block::read_next_atomic(tail) };
+                    if next.is_null() {
+                        break;
+                    }
+                    tail = next;
+                }
+                let mut head = pdr.afree().load();
+                loop {
+                    // SAFETY: `tail` is ours until the CAS publishes it.
+                    unsafe { block::write_next_atomic(tail, head.ptr()) };
+                    match pdr.afree().compare_exchange(head, blk) {
+                        Ok(_) => break,
+                        Err(seen) => {
+                            self.stats.cas_retries.inc();
+                            head = seen;
+                        }
+                    }
+                }
             }
         }
-        None
+        self.settle_one(vm, pd);
     }
 
-    /// Pops blocks from `pd` (which has `count` free) into `chain` until
-    /// the page is exhausted or the chain reaches `want`.
-    fn take_blocks(
-        &self,
-        inner: &mut PageInner,
-        pd: *mut PageDesc,
-        count: usize,
-        want: usize,
-        chain: &mut Chain,
-    ) {
-        let take = count.min(want - chain.len());
-        // SAFETY: lock held; this class owns the page.
-        let pdi = unsafe { (*pd).inner() };
-        for _ in 0..take {
-            let blk = pdi.freelist;
-            debug_assert!(!blk.is_null());
-            // SAFETY: freelist blocks are free blocks of this page.
-            pdi.freelist = unsafe { block::read_next(blk) };
-            // SAFETY: as above; the block enters the outgoing chain.
-            unsafe { chain.push(blk) };
-        }
-        let left = count - take;
-        pdi.free_count = left as u32;
-        inner.free_blocks -= take;
-        if self.bucket_of(count) != self.bucket_of(left) || left == 0 {
-            // SAFETY: lock held; pd was in bucket(count).
-            unsafe { inner.buckets[self.bucket_of(count)].remove(pd) };
-            if left > 0 {
-                // SAFETY: lock held; pd is unlisted.
-                unsafe { inner.buckets[self.bucket_of(left)].push_front(pd) };
+    /// Settles a possessed page: unlists it at count 0, releases it when
+    /// full (unless an injected fault defers the coalesce, in which case
+    /// it is listed at bucket `blocks_per_page` for a later pass), and
+    /// relists it at its true count otherwise.
+    fn settle_one(&self, vm: &VmblkLayer, pd: *mut PageDesc) {
+        // SAFETY: possessed by the caller.
+        let pdr = unsafe { &*pd };
+        let mut cur = pdr.state().load();
+        loop {
+            let st = PageState::of(cur);
+            debug_assert!(st.owned() && !st.listed());
+            let c = st.count();
+            if c == self.blocks_per_page {
+                if !self.faults.hit(faults::PAGE_COALESCE) {
+                    self.release_owned(vm, pdr);
+                    return;
+                }
+                // Injected deferral: park the full page in the top bucket.
+            } else if c == 0 {
+                match pdr.state().compare_exchange_value(cur, 0) {
+                    Ok(_) => return, // unlisted; the next free relists it
+                    Err(seen) => {
+                        self.stats.cas_retries.inc();
+                        cur = seen;
+                        continue;
+                    }
+                }
+            }
+            match pdr
+                .state()
+                .compare_exchange_value(cur, PageState::listed_value(c, c))
+            {
+                Ok(_) => {
+                    self.push_listed(vm, pd, c);
+                    return;
+                }
+                Err(seen) => {
+                    self.stats.cas_retries.inc();
+                    cur = seen;
+                }
             }
         }
     }
 
-    /// Takes one fresh page from the vmblk layer and splits it into
-    /// blocks.
-    fn acquire_page(&self, inner: &mut PageInner, vm: &VmblkLayer) -> Result<(), VmError> {
+    /// [`settle_one`](Self::settle_one) for callers with no vmblk handy —
+    /// only valid where the page cannot be full (stale-relist repair:
+    /// possession was just taken with `c < blocks_per_page`... but a
+    /// racing freer may still fill it, so this delegates to the full
+    /// settle path via the stored layer state).
+    fn settle_one_no_release(&self, pd: *mut PageDesc) {
+        // SAFETY: possessed by the caller.
+        let pdr = unsafe { &*pd };
+        let mut cur = pdr.state().load();
+        loop {
+            let st = PageState::of(cur);
+            debug_assert!(st.owned() && !st.listed());
+            let c = st.count();
+            debug_assert!(c >= 1);
+            // Full pages are listed at the top bucket rather than released
+            // (no vmblk reference here); the next popper or the freer's
+            // hunt consumes or releases them.
+            match pdr
+                .state()
+                .compare_exchange_value(cur, PageState::listed_value(c, c))
+            {
+                Ok(_) => {
+                    // Physical push; no vm for the post-push mop either —
+                    // a full page parked at the top bucket is always
+                    // discoverable, so no mop is needed.
+                    // SAFETY: we possess `pd` until this push publishes it.
+                    let retries = unsafe { self.buckets[c].push(pd) };
+                    self.stats.cas_retries.add(retries);
+                    return;
+                }
+                Err(seen) => {
+                    self.stats.cas_retries.inc();
+                    cur = seen;
+                }
+            }
+        }
+    }
+
+    /// Lists a page after its state CAS to LISTED at bucket `c`, then mops
+    /// up the window between the CAS and the physical push: a freer that
+    /// filled the page in that window hunted an emptier bucket and was
+    /// absolved, so the lister re-checks and hunts on its behalf.
+    fn push_listed(&self, vm: &VmblkLayer, pd: *mut PageDesc, c: usize) {
+        // SAFETY: we possess `pd` until this push publishes it.
+        let retries = unsafe { self.buckets[c].push(pd) };
+        self.stats.cas_retries.add(retries);
+        if c != self.blocks_per_page {
+            // SAFETY: descriptor storage is type-stable.
+            let st = PageState::of(unsafe { (*pd).state().load() });
+            if st.listed() && st.count() == self.blocks_per_page {
+                self.hunt(vm, c, pd);
+            }
+        }
+    }
+
+    /// First free into an unlisted, unowned page: list it at its current
+    /// count — or, if the page has already refilled completely, claim and
+    /// release it directly.
+    fn list_unowned(&self, vm: &VmblkLayer, pd: *mut PageDesc) {
+        // SAFETY: descriptor storage is type-stable.
+        let pdr = unsafe { &*pd };
+        let mut cur = pdr.state().load();
+        loop {
+            let st = PageState::of(cur);
+            debug_assert!(!st.listed() && !st.owned());
+            let c = st.count();
+            debug_assert!(c >= 1);
+            if c == self.blocks_per_page && !self.faults.hit(faults::PAGE_COALESCE) {
+                // Claiming is the same CAS a possessor would use; with it
+                // we hold the only reference to an all-free page.
+                match pdr
+                    .state()
+                    .compare_exchange_value(cur, PageState::owned_value(c))
+                {
+                    Ok(_) => {
+                        self.release_owned(vm, pdr);
+                        return;
+                    }
+                    Err(seen) => {
+                        self.stats.cas_retries.inc();
+                        cur = seen;
+                        continue;
+                    }
+                }
+            }
+            match pdr
+                .state()
+                .compare_exchange_value(cur, PageState::listed_value(c, c))
+            {
+                Ok(_) => {
+                    self.push_listed(vm, pd, c);
+                    return;
+                }
+                Err(seen) => {
+                    self.stats.cas_retries.inc();
+                    cur = seen;
+                }
+            }
+        }
+    }
+
+    /// Coalesce hunt: our free filled a LISTED page, so *someone* must
+    /// release it. Pop pages from the bucket it was listed in, releasing
+    /// every full page found, until the target turns up — or the bucket
+    /// runs dry, which absolves us: a racing possessor popped the target
+    /// and will itself observe the full count.
+    fn hunt(&self, vm: &VmblkLayer, bucket: usize, target: *mut PageDesc) {
+        if self.faults.hit(faults::PAGE_COALESCE) {
+            // Injected deferral: leave the page listed; a later popper,
+            // hunt, or flush settles it.
+            return;
+        }
+        let mut aside = Vec::new();
+        loop {
+            let (popped, retries) = self.buckets[bucket].pop();
+            self.stats.cas_retries.add(retries);
+            let Some(pd) = popped else { break };
+            let c = self.possess(pd);
+            if c == self.blocks_per_page {
+                // SAFETY: possessed, full.
+                self.release_owned(vm, unsafe { &*pd });
+                if pd == target {
+                    break;
+                }
+            } else {
+                // Not ours and not full: set it aside — relisting now
+                // could push it back on top of the target.
+                aside.push(pd);
+            }
+        }
+        for pd in aside {
+            self.settle_one(vm, pd);
+        }
+    }
+
+    /// Takes one fresh page from the vmblk layer, carves it into blocks
+    /// and returns it possessed (OWNED, all blocks on `afree`).
+    fn acquire_page(&self, vm: &VmblkLayer) -> Result<*mut PageDesc, VmError> {
+        if self.faults.hit(faults::PAGE_GET) {
+            // Injected refill failure on the slow (vmblk) path.
+            return Err(VmError::OutOfPhysical {
+                requested: 1,
+                available: 0,
+            });
+        }
         let (page, pd) = vm.alloc_span(1)?;
         self.stats.page_acquires.inc();
         let base = page.as_ptr();
         pd.set_class(self.class);
         pd.set_kind(PdKind::BlockPage);
-        let pd_ptr = pd as *const PageDesc as *mut PageDesc;
-        // SAFETY: the page is exclusively ours; lock held.
-        let pdi = unsafe { pd.inner() };
-        pdi.freelist = core::ptr::null_mut();
         // Carve the page into blocks, building the page freelist in
-        // ascending address order.
+        // ascending address order. Plain writes: nothing is published
+        // until the freelist-head CAS below releases them.
+        let mut freelist = ptr::null_mut();
         for i in (0..self.blocks_per_page).rev() {
             // SAFETY: offsets stay inside the page we own.
             let blk = unsafe { base.add(i * self.block_size) };
             // SAFETY: `blk` is a fresh free block of this page.
             unsafe {
-                block::write_next(blk, pdi.freelist);
+                block::write_next(blk, freelist);
                 block::poison(blk);
             }
-            pdi.freelist = blk;
+            freelist = blk;
         }
-        pdi.free_count = self.blocks_per_page as u32;
-        inner.free_blocks += self.blocks_per_page;
-        inner.npages += 1;
-        // SAFETY: lock held; the fresh page descriptor is unlisted.
-        unsafe {
-            inner.buckets[self.bucket_of(self.blocks_per_page)].push_front(pd_ptr);
+        // The page is exclusively ours, so these CASes cannot contend;
+        // the loops only track the tag.
+        let mut cur = pd.afree().load();
+        debug_assert!(cur.is_null());
+        while let Err(seen) = pd.afree().compare_exchange(cur, freelist) {
+            cur = seen;
         }
-        Ok(())
+        let mut cur = pd.state().load();
+        debug_assert_eq!(cur.value(), 0);
+        while let Err(seen) = pd
+            .state()
+            .compare_exchange_value(cur, PageState::owned_value(self.blocks_per_page))
+        {
+            cur = seen;
+        }
+        self.free_blocks
+            .fetch_add(self.blocks_per_page, Ordering::Relaxed);
+        self.npages.fetch_add(1, Ordering::Relaxed);
+        Ok(pd as *const PageDesc as *mut PageDesc)
     }
 
-    /// Returns a fully free page to the vmblk layer ("the physical memory
-    /// is returned to the system; the virtual memory is retained and
-    /// passed up").
-    fn release_page(&self, inner: &mut PageInner, vm: &VmblkLayer, pd: &PageDesc) {
+    /// Returns a possessed, fully free page to the vmblk layer ("the
+    /// physical memory is returned to the system; the virtual memory is
+    /// retained and passed up"). With the count at `blocks_per_page` no
+    /// freer or popper can reach the page, so the resets are private.
+    fn release_owned(&self, vm: &VmblkLayer, pd: &PageDesc) {
         self.stats.page_releases.inc();
-        // SAFETY: lock held; page fully free, so no block of it is
-        // reachable anywhere.
-        let pdi = unsafe { pd.inner() };
-        debug_assert_eq!(pdi.free_count as usize, self.blocks_per_page);
-        pdi.freelist = core::ptr::null_mut();
-        pdi.free_count = 0;
-        inner.free_blocks -= self.blocks_per_page;
-        inner.npages -= 1;
+        let mut cur = pd.state().load();
+        debug_assert_eq!(PageState::of(cur).count(), self.blocks_per_page);
+        debug_assert!(PageState::of(cur).owned());
+        while let Err(seen) = pd.state().compare_exchange_value(cur, 0) {
+            cur = seen;
+        }
+        let mut cur = pd.afree().load();
+        while let Err(seen) = pd.afree().compare_exchange(cur, ptr::null_mut()) {
+            cur = seen;
+        }
+        self.free_blocks
+            .fetch_sub(self.blocks_per_page, Ordering::Relaxed);
+        self.npages.fetch_sub(1, Ordering::Relaxed);
         pd.set_kind(PdKind::Unused);
         pd.set_class(0);
         // Recover the page base address from the descriptor itself:
@@ -283,29 +717,54 @@ impl PageLayer {
         unsafe { vm.free_span(page_addr, 1) };
     }
 
-    /// (owned pages, free blocks) — verification.
-    pub fn usage(&self) -> (usize, usize) {
-        let inner = self.inner.lock();
-        (inner.npages, inner.free_blocks)
+    /// Pops every listed page and settles it at its true count, releasing
+    /// any that are full — the recovery pass for fault-deferred coalesces
+    /// and the final drain before teardown. Safe under concurrency (every
+    /// pop possesses), though buckets refilled by racing frees are not
+    /// re-scanned.
+    pub fn flush_full_pages(&self, vm: &VmblkLayer) {
+        let mut possessed = Vec::new();
+        for bucket in self.buckets.iter() {
+            loop {
+                let (popped, retries) = bucket.pop();
+                self.stats.cas_retries.add(retries);
+                let Some(pd) = popped else { break };
+                self.possess(pd);
+                possessed.push(pd);
+            }
+        }
+        for pd in possessed {
+            self.settle_one(vm, pd);
+        }
     }
 
-    /// Walks every listed page, calling `f(free_count, freelist_len)`
-    /// (verification).
+    /// (owned pages, free blocks) — verification. Exact at quiescence.
+    pub fn usage(&self) -> (usize, usize) {
+        (
+            self.npages.load(Ordering::Acquire),
+            self.free_blocks.load(Ordering::Acquire),
+        )
+    }
+
+    /// Walks every listed page, calling `f(free_count, freelist_len)`.
+    ///
+    /// Verification only: the layer must be quiescent for the walk (no
+    /// concurrent allocs or frees), as the torture checkpoints guarantee.
     pub fn for_each_page(&self, mut f: impl FnMut(usize, usize)) {
-        let inner = self.inner.lock();
-        for bucket in inner.buckets.iter() {
-            // SAFETY: page-layer lock held for the whole walk.
+        for bucket in self.buckets.iter() {
+            // SAFETY: quiescence per the function contract.
             for pd in unsafe { bucket.iter() } {
-                // SAFETY: lock held.
-                let pdi = unsafe { (*pd).inner() };
+                // SAFETY: listed pages are valid block pages of this class.
+                let pdr = unsafe { &*pd };
+                let st = PageState::of(pdr.state().load());
                 let mut n = 0;
-                let mut blk = pdi.freelist;
+                let mut blk = pdr.afree().load().ptr();
                 while !blk.is_null() {
                     n += 1;
                     // SAFETY: page freelist blocks are free and linked.
-                    blk = unsafe { block::read_next(blk) };
+                    blk = unsafe { block::read_next_atomic(blk) };
                 }
-                f(pdi.free_count as usize, n);
+                f(st.count(), n);
             }
         }
     }
@@ -314,6 +773,8 @@ impl PageLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kmem_smp::probe::{self, ProbeEvent};
+    use kmem_smp::FailPolicy;
     use kmem_vm::{KernelSpace, SpaceConfig};
     use std::sync::Arc;
 
@@ -495,5 +956,103 @@ mod tests {
         assert_eq!(seen, vec![11]); // 16 per page - 5 taken
                                     // SAFETY: blocks from this layer.
         unsafe { layer.free_chain(&vm, chain) };
+    }
+
+    #[test]
+    fn steady_state_alloc_free_takes_no_spinlock() {
+        let (vm, layer) = setup(512, true, 64);
+        // Warm a page with free blocks so the steady state never touches
+        // the vmblk layer.
+        let warm = layer.alloc_chain(&vm, 3).unwrap();
+        let ((), events) = probe::record(|| {
+            for _ in 0..8 {
+                let c = layer.alloc_chain(&vm, 1).unwrap();
+                assert_eq!(c.len(), 1);
+                // SAFETY: block from this layer.
+                unsafe { layer.free_chain(&vm, c) };
+            }
+        });
+        assert!(
+            !events.iter().any(|e| matches!(
+                e,
+                ProbeEvent::LockAcquire { .. } | ProbeEvent::LockRelease { .. }
+            )),
+            "steady-state page refill/free must not take a spinlock: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, ProbeEvent::LineRmw { .. })),
+            "tagged-CAS traffic should be visible to the probe"
+        );
+        assert_eq!(layer.stats().cas_retries.get(), 0, "no contention here");
+        // SAFETY: blocks from this layer.
+        unsafe { layer.free_chain(&vm, warm) };
+        assert_eq!(layer.usage(), (0, 0));
+    }
+
+    #[test]
+    fn page_get_fault_covers_entry_and_acquire_paths() {
+        let faults = Faults::with_plan();
+        let plan = Arc::clone(faults.plan().unwrap());
+        let space = Arc::new(KernelSpace::new(
+            SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(64),
+        ));
+        let vm = VmblkLayer::new(space, true);
+        let layer = PageLayer::new_with_faults(3, 512, true, faults);
+
+        // Entry (common-path) consult fires first; then a pass at the
+        // entry lets the miss reach acquire_page, whose consult fires.
+        plan.set(
+            faults::PAGE_GET,
+            FailPolicy::Script(vec![true, false, true]),
+        );
+        assert!(layer.alloc_chain(&vm, 1).is_err()); // entry fire
+        assert!(layer.alloc_chain(&vm, 1).is_err()); // acquire fire
+        let st = plan
+            .site_stats()
+            .into_iter()
+            .find(|s| s.site == faults::PAGE_GET)
+            .unwrap();
+        assert_eq!((st.hits, st.fired), (3, 2));
+        // Script exhausted: the layer recovers fully.
+        let chain = layer.alloc_chain(&vm, 2).unwrap();
+        assert_eq!(chain.len(), 2);
+        // SAFETY: blocks from this layer.
+        unsafe { layer.free_chain(&vm, chain) };
+        assert_eq!(layer.usage(), (0, 0));
+        assert_eq!(vm.space().phys().in_use(), 0);
+    }
+
+    #[test]
+    fn deferred_coalesce_recovers_on_flush() {
+        let faults = Faults::with_plan();
+        let plan = Arc::clone(faults.plan().unwrap());
+        let space = Arc::new(KernelSpace::new(
+            SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(64),
+        ));
+        let vm = VmblkLayer::new(space, true);
+        let layer = PageLayer::new_with_faults(3, 512, true, faults);
+
+        let chain = layer.alloc_chain(&vm, 8).unwrap();
+        assert_eq!(chain.len(), 8);
+        // The free that fills the page consults page.coalesce and defers:
+        // the full page stays listed instead of returning to the vmblk.
+        plan.set(faults::PAGE_COALESCE, FailPolicy::Script(vec![true]));
+        // SAFETY: blocks from this layer.
+        unsafe { layer.free_chain(&vm, chain) };
+        assert_eq!(layer.usage(), (1, 8), "coalesce deferred by the fault");
+        assert_eq!(layer.stats().page_releases.get(), 0);
+        let st = plan
+            .site_stats()
+            .into_iter()
+            .find(|s| s.site == faults::PAGE_COALESCE)
+            .unwrap();
+        assert_eq!(st.fired, 1);
+        // The recovery pass settles the parked page (script exhausted).
+        layer.flush_full_pages(&vm);
+        assert_eq!(layer.usage(), (0, 0));
+        assert_eq!(layer.stats().page_releases.get(), 1);
+        assert_eq!(vm.space().phys().in_use(), 0);
     }
 }

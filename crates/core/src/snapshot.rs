@@ -431,11 +431,18 @@ pub struct PageCounts {
     pub page_releases: u64,
     /// Individual blocks pushed down from the global layer.
     pub block_frees: u64,
+    /// Failed CAS attempts on the lock-free radix lists and per-page
+    /// freelists (contention indicator; zero when single-threaded).
+    pub cas_retries: u64,
 }
 
 impl PageCounts {
     pub(crate) fn read(s: &PageLayerStats) -> PageCounts {
         PageCounts {
+            // Read the retry counter first: retries precede the operation
+            // counters they belong to, so a live sample never shows an
+            // operation whose retries are still missing.
+            cas_retries: s.cas_retries.get(),
             page_acquires: s.page_acquires.get(),
             page_releases: s.page_releases.get(),
             block_frees: s.block_frees.get(),
@@ -450,6 +457,7 @@ impl PageCounts {
             page_acquires: self.page_acquires.saturating_sub(earlier.page_acquires),
             page_releases: self.page_releases.saturating_sub(earlier.page_releases),
             block_frees: self.block_frees.saturating_sub(earlier.block_frees),
+            cas_retries: self.cas_retries.saturating_sub(earlier.cas_retries),
         }
     }
 }
@@ -517,6 +525,11 @@ pub struct KmemSnapshot {
     pub large_allocs: u64,
     /// Large frees.
     pub large_frees: u64,
+    /// Single-page allocations served from the vmblk layer's lock-free
+    /// page cache (no boundary-tag lock taken).
+    pub vmblk_cache_hits: u64,
+    /// Whole pages parked on the vmblk page cache by `free_span`.
+    pub vmblk_cache_puts: u64,
     /// vmblks currently live (gauge; `delta` keeps the later value).
     pub vmblks_live: usize,
     /// Physical frames currently claimed (gauge).
@@ -600,6 +613,12 @@ impl KmemSnapshot {
                 .collect(),
             large_allocs: self.large_allocs.saturating_sub(earlier.large_allocs),
             large_frees: self.large_frees.saturating_sub(earlier.large_frees),
+            vmblk_cache_hits: self
+                .vmblk_cache_hits
+                .saturating_sub(earlier.vmblk_cache_hits),
+            vmblk_cache_puts: self
+                .vmblk_cache_puts
+                .saturating_sub(earlier.vmblk_cache_puts),
             vmblks_live: self.vmblks_live,
             phys_in_use: self.phys_in_use,
             phys_capacity: self.phys_capacity,
@@ -654,6 +673,8 @@ impl KmemSnapshot {
                 .collect(),
             large_allocs: self.large_allocs,
             large_frees: self.large_frees,
+            vmblk_cache_hits: self.vmblk_cache_hits,
+            vmblk_cache_puts: self.vmblk_cache_puts,
             vmblks_live: self.vmblks_live,
             phys_in_use: self.phys_in_use,
             phys_capacity: self.phys_capacity,
@@ -749,16 +770,19 @@ impl KmemSnapshot {
             let _ = write!(
                 out,
                 ",\"page\":{{\"refills\":{},\"page_acquires\":{},\"page_releases\":{},\
-                 \"block_frees\":{}}}}}",
-                p.refills, p.page_acquires, p.page_releases, p.block_frees,
+                 \"block_frees\":{},\"cas_retries\":{}}}}}",
+                p.refills, p.page_acquires, p.page_releases, p.block_frees, p.cas_retries,
             );
         }
         let _ = write!(
             out,
-            "],\"large_allocs\":{},\"large_frees\":{},\"vmblks_live\":{},\"phys_in_use\":{},\
+            "],\"large_allocs\":{},\"large_frees\":{},\"vmblk_cache\":{{\"hits\":{},\
+             \"puts\":{}}},\"vmblks_live\":{},\"phys_in_use\":{},\
              \"phys_capacity\":{},\"pressure\":{{\"level\":{},\"escalations\":",
             self.large_allocs,
             self.large_frees,
+            self.vmblk_cache_hits,
+            self.vmblk_cache_puts,
             self.vmblks_live,
             self.phys_in_use,
             self.phys_capacity,
@@ -894,6 +918,11 @@ impl KmemSnapshot {
                 now.page.block_frees,
                 then.page.block_frees,
             )?;
+            mono(
+                w("page cas_retries"),
+                now.page.cas_retries,
+                then.page.cas_retries,
+            )?;
         }
         mono(
             "large_allocs".into(),
@@ -901,6 +930,16 @@ impl KmemSnapshot {
             earlier.large_allocs,
         )?;
         mono("large_frees".into(), self.large_frees, earlier.large_frees)?;
+        mono(
+            "vmblk_cache_hits".into(),
+            self.vmblk_cache_hits,
+            earlier.vmblk_cache_hits,
+        )?;
+        mono(
+            "vmblk_cache_puts".into(),
+            self.vmblk_cache_puts,
+            earlier.vmblk_cache_puts,
+        )?;
         for i in 0..3 {
             mono(
                 format!("pressure_escalations[{i}]"),
@@ -951,6 +990,8 @@ mod tests {
             }],
             large_allocs: 0,
             large_frees: 0,
+            vmblk_cache_hits: 0,
+            vmblk_cache_puts: 0,
             vmblks_live: 0,
             phys_in_use: 0,
             phys_capacity: 0,

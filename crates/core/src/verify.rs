@@ -20,8 +20,10 @@ use crate::arena::KmemArena;
 ///   *before* pushing, so each CPU can land at most one extra in-flight
 ///   chain past the bound (DESIGN.md §9);
 /// * page layer: every per-page free count matches its freelist length
-///   and lies within `1..=blocks_per_page - 1` for listed pages (fully
-///   free pages must have been released).
+///   and lies within `1..=blocks_per_page` for listed pages (full pages
+///   may stay listed briefly — a deferred coalesce — but are never
+///   double-listed), the sum of per-page free counts equals the layer's
+///   radix-visible total, and no page appears in two buckets.
 ///
 /// # Panics
 ///
@@ -43,13 +45,33 @@ pub fn verify_arena(arena: &KmemArena) {
     }
     for (idx, layer) in inner.pages().iter().enumerate() {
         let bpp = layer.blocks_per_page();
+        let mut listed_pages = 0usize;
+        let mut summed_counts = 0usize;
         layer.for_each_page(|count, listed| {
             assert_eq!(count, listed, "class {idx}: page count != freelist length");
             assert!(
-                count >= 1 && count < bpp,
+                count >= 1 && count <= bpp,
                 "class {idx}: listed page with {count}/{bpp} free blocks"
             );
+            listed_pages += 1;
+            summed_counts += count;
         });
+        // Conservation across the radix lists: the atomic per-page counts
+        // must sum to exactly the layer's free-block total, and every
+        // owned page with free blocks must be listed exactly once (a
+        // double-listed page would inflate both sums; a coalesced page
+        // left behind in a bucket would trip the freelist-length check).
+        let (pages, free_blocks) = layer.usage();
+        assert_eq!(
+            summed_counts, free_blocks,
+            "class {idx}: per-page free counts sum to {summed_counts} but \
+             the layer accounts {free_blocks} free blocks"
+        );
+        assert!(
+            listed_pages <= pages,
+            "class {idx}: {listed_pages} listed pages exceed {pages} owned \
+             (a released page is still listed, or a page is double-listed)"
+        );
     }
     for idx in 0..inner.classes().len() {
         inner.check_cache_bounds(idx);

@@ -25,15 +25,21 @@ use core::ptr::{self, NonNull};
 use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use kmem_smp::{EventCounter, SpinLock};
+use kmem_smp::{faults, EventCounter, Faults, SpinLock};
 use kmem_vm::{KernelSpace, VmError, VmblkRegion, PAGE_SHIFT, PAGE_SIZE};
 
-use crate::pagedesc::{PageDesc, PdKind, PdList, PD_STRIDE};
+use crate::pagedesc::{PageDesc, PdKind, PdList, PdStack, PD_STRIDE};
 
 /// Span lengths with exact-size freelists; longer spans share a first-fit
 /// list. 64 pages = 256 KB covers every multi-page request the benchmarks
 /// make while keeping the list array small.
 const MAX_SEG: usize = 64;
+
+/// Upper bound on pages parked in the lock-free whole-page cache. The page
+/// layer churns single pages far more often than any other span size, so a
+/// small cap absorbs nearly all of the traffic while bounding how much
+/// virtual space sits outside the boundary-tag structure.
+const PAGE_CACHE_CAP: usize = 64;
 
 /// Offset of the descriptor array within a vmblk.
 const PD_OFFSET: usize = {
@@ -142,6 +148,12 @@ pub struct VmblkStats {
     pub span_allocs: EventCounter,
     /// Page spans returned.
     pub span_frees: EventCounter,
+    /// Single-page allocations served by the lock-free page cache
+    /// (no boundary-tag lock taken).
+    pub cache_hits: EventCounter,
+    /// Single-page frees parked on the lock-free page cache
+    /// (no boundary-tag lock taken).
+    pub cache_puts: EventCounter,
 }
 
 struct VmInner {
@@ -161,12 +173,38 @@ pub struct VmblkLayer {
     space: Arc<KernelSpace>,
     inner: SpinLock<VmInner>,
     release_empty: bool,
+    /// Lock-free cache of recently freed whole pages ([`PdKind::Cached`]
+    /// descriptors), fronting the boundary-tag lock. A cached page's
+    /// physical frame is *released* and the page is neither in a span
+    /// freelist nor counted in its header's `free_pages` — which
+    /// guarantees its vmblk can never be released while it is parked.
+    page_cache: PdStack,
+    cache_len: AtomicUsize,
+    cache_enabled: bool,
+    faults: Faults,
     stats: VmblkStats,
 }
 
 impl VmblkLayer {
-    /// Creates an empty layer over `space`.
+    /// Creates an empty layer over `space` (whole-page cache disabled:
+    /// every span operation goes through the boundary-tag lock).
     pub fn new(space: Arc<KernelSpace>, release_empty: bool) -> Self {
+        VmblkLayer::build(space, release_empty, false, Faults::none())
+    }
+
+    /// As [`new`](VmblkLayer::new) with the lock-free whole-page cache
+    /// enabled, wired to a fault-injection plan (consults `vmblk.cache`
+    /// on both the park and reuse directions).
+    pub fn new_with_cache(space: Arc<KernelSpace>, release_empty: bool, faults: Faults) -> Self {
+        VmblkLayer::build(space, release_empty, true, faults)
+    }
+
+    fn build(
+        space: Arc<KernelSpace>,
+        release_empty: bool,
+        cache_enabled: bool,
+        faults: Faults,
+    ) -> Self {
         VmblkLayer {
             space,
             inner: SpinLock::new(VmInner {
@@ -175,6 +213,10 @@ impl VmblkLayer {
                 nvmblks: 0,
             }),
             release_empty,
+            page_cache: PdStack::new(),
+            cache_len: AtomicUsize::new(0),
+            cache_enabled,
+            faults,
             stats: VmblkStats::default(),
         }
     }
@@ -217,8 +259,41 @@ impl VmblkLayer {
 
     /// Allocates a span of `npages` data pages (claiming physical frames),
     /// returning its base address and head descriptor.
+    ///
+    /// Single-page requests are served from the lock-free page cache when
+    /// one is parked there, skipping the boundary-tag lock entirely.
     pub fn alloc_span(&self, npages: usize) -> Result<(NonNull<u8>, &PageDesc), VmError> {
         assert!(npages >= 1);
+        if npages == 1 && self.cache_enabled && !self.faults.hit(faults::VMBLK_CACHE) {
+            let (popped, _) = self.page_cache.pop();
+            if let Some(pd) = popped {
+                self.cache_len.fetch_sub(1, Ordering::Relaxed);
+                // SAFETY: the pop transferred possession of the parked
+                // descriptor to us.
+                let pdr = unsafe { &*pd };
+                debug_assert_eq!(pdr.kind(), PdKind::Cached);
+                match self.space.phys().claim(1) {
+                    Ok(()) => {
+                        pdr.set_kind(PdKind::Unused);
+                        self.stats.cache_hits.inc();
+                        self.stats.span_allocs.inc();
+                        let (hdr, idx, _) = self.locate(pd, 1);
+                        // SAFETY: `hdr` is a live published header (its
+                        // vmblk cannot be released while a page is
+                        // cached).
+                        let addr = unsafe { &*hdr }.data_page(idx);
+                        return Ok((addr, pdr));
+                    }
+                    Err(e) => {
+                        // No frame to back it: park the page again.
+                        self.cache_len.fetch_add(1, Ordering::Relaxed);
+                        // SAFETY: we possess the descriptor.
+                        unsafe { self.page_cache.push(pd) };
+                        return Err(e);
+                    }
+                }
+            }
+        }
         // Claim the frames first: on failure nothing needs undoing, and a
         // span is never visible in an allocated-but-unbacked state.
         self.space.phys().claim(npages)?;
@@ -226,22 +301,35 @@ impl VmblkLayer {
         let found = match self.find_span(&mut inner, npages) {
             Some(found) => found,
             None => {
-                match self.create_vmblk(&mut inner) {
-                    Ok(()) => {}
-                    Err(e) => {
-                        drop(inner);
-                        self.space.phys().release(npages);
-                        return Err(e);
-                    }
-                }
-                match self.find_span(&mut inner, npages) {
+                // Pull parked cache pages back into the boundary-tag
+                // structure before carving a new vmblk: merged, they may
+                // satisfy the request (or free a whole vmblk).
+                let refound = if self.drain_cache_locked(&mut inner) > 0 {
+                    self.find_span(&mut inner, npages)
+                } else {
+                    None
+                };
+                match refound {
                     Some(found) => found,
                     None => {
-                        // Fresh vmblk still too small: the request exceeds
-                        // a vmblk's data capacity.
-                        drop(inner);
-                        self.space.phys().release(npages);
-                        return Err(VmError::OutOfVirtual);
+                        match self.create_vmblk(&mut inner) {
+                            Ok(()) => {}
+                            Err(e) => {
+                                drop(inner);
+                                self.space.phys().release(npages);
+                                return Err(e);
+                            }
+                        }
+                        match self.find_span(&mut inner, npages) {
+                            Some(found) => found,
+                            None => {
+                                // Fresh vmblk still too small: the request
+                                // exceeds a vmblk's data capacity.
+                                drop(inner);
+                                self.space.phys().release(npages);
+                                return Err(VmError::OutOfVirtual);
+                            }
+                        }
                     }
                 }
             }
@@ -276,17 +364,58 @@ impl VmblkLayer {
     /// sub-span the caller split out itself, with consistent accounting),
     /// with no remaining references into it.
     pub unsafe fn free_span(&self, addr: NonNull<u8>, npages: usize) {
-        self.space.phys().release(npages);
-        self.stats.span_frees.inc();
         let hdr = self
             .header_of(addr.as_ptr() as usize)
             .expect("span address not managed by this allocator");
+        let idx = hdr.page_index(addr.as_ptr() as usize);
+        debug_assert!(idx + npages <= hdr.ndata);
+        if npages == 1 && self.cache_enabled && !self.faults.hit(faults::VMBLK_CACHE) {
+            if self.cache_len.fetch_add(1, Ordering::Relaxed) < PAGE_CACHE_CAP {
+                // Park the whole page on the lock-free cache: frame
+                // released, page left outside the span structure (and
+                // outside `free_pages`, so its vmblk stays pinned while
+                // parked).
+                self.stats.span_frees.inc();
+                self.stats.cache_puts.inc();
+                let pd = hdr.pd(idx);
+                // SAFETY: the span is ours per the function contract.
+                unsafe { &*pd }.set_kind(PdKind::Cached);
+                self.space.phys().release(1);
+                // SAFETY: we possess the descriptor until the push
+                // publishes it.
+                unsafe { self.page_cache.push(pd) };
+                return;
+            }
+            // Cap overshoot: undo our reservation, take the locked path.
+            self.cache_len.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.space.phys().release(npages);
+        self.stats.span_frees.inc();
         let hdr_ptr = hdr as *const VmblkHeader as *mut VmblkHeader;
-        let mut idx = hdr.page_index(addr.as_ptr() as usize);
-        let mut len = npages;
-        debug_assert!(idx + len <= hdr.ndata);
-
         let mut inner = self.inner.lock();
+        // SAFETY: lock held; the span is ours per the function contract.
+        unsafe { self.merge_free_locked(&mut inner, hdr_ptr, idx, npages) };
+    }
+
+    /// Merges the free span `[idx, idx + len)` of `hdr` into the
+    /// boundary-tag structure, coalescing with free neighbours, and
+    /// releases the vmblk if it became entirely free. Physical frames are
+    /// NOT touched — callers account for them (the locked free path
+    /// releases them; the cache drain released them at park time).
+    ///
+    /// # Safety
+    ///
+    /// vm lock held; the pages are free, unlisted, and unreferenced.
+    unsafe fn merge_free_locked(
+        &self,
+        inner: &mut VmInner,
+        hdr_ptr: *mut VmblkHeader,
+        mut idx: usize,
+        npages: usize,
+    ) {
+        // SAFETY: `hdr_ptr` is a live published header.
+        let hdr = unsafe { &*hdr_ptr };
+        let mut len = npages;
         // Coalesce forward: does a free span start right after ours?
         if idx + len < hdr.ndata {
             // SAFETY: descriptor of a data page of a live vmblk.
@@ -295,7 +424,7 @@ impl VmblkLayer {
                 // SAFETY: vm lock held.
                 let alen = unsafe { after.inner() }.span_pages as usize;
                 // SAFETY: vm lock held; (idx+len, alen) is a listed span.
-                unsafe { self.remove_free_span(&mut inner, hdr_ptr, idx + len, alen) };
+                unsafe { self.remove_free_span(inner, hdr_ptr, idx + len, alen) };
                 len += alen;
             }
         }
@@ -309,7 +438,7 @@ impl VmblkLayer {
                     let blen = unsafe { before.inner() }.span_pages as usize;
                     let bstart = idx - blen;
                     // SAFETY: vm lock held; (bstart, blen) is a listed span.
-                    unsafe { self.remove_free_span(&mut inner, hdr_ptr, bstart, blen) };
+                    unsafe { self.remove_free_span(inner, hdr_ptr, bstart, blen) };
                     idx = bstart;
                     len += blen;
                 }
@@ -318,7 +447,7 @@ impl VmblkLayer {
                     // SAFETY: vm lock held.
                     debug_assert_eq!(unsafe { before.inner() }.span_pages, 1);
                     // SAFETY: vm lock held; (idx-1, 1) is a listed span.
-                    unsafe { self.remove_free_span(&mut inner, hdr_ptr, idx - 1, 1) };
+                    unsafe { self.remove_free_span(inner, hdr_ptr, idx - 1, 1) };
                     idx -= 1;
                     len += 1;
                 }
@@ -326,13 +455,44 @@ impl VmblkLayer {
             }
         }
         // SAFETY: vm lock held; the merged span is wholly ours.
-        unsafe { self.insert_free_span(&mut inner, hdr_ptr, idx, len) };
+        unsafe { self.insert_free_span(inner, hdr_ptr, idx, len) };
         let now_free = hdr.free_pages.fetch_add(npages, Ordering::Relaxed) + npages;
 
         if self.release_empty && now_free == hdr.ndata {
             // SAFETY: vm lock held; the vmblk is entirely free.
-            unsafe { self.release_vmblk(&mut inner, hdr_ptr) };
+            unsafe { self.release_vmblk(inner, hdr_ptr) };
         }
+    }
+
+    /// Pulls every parked page off the lock-free cache and merges it back
+    /// into the boundary-tag structure (releasing any vmblk that becomes
+    /// entirely free). Returns the number of pages drained.
+    ///
+    /// A vmblk can only become fully free once *all* of its cached pages
+    /// have been drained — parked pages are excluded from `free_pages` —
+    /// so a popped descriptor's header is always still live here.
+    fn drain_cache_locked(&self, inner: &mut VmInner) -> usize {
+        let mut drained = 0;
+        while let (Some(pd), _) = self.page_cache.pop() {
+            self.cache_len.fetch_sub(1, Ordering::Relaxed);
+            drained += 1;
+            // SAFETY: the pop transferred possession to us.
+            let pdr = unsafe { &*pd };
+            debug_assert_eq!(pdr.kind(), PdKind::Cached);
+            pdr.set_kind(PdKind::Unused);
+            let (hdr, idx, _) = self.locate(pd, 1);
+            // SAFETY: lock held; the parked page is free and unlisted.
+            // Its frame was released at park time, so no phys accounting.
+            unsafe { self.merge_free_locked(inner, hdr, idx, 1) };
+        }
+        drained
+    }
+
+    /// Drains the whole-page cache into the span structure — the reclaim
+    /// hook for arena teardown and memory-pressure response.
+    pub fn drain_page_cache(&self) {
+        let mut inner = self.inner.lock();
+        self.drain_cache_locked(&mut inner);
     }
 
     /// Allocates a block larger than the largest size class: a dedicated
@@ -430,11 +590,18 @@ impl VmblkLayer {
             let hdr = unsafe { &*cur };
             let mut idx = 0;
             let mut free_here = 0;
+            let mut cached_here = 0;
             while idx < hdr.ndata {
                 // SAFETY: descriptor of a data page of a live vmblk.
                 let pd = unsafe { &*hdr.pd(idx) };
                 match pd.kind() {
                     PdKind::BlockPage => idx += 1,
+                    PdKind::Cached => {
+                        // Parked on the page cache: frame released, page
+                        // outside the span structure and `free_pages`.
+                        cached_here += 1;
+                        idx += 1;
+                    }
                     PdKind::Large => {
                         // SAFETY: vm lock held.
                         let l = unsafe { pd.inner() }.span_pages as usize;
@@ -482,7 +649,7 @@ impl VmblkLayer {
             }
             assert_eq!(free_here, hdr.free_pages(), "free-page count drifted");
             walked_free += free_here;
-            expected_phys += hdr.header_pages + hdr.ndata - free_here;
+            expected_phys += hdr.header_pages + hdr.ndata - free_here - cached_here;
             cur = hdr.next.load(Ordering::Relaxed);
         }
         // Span lists account for exactly the walked free pages.
@@ -858,6 +1025,106 @@ mod tests {
         // And the retained vmblk is reused, not leaked.
         let (_b, _) = l.alloc_span(2).unwrap();
         assert_eq!(l.nvmblks(), 1);
+    }
+
+    fn cached_layer(faults: Faults) -> VmblkLayer {
+        let space = Arc::new(KernelSpace::new(
+            SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(256),
+        ));
+        VmblkLayer::new_with_cache(space, true, faults)
+    }
+
+    #[test]
+    fn page_cache_parks_and_reuses_whole_pages() {
+        let l = cached_layer(Faults::none());
+        let (a, _) = l.alloc_span(1).unwrap();
+        // SAFETY: span just allocated, unreferenced.
+        unsafe { l.free_span(a, 1) };
+        // Parked, not merged: the vmblk stays pinned (header frame only),
+        // the data frame is already back in the pool.
+        assert_eq!(l.nvmblks(), 1);
+        assert_eq!(l.space().phys().in_use(), 1);
+        assert_eq!(l.stats().cache_puts.get(), 1);
+        l.verify();
+        // The next single-page request is served straight from the cache.
+        let (b, _) = l.alloc_span(1).unwrap();
+        assert_eq!(b, a);
+        assert_eq!(l.stats().cache_hits.get(), 1);
+        // SAFETY: span just allocated, unreferenced.
+        unsafe { l.free_span(b, 1) };
+        l.drain_page_cache();
+        // Drained: the page merges back, the vmblk becomes entirely free
+        // and is released.
+        assert_eq!(l.nvmblks(), 0);
+        assert_eq!(l.space().phys().in_use(), 0);
+        l.verify();
+    }
+
+    #[test]
+    fn span_request_drains_cache_into_merge_path() {
+        let l = cached_layer(Faults::none());
+        let (a, _) = l.alloc_span(1).unwrap();
+        let (b, _) = l.alloc_span(1).unwrap();
+        let (c, _) = l.alloc_span(1).unwrap();
+        // SAFETY: spans just allocated, unreferenced.
+        unsafe {
+            l.free_span(a, 1);
+            l.free_span(b, 1);
+            l.free_span(c, 1);
+        }
+        // All three pages parked: no free span anywhere.
+        assert_eq!(l.stats().cache_puts.get(), 3);
+        assert_eq!(l.free_span_pages(), 0);
+        // A multi-page request cannot hit the cache; the slow path drains
+        // the parked pages back into the boundary-tag structure, where
+        // they coalesce, before carving a new vmblk.
+        let d = l.alloc_large(2 * PAGE_SIZE).unwrap();
+        l.verify();
+        // SAFETY: block just allocated, unreferenced.
+        unsafe { l.free_large(d) };
+        l.drain_page_cache();
+        assert_eq!(l.nvmblks(), 0);
+        assert_eq!(l.space().phys().in_use(), 0);
+    }
+
+    #[test]
+    fn vmblk_cache_fault_covers_put_and_get_paths() {
+        let faults = Faults::with_plan();
+        let plan = Arc::clone(faults.plan().unwrap());
+        let l = cached_layer(faults);
+        plan.set(
+            kmem_smp::faults::VMBLK_CACHE,
+            kmem_smp::FailPolicy::Script(vec![false, false, true, true, false, false]),
+        );
+        let (a, _) = l.alloc_span(1).unwrap(); // consult 1: cache empty anyway
+                                               // SAFETY: span just allocated, unreferenced.
+        unsafe { l.free_span(a, 1) }; // consult 2: parked
+        assert_eq!(l.stats().cache_puts.get(), 1);
+        // Fault on the get: the parked page is ignored, the boundary-tag
+        // path serves a different page of the same vmblk.
+        let (b, _) = l.alloc_span(1).unwrap(); // consult 3: FIRE
+        assert_ne!(b, a);
+        assert_eq!(l.stats().cache_hits.get(), 0);
+        // Fault on the put: the free takes the locked merge path.
+        // SAFETY: span just allocated, unreferenced.
+        unsafe { l.free_span(b, 1) }; // consult 4: FIRE
+        assert_eq!(l.stats().cache_puts.get(), 1);
+        l.verify();
+        // Faults exhausted: the cache works again end to end.
+        let (c, _) = l.alloc_span(1).unwrap(); // consult 5: cache hit
+        assert_eq!(c, a);
+        assert_eq!(l.stats().cache_hits.get(), 1);
+        // SAFETY: span just allocated, unreferenced.
+        unsafe { l.free_span(c, 1) }; // consult 6: parked
+        let st = plan
+            .site_stats()
+            .into_iter()
+            .find(|s| s.site == kmem_smp::faults::VMBLK_CACHE)
+            .unwrap();
+        assert_eq!((st.hits, st.fired), (6, 2));
+        l.drain_page_cache();
+        assert_eq!(l.space().phys().in_use(), 0);
+        l.verify();
     }
 
     #[test]

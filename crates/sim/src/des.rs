@@ -150,6 +150,9 @@ impl Simulator {
             ProbeEvent::LineWrite { line } => {
                 now + self.coherence.access(vcpu, line, AccessKind::Write).cycles
             }
+            ProbeEvent::LineRmw { line } => {
+                now + self.coherence.access(vcpu, line, AccessKind::Rmw).cycles
+            }
             ProbeEvent::LockAcquire { lock } => {
                 let free_at = self.locks.get(&lock).copied().unwrap_or(0);
                 let start = if free_at > now {

@@ -20,7 +20,7 @@
 //! per CPU) makes unreachable in practice.
 //!
 //! The primitive emits [`probe`] events ([`ProbeEvent::LineRead`] on
-//! load, [`ProbeEvent::LineWrite`] on each CAS attempt) so the
+//! load, [`ProbeEvent::LineRmw`] on each CAS or fetch-add attempt) so the
 //! discrete-event simulator in `kmem-sim` can price the cache-line
 //! traffic of lock-free contention exactly as it prices spinlock
 //! hand-offs.
@@ -59,10 +59,24 @@ impl TaggedPtr {
         }
     }
 
+    fn pack_value(value: u64, tag: u16) -> TaggedPtr {
+        debug_assert_eq!(value & !PTR_MASK, 0, "value exceeds {PTR_BITS} bits");
+        TaggedPtr {
+            raw: (u64::from(tag) << PTR_BITS) | (value & PTR_MASK),
+        }
+    }
+
     /// The pointer half.
     #[inline]
     pub fn ptr(self) -> *mut u8 {
         (self.raw & PTR_MASK) as usize as *mut u8
+    }
+
+    /// The low 48 bits as a plain value, for [`TaggedAtomic`] words that
+    /// carry a packed bitfield (counts, flags) instead of a pointer.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.raw & PTR_MASK
     }
 
     /// The generation tag half.
@@ -117,7 +131,7 @@ impl TaggedAtomic {
         current: TaggedPtr,
         new: *mut u8,
     ) -> Result<TaggedPtr, TaggedPtr> {
-        probe::emit(ProbeEvent::LineWrite {
+        probe::emit(ProbeEvent::LineRmw {
             line: probe::line_of(self),
         });
         let next = TaggedPtr::pack(new, current.tag().wrapping_add(1));
@@ -125,6 +139,56 @@ impl TaggedAtomic {
             .compare_exchange(current.raw, next.raw, Ordering::AcqRel, Ordering::Acquire)
             .map(|_| next)
             .map_err(|raw| TaggedPtr { raw })
+    }
+
+    /// Attempts to replace `current` with the 48-bit `value`, incrementing
+    /// the generation tag — [`compare_exchange`] for words that carry a
+    /// packed bitfield instead of a pointer.
+    ///
+    /// [`compare_exchange`]: TaggedAtomic::compare_exchange
+    #[inline]
+    pub fn compare_exchange_value(
+        &self,
+        current: TaggedPtr,
+        value: u64,
+    ) -> Result<TaggedPtr, TaggedPtr> {
+        probe::emit(ProbeEvent::LineRmw {
+            line: probe::line_of(self),
+        });
+        let next = TaggedPtr::pack_value(value, current.tag().wrapping_add(1));
+        self.word
+            .compare_exchange(current.raw, next.raw, Ordering::AcqRel, Ordering::Acquire)
+            .map(|_| next)
+            .map_err(|raw| TaggedPtr { raw })
+    }
+
+    /// Adds `delta` to the 48-bit value half and increments the generation
+    /// tag in **one** atomic read-modify-write, returning the *previous*
+    /// `(value, tag)` pair.
+    ///
+    /// This is the fetch-style helper the coalesce-to-page layer's atomic
+    /// free counts need: a freeing CPU bumps a page's packed free count
+    /// without a CAS loop, while the tag bump keeps every concurrent
+    /// [`compare_exchange_value`] honest — any interleaved `fetch_count_add`
+    /// changes the tag, so a CAS armed with a pre-add snapshot fails and
+    /// re-reads. The caller must guarantee the value half cannot overflow
+    /// into the tag bits (page free counts are bounded by blocks-per-page,
+    /// far below 2⁴⁸).
+    ///
+    /// AcqRel: the returned snapshot observes prior writes (a freeing CPU's
+    /// block push), and the add publishes the caller's earlier stores.
+    ///
+    /// [`compare_exchange_value`]: TaggedAtomic::compare_exchange_value
+    #[inline]
+    pub fn fetch_count_add(&self, delta: u64) -> TaggedPtr {
+        probe::emit(ProbeEvent::LineRmw {
+            line: probe::line_of(self),
+        });
+        debug_assert_eq!(delta & !PTR_MASK, 0, "delta exceeds {PTR_BITS} bits");
+        let add = (delta & PTR_MASK) | (1 << PTR_BITS);
+        TaggedPtr {
+            raw: self.word.fetch_add(add, Ordering::AcqRel),
+        }
     }
 }
 
@@ -187,11 +251,77 @@ mod tests {
         let line = probe::line_of(&head);
         assert_eq!(
             ev,
-            vec![
-                ProbeEvent::LineRead { line },
-                ProbeEvent::LineWrite { line },
-            ]
+            vec![ProbeEvent::LineRead { line }, ProbeEvent::LineRmw { line },]
         );
+    }
+
+    #[test]
+    fn value_words_round_trip_and_tag_on_exchange() {
+        let word = TaggedAtomic::null();
+        let cur = word.load();
+        assert_eq!(cur.value(), 0);
+        let installed = word.compare_exchange_value(cur, 0x1234_5678).unwrap();
+        assert_eq!(installed.value(), 0x1234_5678);
+        assert_eq!(installed.tag(), 1);
+        // Stale snapshot fails on the tag even with a matching value.
+        assert!(word.compare_exchange_value(cur, 0x1234_5678).is_err());
+    }
+
+    #[test]
+    fn fetch_count_add_returns_previous_and_bumps_tag() {
+        let word = TaggedAtomic::null();
+        let before = word.fetch_count_add(3);
+        assert_eq!(before.value(), 0);
+        assert_eq!(before.tag(), 0);
+        let after = word.load();
+        assert_eq!(after.value(), 3);
+        assert_eq!(after.tag(), 1);
+        word.fetch_count_add(1 << 16); // a packed upper bitfield
+        let after = word.load();
+        assert_eq!(after.value(), 3 | (1 << 16));
+        assert_eq!(after.tag(), 2);
+    }
+
+    #[test]
+    fn fetch_count_add_defeats_cas_over_unchanged_value() {
+        // The ABA shape for packed counts: value returns to its old bits
+        // but the tag has moved, so a stale CAS must fail.
+        let word = TaggedAtomic::null();
+        let snap = word.load();
+        word.fetch_count_add(1);
+        let up = word.load();
+        // Subtract via CAS (the reserve path): value back to 0.
+        word.compare_exchange_value(up, 0).unwrap();
+        assert_eq!(word.load().value(), snap.value());
+        let err = word.compare_exchange_value(snap, 7).unwrap_err();
+        assert_eq!(err.tag(), 2, "two ops moved the generation twice");
+    }
+
+    #[test]
+    fn fetch_count_add_is_one_priced_rmw() {
+        let word = TaggedAtomic::null();
+        let ((), ev) = probe::record(|| {
+            word.fetch_count_add(1);
+        });
+        let line = probe::line_of(&word);
+        assert_eq!(ev, vec![ProbeEvent::LineRmw { line }]);
+    }
+
+    #[test]
+    fn concurrent_count_adds_never_lose_increments() {
+        let word = TaggedAtomic::null();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        word.fetch_count_add(1);
+                    }
+                });
+            }
+        });
+        let end = word.load();
+        assert_eq!(end.value(), 40_000);
+        assert_eq!(end.tag(), (40_000u64 % (1 << TAG_BITS)) as u16);
     }
 
     /// A full Treiber stack of type-stable nodes under real threads:

@@ -29,6 +29,10 @@ pub enum ProbeEvent {
     LineRead { line: usize },
     /// A store to a potentially-shared cache line.
     LineWrite { line: usize },
+    /// An atomic read-modify-write (CAS attempt, fetch-add) on a
+    /// potentially-shared cache line — a line acquisition plus the
+    /// interlocked-cycle stall, distinct from a plain store.
+    LineRmw { line: usize },
     /// Plain CPU work of roughly `cycles` cycles touching no shared lines.
     Work { cycles: u64 },
 }

@@ -58,4 +58,17 @@ for t in 2 4 8; do
         --test global_contention
 done
 
+echo "==> page-layer contention regression (thread sweep, faults on)"
+# The lock-free page & vmblk stack under real threads: chain rings churn
+# the tagged radix lists while periodic full drains force coalesce-to-page
+# and whole-page-cache traffic, with the page.get / page.coalesce /
+# vmblk.cache failpoints armed. Conservation and recovery are asserted
+# inside the tests.
+for t in 2 4 8; do
+    echo "    KMEM_PAGE_THREADS=$t"
+    KMEM_TORTURE_FAULTS=1 KMEM_PAGE_THREADS="$t" \
+        cargo test -q --release --offline -p kmem-testkit \
+        --test page_contention
+done
+
 echo "==> OK: all tier-1 checks passed"

@@ -50,4 +50,8 @@ echo "==> global contention bench (threaded ping-pong, writes BENCH_global.json)
 cargo bench -q --offline -p kmem-bench --features bench-ext \
     --bench global_contention
 
+echo "==> page contention bench (wall + simulated SMP, writes BENCH_page.json)"
+cargo bench -q --offline -p kmem-bench --features bench-ext \
+    --bench page_contention
+
 echo "==> OK: $rounds soak rounds passed"
