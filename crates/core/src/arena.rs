@@ -12,7 +12,8 @@ use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use kmem_smp::{
-    faults, CachePadded, ClaimError, CpuClaim, CpuId, CpuRegistry, EventCounter, Faults, PerCpu,
+    faults, CachePadded, ClaimError, CpuClaim, CpuId, CpuRegistry, EventCounter, Faults, NodeId,
+    PerCpu, Topology,
 };
 use kmem_vm::{KernelSpace, PAGE_SIZE};
 
@@ -27,7 +28,9 @@ use crate::pagelayer::PageLayer;
 use crate::percpu::{CacheStats, CpuCache};
 use crate::pressure::PressureLadder;
 use crate::sizeclass::SizeClasses;
-use crate::snapshot::{CacheCounts, ClassSnapshot, GlobalCounts, KmemSnapshot, PageCounts};
+use crate::snapshot::{
+    CacheCounts, ClassSnapshot, GlobalCounts, KmemSnapshot, NodeCounts, PageCounts,
+};
 use crate::stats::KmemStats;
 use crate::vmblklayer::VmblkLayer;
 
@@ -61,12 +64,31 @@ pub(crate) struct CpuSlot {
 // all access single-threaded in practice. The atomic flag is safe to share.
 unsafe impl Sync for CpuSlot {}
 
+/// Per-node refill/spill attribution (arena-wide, not per class): how a
+/// node's CPUs refilled their caches and how much their shards spilled to
+/// the shared page layer. Gauges come from the shards themselves.
+pub(crate) struct NodeStats {
+    /// Refill chains taken from this node's own shard.
+    pub(crate) local_refills: EventCounter,
+    /// Refill chains stolen from a remote node's shard.
+    pub(crate) stolen_refills: EventCounter,
+    /// Blocks spilled from this node's shards down to the (shared)
+    /// coalesce-to-page layer — each one a frame-locality loss.
+    pub(crate) remote_spills: EventCounter,
+}
+
 pub(crate) struct ArenaInner {
     id: u64,
     classes: SizeClasses,
     space: Arc<KernelSpace>,
     vm: VmblkLayer,
+    /// CPU → node map; `Topology::single` when `nodes == 1`.
+    topology: Topology,
+    /// Global pools, one *shard* per (class, node) in node-minor order:
+    /// `globals[class * nnodes + node]`. With one node this is exactly the
+    /// old one-pool-per-class layout.
     globals: Box<[CachePadded<GlobalPool>]>,
+    node_stats: Box<[NodeStats]>,
     pages: Box<[CachePadded<PageLayer>]>,
     slots: PerCpu<CpuSlot>,
     registry: Arc<CpuRegistry>,
@@ -118,22 +140,36 @@ impl KmemArena {
     pub fn new(config: KmemConfig) -> Result<KmemArena, AllocError> {
         config.validate();
         let faults = config.faults.clone();
-        let space = Arc::new(KernelSpace::new_with_faults(config.space, faults.clone()));
+        let topology = config.topology();
+        // The physical pool is sharded exactly like the global layer, so
+        // the arena's node count overrides whatever the space config says.
+        let space = Arc::new(KernelSpace::new_with_faults(
+            config.space.nodes(config.nodes),
+            faults.clone(),
+        ));
         let vm = VmblkLayer::new_with_cache(
             Arc::clone(&space),
             config.release_empty_vmblks,
             faults.clone(),
         );
         let max_large = vm.max_span_pages() * PAGE_SIZE;
-        let globals = config
-            .classes
-            .iter()
-            .map(|c| {
-                CachePadded::new(GlobalPool::new_with_faults(
+        let nnodes = topology.nnodes();
+        let mut globals = Vec::with_capacity(config.classes.len() * nnodes);
+        for c in &config.classes {
+            for _ in 0..nnodes {
+                globals.push(CachePadded::new(GlobalPool::new_with_faults(
                     c.target,
                     c.gbltarget,
                     faults.clone(),
-                ))
+                )));
+            }
+        }
+        let globals = globals.into_boxed_slice();
+        let node_stats = (0..nnodes)
+            .map(|_| NodeStats {
+                local_refills: EventCounter::new(),
+                stolen_refills: EventCounter::new(),
+                remote_spills: EventCounter::new(),
             })
             .collect();
         let pages = config
@@ -170,7 +206,9 @@ impl KmemArena {
                 classes,
                 space,
                 vm,
+                topology,
                 globals,
+                node_stats,
                 pages,
                 slots,
                 registry,
@@ -194,6 +232,16 @@ impl KmemArena {
         self.inner.classes.len()
     }
 
+    /// The CPU/node topology the arena was built with.
+    pub fn topology(&self) -> &Topology {
+        self.inner.topology()
+    }
+
+    /// Number of NUMA nodes (global-pool and physical-pool shards).
+    pub fn nnodes(&self) -> usize {
+        self.inner.nnodes()
+    }
+
     /// Registers the calling context as the lowest-numbered free CPU.
     pub fn register_cpu(&self) -> Result<CpuHandle, ClaimError> {
         let claim = self.inner.registry.claim_any()?;
@@ -207,8 +255,10 @@ impl KmemArena {
     }
 
     fn handle(&self, claim: CpuClaim) -> CpuHandle {
+        let cpu = claim.cpu();
         CpuHandle {
-            cpu: claim.cpu(),
+            cpu,
+            node: self.inner.topology.node_of(cpu),
             claim,
             inner: Arc::clone(&self.inner),
             _not_sync: PhantomData,
@@ -296,14 +346,31 @@ impl KmemArena {
                     per_cpu: inner
                         .slots
                         .collect(|_, slot| CacheCounts::read(&slot.stats[idx])),
-                    global: GlobalCounts::read(inner.globals[idx].stats()),
+                    global: GlobalCounts::read_merged(
+                        inner.shards(idx).iter().map(|pool| pool.stats()),
+                    ),
                     page: PageCounts::read(inner.pages[idx].stats()),
+                }
+            })
+            .collect();
+        let nodes = (0..inner.nnodes())
+            .map(|n| {
+                let node = NodeId::new(n);
+                let stats = &inner.node_stats[n];
+                NodeCounts {
+                    shard_blocks: (0..inner.classes.len())
+                        .map(|class| inner.shard(class, node).len())
+                        .sum(),
+                    local_refills: stats.local_refills.get(),
+                    stolen_refills: stats.stolen_refills.get(),
+                    remote_spills: stats.remote_spills.get(),
                 }
             })
             .collect();
         let (fault_hits, fault_fired) = inner.faults.totals();
         KmemSnapshot {
             classes,
+            nodes,
             large_allocs: inner.large_allocs.get(),
             large_frees: inner.large_frees.get(),
             vmblk_cache_hits: inner.vm.stats().cache_hits.get(),
@@ -337,20 +404,48 @@ impl ArenaInner {
         &self.classes
     }
 
-    /// Drains every global pool through the coalescing layers (rung 3 of
+    pub(crate) fn nnodes(&self) -> usize {
+        self.topology.nnodes()
+    }
+
+    pub(crate) fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The global-pool shard for (`class`, `node`).
+    #[inline]
+    pub(crate) fn shard(&self, class: usize, node: NodeId) -> &GlobalPool {
+        &self.globals[class * self.nnodes() + node.index()]
+    }
+
+    /// All of `class`'s shards, node-minor.
+    #[inline]
+    pub(crate) fn shards(&self, class: usize) -> &[CachePadded<GlobalPool>] {
+        let nn = self.nnodes();
+        &self.globals[class * nn..(class + 1) * nn]
+    }
+
+    /// Total blocks in the global layer for `class`, summed over shards.
+    pub(crate) fn global_blocks(&self, class: usize) -> usize {
+        self.shards(class).iter().map(|pool| pool.len()).sum()
+    }
+
+    /// Drains every global shard through the coalescing layers (rung 3 of
     /// the pressure ladder, and [`KmemArena::reclaim`]).
     fn reclaim_all(&self) {
-        for (idx, pool) in self.globals.iter().enumerate() {
-            let chain = pool.drain_all();
-            if !chain.is_empty() {
-                // SAFETY: drained blocks are free blocks of class `idx`.
-                unsafe {
-                    self.pages[idx].free_chain(&self.vm, chain);
+        for class in 0..self.classes.len() {
+            for pool in self.shards(class) {
+                let chain = pool.drain_all();
+                if !chain.is_empty() {
+                    // SAFETY: drained blocks are free blocks of `class`.
+                    unsafe {
+                        self.pages[class].free_chain(&self.vm, chain);
+                    }
                 }
             }
             // Settle fault-deferred (or freshly drained-to-full) pages so
             // idle memory actually leaves the page layer.
-            self.pages[idx].flush_full_pages(&self.vm);
+            self.pages[class].flush_full_pages(&self.vm);
         }
         // And un-park the whole-page cache so empty vmblks can release.
         self.vm.drain_page_cache();
@@ -409,6 +504,9 @@ pub struct CpuHandle {
     #[expect(dead_code)] // Held for its `Drop`: releases the CPU claim.
     claim: CpuClaim,
     cpu: CpuId,
+    /// This CPU's home node under the arena topology, cached so the
+    /// refill and spill paths never recompute the mapping.
+    node: NodeId,
     /// `Cell` suppresses `Sync` while leaving the handle `Send`.
     _not_sync: PhantomData<core::cell::Cell<()>>,
 }
@@ -418,6 +516,12 @@ impl CpuHandle {
     #[inline]
     pub fn cpu(&self) -> CpuId {
         self.cpu
+    }
+
+    /// This handle's home NUMA node.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
     }
 
     /// The arena this handle allocates from.
@@ -566,18 +670,44 @@ impl CpuHandle {
         Ok(unsafe { NonNull::new_unchecked(block) })
     }
 
-    /// One pass down the refill ladder: the global layer first, then the
+    /// One pass down the refill ladder: this node's global shard first,
+    /// then a steal from the most-loaded remote shard, then the
     /// coalesce-to-page layer — each behind its failpoint, so injected
     /// faults exercise every fall-through combination.
     fn take_chain(&self, class: usize, target: usize) -> Option<Chain> {
-        // The pool consults `faults::GLOBAL_GET` itself, on both its CAS
-        // fast path and its locked slow path, and the page layer consults
-        // `faults::PAGE_GET` on both its pop path and its vmblk slow path.
-        self.inner.globals[class].get_chain().or_else(|| {
-            self.inner.pages[class]
-                .alloc_chain(&self.inner.vm, target)
-                .ok()
-        })
+        let inner = &*self.inner;
+        let node_stats = &inner.node_stats[self.node.index()];
+        // The shard consults `faults::GLOBAL_GET` itself, on both its CAS
+        // fast path and its locked slow path.
+        if let Some(chain) = inner.shard(class, self.node).get_chain() {
+            node_stats.local_refills.inc();
+            return Some(chain);
+        }
+        // Work-stealing overflow: pick the remote shard with the most
+        // blocks (a racy read — the steal itself is a single tag-CAS, so a
+        // stale choice costs at worst one extra miss, never correctness)
+        // and take one whole target-sized chain from it.
+        if inner.nnodes() > 1 && !inner.faults.hit(faults::GLOBAL_STEAL) {
+            let shards = inner.shards(class);
+            let victim = shards
+                .iter()
+                .enumerate()
+                .filter(|&(n, _)| n != self.node.index())
+                .map(|(n, pool)| (pool.len(), n))
+                .max()
+                .filter(|&(len, _)| len > 0);
+            if let Some((_, n)) = victim {
+                if let Some(chain) = shards[n].steal_chain() {
+                    node_stats.stolen_refills.inc();
+                    return Some(chain);
+                }
+            }
+        }
+        // The page layer consults `faults::PAGE_GET` on both its pop path
+        // and its vmblk slow path.
+        inner.pages[class]
+            .alloc_chain_on(&inner.vm, target, self.node)
+            .ok()
     }
 
     /// Escalates the pressure ladder after a failed backend allocation and
@@ -601,14 +731,16 @@ impl CpuHandle {
                     self.request_drain();
                 }
                 2 => {
-                    // Rung 2: trim every global pool to `gbltarget` so the
-                    // page layer can coalesce and release frames.
+                    // Rung 2: trim every global shard to `gbltarget` so
+                    // the page layer can coalesce and release frames.
+                    let nn = self.inner.nnodes();
                     for (idx, pool) in self.inner.globals.iter().enumerate() {
                         if let Some(spill) = pool.spill_to(pool.gbltarget()) {
+                            let class = idx / nn;
                             // SAFETY: spilled blocks are free blocks of
-                            // class `idx`.
+                            // `class` (shards are node-minor per class).
                             unsafe {
-                                self.inner.pages[idx].free_chain(&self.inner.vm, spill);
+                                self.inner.pages[class].free_chain(&self.inner.vm, spill);
                             }
                         }
                     }
@@ -640,7 +772,7 @@ impl CpuHandle {
     #[cold]
     fn alloc_class_slow(&self, class: usize, size: usize) -> Result<*mut u8, AllocError> {
         let stats = &self.inner.slots.get(self.cpu).stats[class];
-        let target = self.inner.globals[class].target();
+        let target = self.inner.shard(class, self.node).target();
         let chain = match self.take_chain(class, target) {
             Some(chain) => chain,
             None => {
@@ -693,7 +825,7 @@ impl CpuHandle {
                 max: self.inner.max_large,
             });
         }
-        match self.inner.vm.alloc_large(size) {
+        match self.inner.vm.alloc_large_on(size, self.node) {
             Ok(p) => {
                 self.inner.large_allocs.inc();
                 self.relax_pressure();
@@ -703,7 +835,7 @@ impl CpuHandle {
                 self.escalate_pressure();
                 self.inner
                     .vm
-                    .alloc_large(size)
+                    .alloc_large_on(size, self.node)
                     .inspect(|_| self.inner.large_allocs.inc())
                     .map_err(|_| AllocError::OutOfMemory { requested: size })
             }
@@ -804,17 +936,19 @@ impl CpuHandle {
         }
     }
 
-    /// Hands an overflow chain to the global layer, cascading any spill
-    /// into the coalesce-to-page layer.
+    /// Hands an overflow chain to this node's global shard, cascading any
+    /// spill into the (shared) coalesce-to-page layer.
     #[cold]
     fn return_chain(&self, class: usize, chain: Chain) {
-        let pool = &self.inner.globals[class];
+        let pool = self.inner.shard(class, self.node);
+        let node_stats = &self.inner.node_stats[self.node.index()];
         let spill = if chain.len() == pool.target() {
             pool.put_chain(chain)
         } else {
             pool.put_odd(chain)
         };
         if let Some(spill) = spill {
+            node_stats.remote_spills.add(spill.len() as u64);
             // SAFETY: spilled blocks are free blocks of this class.
             unsafe {
                 self.inner.pages[class].free_chain(&self.inner.vm, spill);
@@ -826,6 +960,7 @@ impl CpuHandle {
             // trim to `gbltarget`, driving the spill/coalesce path at
             // arbitrary points in the schedule.
             if let Some(forced) = pool.spill_to(pool.gbltarget()) {
+                node_stats.remote_spills.add(forced.len() as u64);
                 // SAFETY: spilled blocks are free blocks of this class.
                 unsafe {
                     self.inner.pages[class].free_chain(&self.inner.vm, forced);

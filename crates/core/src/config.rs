@@ -1,6 +1,6 @@
 //! Allocator configuration and the paper's parameter heuristics.
 
-use kmem_smp::Faults;
+use kmem_smp::{Faults, NodeMapping, Topology, MAX_NODES};
 use kmem_vm::{SpaceConfig, PAGE_SIZE};
 
 use crate::pressure::PressureConfig;
@@ -47,6 +47,13 @@ impl ClassConfig {
 pub struct KmemConfig {
     /// Number of virtual CPUs (per-CPU cache sets).
     pub ncpus: usize,
+    /// Number of NUMA nodes. Every global pool is sharded per node, the
+    /// physical pool is split per node, and frames record a home node.
+    /// The default of 1 is the paper's flat Symmetry machine: one shard
+    /// per class, one physical pool — byte-for-byte the pre-NUMA layout.
+    pub nodes: usize,
+    /// How CPU indices map onto nodes (ignored when `nodes == 1`).
+    pub node_mapping: NodeMapping,
     /// Virtual-memory substrate configuration.
     pub space: SpaceConfig,
     /// Size classes, ascending by size.
@@ -82,6 +89,8 @@ impl KmemConfig {
             .collect();
         KmemConfig {
             ncpus,
+            nodes: 1,
+            node_mapping: NodeMapping::Block,
             space,
             classes,
             radix_pages: true,
@@ -96,6 +105,23 @@ impl KmemConfig {
     /// 4 CPUs, 16 MB of space, 256 KB vmblks.
     pub fn small() -> Self {
         KmemConfig::new(4, SpaceConfig::new(16 << 20).vmblk_shift(18))
+    }
+
+    /// Spreads the arena over `nodes` NUMA nodes (block CPU mapping).
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Overrides how CPU indices map onto nodes.
+    pub fn node_mapping(mut self, mapping: NodeMapping) -> Self {
+        self.node_mapping = mapping;
+        self
+    }
+
+    /// The CPU/node topology this configuration describes.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.nodes, self.ncpus, self.node_mapping)
     }
 
     /// Overrides the `target`/`gbltarget` of the class matching `size`.
@@ -138,6 +164,11 @@ impl KmemConfig {
     /// below 1) — configurations are developer input, not runtime data.
     pub fn validate(&self) {
         assert!(self.ncpus >= 1, "need at least one CPU");
+        assert!(
+            (1..=MAX_NODES).contains(&self.nodes),
+            "node count must be between 1 and MAX_NODES"
+        );
+        assert!(self.ncpus >= self.nodes, "every node needs a CPU");
         assert!(!self.classes.is_empty(), "need at least one size class");
         let mut prev = 0;
         for c in &self.classes {
@@ -198,6 +229,23 @@ mod tests {
         let c = cfg.classes.iter().find(|c| c.size == 64).unwrap();
         assert_eq!((c.target, c.gbltarget), (7, 21));
         cfg.validate();
+    }
+
+    #[test]
+    fn node_knobs_default_to_the_flat_machine() {
+        let cfg = KmemConfig::small();
+        assert_eq!(cfg.nodes, 1);
+        assert_eq!(cfg.topology().nnodes(), 1);
+        let cfg = cfg.nodes(2);
+        cfg.validate();
+        assert_eq!(cfg.topology().nnodes(), 2);
+        assert_eq!(cfg.topology().ncpus(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "every node needs a CPU")]
+    fn validate_rejects_more_nodes_than_cpus() {
+        KmemConfig::small().nodes(8).validate();
     }
 
     #[test]

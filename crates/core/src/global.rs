@@ -373,6 +373,20 @@ impl GlobalPool {
         self.get_slow()
     }
 
+    /// Work-stealing get against a *remote* node's shard: pops one ready
+    /// `target`-sized chain with the same single tag-CAS as the local
+    /// fast path, but never falls through to the locked bucket path — a
+    /// thief takes only what is cheap to take and leaves the victim's
+    /// slow-path structures alone. Counted as a fast get so the
+    /// `get = get_fast + get_slow` partition (and the derived
+    /// `get_chain_hits`) stays exact; the *thief's* arena attributes the
+    /// refill to stealing in its per-node stats.
+    pub fn steal_chain(&self) -> Option<Chain> {
+        let chain = self.pop_stack()?;
+        self.stats.get_fast.inc();
+        Some(chain)
+    }
+
     /// The locked get path: retry the stack under the lock, then serve
     /// (possibly short) from the bucket list.
     #[cold]

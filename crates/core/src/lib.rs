@@ -82,7 +82,9 @@ pub use error::AllocError;
 pub use kmem_smp::{faults, FailPolicy, FaultPlan, Faults};
 pub use object::{KBox, Obj, ObjectCache};
 pub use pressure::PressureConfig;
-pub use snapshot::{CacheCounts, ClassSnapshot, GlobalCounts, KmemSnapshot, PageCounts};
+pub use snapshot::{
+    CacheCounts, ClassSnapshot, GlobalCounts, KmemSnapshot, NodeCounts, PageCounts,
+};
 pub use stats::{ClassStats, KmemStats, LayerCounts};
 
 /// Number of size classes in the paper's default configuration

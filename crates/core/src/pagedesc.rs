@@ -20,7 +20,7 @@ use core::cell::UnsafeCell;
 use core::ptr;
 use core::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
 
-use kmem_smp::TaggedAtomic;
+use kmem_smp::{NodeId, TaggedAtomic};
 
 /// Role of a page, stored in its descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +94,11 @@ impl PdInner {
 pub struct PageDesc {
     kind: AtomicU8,
     class: AtomicU8,
+    /// Home NUMA node of the physical frame currently (or last) backing
+    /// this page — written by the vmblk layer when a span's frames are
+    /// claimed, read lock-free wherever node-local placement matters.
+    /// Fits the descriptor's existing padding, so `PD_STRIDE` is unchanged.
+    home: AtomicU8,
     /// Block pages, lock-free layer state: a packed
     /// `(free count | bucket | LISTED | OWNED)` word with a generation
     /// tag (see `pagelayer`'s `PageState`). Written with
@@ -133,6 +138,7 @@ impl PageDesc {
             slot.write(PageDesc {
                 kind: AtomicU8::new(PdKind::Unused as u8),
                 class: AtomicU8::new(0),
+                home: AtomicU8::new(0),
                 state: TaggedAtomic::null(),
                 afree: TaggedAtomic::null(),
                 anext: AtomicPtr::new(ptr::null_mut()),
@@ -176,6 +182,19 @@ impl PageDesc {
     pub fn set_class(&self, class: usize) {
         debug_assert!(class <= usize::from(u8::MAX));
         self.class.store(class as u8, Ordering::Release);
+    }
+
+    /// Home node of the frame backing this page (lock-free).
+    #[inline]
+    pub fn home_node(&self) -> NodeId {
+        NodeId::new(usize::from(self.home.load(Ordering::Acquire)))
+    }
+
+    /// Records the home node of the frame backing this page.
+    #[inline]
+    pub fn set_home_node(&self, node: NodeId) {
+        debug_assert!(node.index() <= usize::from(u8::MAX));
+        self.home.store(node.index() as u8, Ordering::Release);
     }
 
     /// Grants access to the layer-owned state.

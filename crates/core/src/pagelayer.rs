@@ -51,7 +51,7 @@
 use core::ptr;
 use core::sync::atomic::{AtomicUsize, Ordering};
 
-use kmem_smp::{faults, EventCounter, Faults, TaggedPtr};
+use kmem_smp::{faults, EventCounter, Faults, NodeId, TaggedPtr};
 use kmem_vm::{VmError, PAGE_SIZE};
 
 use crate::block;
@@ -185,6 +185,20 @@ impl PageLayer {
     /// has a free block. Returns a possibly short chain under memory
     /// pressure, or the error when not a single block could be produced.
     pub fn alloc_chain(&self, vm: &VmblkLayer, want: usize) -> Result<Chain, VmError> {
+        self.alloc_chain_on(vm, want, NodeId::new(0))
+    }
+
+    /// As [`PageLayer::alloc_chain`], preferring node `preferred` when a
+    /// fresh page must be taken from the vmblk layer. The radix buckets
+    /// themselves are node-blind: a block already carved is served from
+    /// wherever it sits (draining pages beats placement), so the
+    /// preference only steers *new* frames.
+    pub fn alloc_chain_on(
+        &self,
+        vm: &VmblkLayer,
+        want: usize,
+        preferred: NodeId,
+    ) -> Result<Chain, VmError> {
         if self.faults.hit(faults::PAGE_GET) {
             // Injected refill failure on the common (lock-free) path.
             return Err(VmError::OutOfPhysical {
@@ -197,7 +211,7 @@ impl PageLayer {
         while chain.len() < want {
             let pd = match self.pop_page() {
                 Some(pd) => pd,
-                None => match self.acquire_page(vm) {
+                None => match self.acquire_page(vm, preferred) {
                     Ok(pd) => pd,
                     Err(_) if !chain.is_empty() => break, // low memory: short chain
                     Err(e) => return Err(e),
@@ -633,9 +647,10 @@ impl PageLayer {
         }
     }
 
-    /// Takes one fresh page from the vmblk layer, carves it into blocks
-    /// and returns it possessed (OWNED, all blocks on `afree`).
-    fn acquire_page(&self, vm: &VmblkLayer) -> Result<*mut PageDesc, VmError> {
+    /// Takes one fresh page from the vmblk layer (preferring frames homed
+    /// on `preferred`), carves it into blocks and returns it possessed
+    /// (OWNED, all blocks on `afree`).
+    fn acquire_page(&self, vm: &VmblkLayer, preferred: NodeId) -> Result<*mut PageDesc, VmError> {
         if self.faults.hit(faults::PAGE_GET) {
             // Injected refill failure on the slow (vmblk) path.
             return Err(VmError::OutOfPhysical {
@@ -643,7 +658,7 @@ impl PageLayer {
                 available: 0,
             });
         }
-        let (page, pd) = vm.alloc_span(1)?;
+        let (page, pd) = vm.alloc_span_on(1, preferred)?;
         self.stats.page_acquires.inc();
         let base = page.as_ptr();
         pd.set_class(self.class);

@@ -288,6 +288,39 @@ pub struct GlobalCounts {
 }
 
 impl GlobalCounts {
+    /// Sweeps one class's shards (one per node) into a single merged view,
+    /// so per-class global counters keep their pre-NUMA meaning. Each
+    /// shard is swept with the order guarantees of [`GlobalCounts::read`],
+    /// and every derived partition (`get = get_fast + get_slow`, …) is a
+    /// sum of per-shard equalities, so it survives the merge.
+    pub(crate) fn read_merged<'a>(shards: impl Iterator<Item = &'a GlobalStats>) -> GlobalCounts {
+        let mut total = GlobalCounts::default();
+        for s in shards {
+            total.merge(&GlobalCounts::read(s));
+        }
+        total
+    }
+
+    /// Field-wise accumulation (summing shards or classes).
+    pub fn merge(&mut self, other: &GlobalCounts) {
+        self.get += other.get;
+        self.get_fast += other.get_fast;
+        self.get_slow += other.get_slow;
+        self.get_chain_hits += other.get_chain_hits;
+        self.get_bucket_hits += other.get_bucket_hits;
+        self.get_short += other.get_short;
+        self.get_short_deficit += other.get_short_deficit;
+        self.get_miss += other.get_miss;
+        self.put += other.put;
+        self.put_fast += other.put_fast;
+        self.put_slow += other.put_slow;
+        self.put_odd += other.put_odd;
+        self.put_miss += other.put_miss;
+        self.pressure_spills += other.pressure_spills;
+        self.spill_blocks += other.spill_blocks;
+        self.cas_retries += other.cas_retries;
+    }
+
     pub(crate) fn read(s: &GlobalStats) -> GlobalCounts {
         // Slow-path outcome details before the slow-entry counters that
         // bound them (reverse of the writers' order), as for
@@ -420,6 +453,34 @@ impl GlobalCounts {
     }
 }
 
+/// Per-node rollup: how one NUMA node's CPUs interacted with the sharded
+/// global layer, plus the node's current shard occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounts {
+    /// Blocks currently held by this node's shards, summed over classes
+    /// (gauge; `delta` keeps the later value).
+    pub shard_blocks: usize,
+    /// Refill chains this node's CPUs took from their own shard.
+    pub local_refills: u64,
+    /// Refill chains this node's CPUs stole from a remote shard.
+    pub stolen_refills: u64,
+    /// Blocks this node's CPUs spilled past the global layer to the
+    /// (shared) coalesce-to-page layer — frames that may come back remote.
+    pub remote_spills: u64,
+}
+
+impl NodeCounts {
+    /// Events between `earlier` and `self`; the gauge keeps `self`.
+    pub fn delta(&self, earlier: &NodeCounts) -> NodeCounts {
+        NodeCounts {
+            shard_blocks: self.shard_blocks,
+            local_refills: self.local_refills.saturating_sub(earlier.local_refills),
+            stolen_refills: self.stolen_refills.saturating_sub(earlier.stolen_refills),
+            remote_spills: self.remote_spills.saturating_sub(earlier.remote_spills),
+        }
+    }
+}
+
 /// Coalesce-to-page counters for one class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PageCounts {
@@ -521,6 +582,9 @@ impl ClassSnapshot {
 pub struct KmemSnapshot {
     /// One entry per size class, ascending by block size.
     pub classes: Vec<ClassSnapshot>,
+    /// One entry per NUMA node, indexed by node number (a single entry on
+    /// the default flat topology).
+    pub nodes: Vec<NodeCounts>,
     /// Large (multi-page) allocations served by the vmblk layer.
     pub large_allocs: u64,
     /// Large frees.
@@ -609,6 +673,12 @@ impl KmemSnapshot {
                 .classes
                 .iter()
                 .zip(&earlier.classes)
+                .map(|(now, then)| now.delta(then))
+                .collect(),
+            nodes: self
+                .nodes
+                .iter()
+                .zip(&earlier.nodes)
                 .map(|(now, then)| now.delta(then))
                 .collect(),
             large_allocs: self.large_allocs.saturating_sub(earlier.large_allocs),
@@ -774,6 +844,18 @@ impl KmemSnapshot {
                 p.refills, p.page_acquires, p.page_releases, p.block_frees, p.cas_retries,
             );
         }
+        out.push_str("],\"nodes\":[");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"shard_blocks\":{},\"local_refills\":{},\"stolen_refills\":{},\
+                 \"remote_spills\":{}}}",
+                n.shard_blocks, n.local_refills, n.stolen_refills, n.remote_spills,
+            );
+        }
         let _ = write!(
             out,
             "],\"large_allocs\":{},\"large_frees\":{},\"vmblk_cache\":{{\"hits\":{},\
@@ -924,6 +1006,12 @@ impl KmemSnapshot {
                 then.page.cas_retries,
             )?;
         }
+        for (node, (now, then)) in self.nodes.iter().zip(&earlier.nodes).enumerate() {
+            let w = |f: &str| format!("node {node} {f}");
+            mono(w("local_refills"), now.local_refills, then.local_refills)?;
+            mono(w("stolen_refills"), now.stolen_refills, then.stolen_refills)?;
+            mono(w("remote_spills"), now.remote_spills, then.remote_spills)?;
+        }
         mono(
             "large_allocs".into(),
             self.large_allocs,
@@ -988,6 +1076,7 @@ mod tests {
                 global: GlobalCounts::default(),
                 page: PageCounts::default(),
             }],
+            nodes: vec![NodeCounts::default()],
             large_allocs: 0,
             large_frees: 0,
             vmblk_cache_hits: 0,
@@ -1091,6 +1180,10 @@ mod tests {
         assert!(json.contains("\"alloc\":10,"));
         assert!(json.contains("\"pressure\":{\"level\":2,\"escalations\":[3,2,1]"));
         assert!(json.contains("\"faults\":{\"hits\":7,\"fired\":2}"));
+        assert!(json.contains(
+            "\"nodes\":[{\"shard_blocks\":0,\"local_refills\":0,\
+             \"stolen_refills\":0,\"remote_spills\":0}]"
+        ));
         assert!(json.contains("\"sleep_retries\":0"));
         assert!(json.contains("\"pressure_spills\":0"));
         assert!(json.contains("\"get_fast\":0"));

@@ -93,7 +93,7 @@ pub fn verify_conservation(arena: &KmemArena, user_held: &[usize]) {
     for (idx, &held) in user_held.iter().enumerate() {
         let layer = &inner.pages()[idx];
         let (pages, page_free) = layer.usage();
-        let global = inner.globals()[idx].len();
+        let global = inner.global_blocks(idx);
         let cached = inner.cached_blocks(idx);
         let capacity = pages * layer.blocks_per_page();
         assert_eq!(

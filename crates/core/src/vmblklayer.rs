@@ -25,7 +25,7 @@ use core::ptr::{self, NonNull};
 use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use kmem_smp::{faults, EventCounter, Faults, SpinLock};
+use kmem_smp::{faults, EventCounter, Faults, NodeId, SpinLock};
 use kmem_vm::{KernelSpace, VmError, VmblkRegion, PAGE_SHIFT, PAGE_SIZE};
 
 use crate::pagedesc::{PageDesc, PdKind, PdList, PdStack, PD_STRIDE};
@@ -35,10 +35,12 @@ use crate::pagedesc::{PageDesc, PdKind, PdList, PdStack, PD_STRIDE};
 /// make while keeping the list array small.
 const MAX_SEG: usize = 64;
 
-/// Upper bound on pages parked in the lock-free whole-page cache. The page
-/// layer churns single pages far more often than any other span size, so a
-/// small cap absorbs nearly all of the traffic while bounding how much
-/// virtual space sits outside the boundary-tag structure.
+/// Upper bound on pages parked in each node's lock-free whole-page cache.
+/// The page layer churns single pages far more often than any other span
+/// size, so a small cap absorbs nearly all of the traffic while bounding
+/// how much virtual space sits outside the boundary-tag structure. The
+/// cache is sharded by home node: a parked page waits on its frame's
+/// node's stack, so a node-local request reuses a node-local frame.
 const PAGE_CACHE_CAP: usize = 64;
 
 /// Offset of the descriptor array within a vmblk.
@@ -57,6 +59,9 @@ pub struct VmblkHeader {
     region: VmblkRegion,
     header_pages: usize,
     ndata: usize,
+    /// Home node of the header frames (written once at creation; data
+    /// pages record their own homes in their descriptors).
+    home: NodeId,
     free_pages: AtomicUsize,
     next: AtomicPtr<VmblkHeader>,
 }
@@ -65,6 +70,11 @@ impl VmblkHeader {
     /// Number of data pages in this vmblk.
     pub fn ndata(&self) -> usize {
         self.ndata
+    }
+
+    /// Home node of this vmblk's header frames.
+    pub fn home(&self) -> NodeId {
+        self.home
     }
 
     /// Currently free data pages.
@@ -173,13 +183,14 @@ pub struct VmblkLayer {
     space: Arc<KernelSpace>,
     inner: SpinLock<VmInner>,
     release_empty: bool,
-    /// Lock-free cache of recently freed whole pages ([`PdKind::Cached`]
-    /// descriptors), fronting the boundary-tag lock. A cached page's
-    /// physical frame is *released* and the page is neither in a span
-    /// freelist nor counted in its header's `free_pages` — which
-    /// guarantees its vmblk can never be released while it is parked.
-    page_cache: PdStack,
-    cache_len: AtomicUsize,
+    /// Lock-free caches of recently freed whole pages ([`PdKind::Cached`]
+    /// descriptors), fronting the boundary-tag lock — one per NUMA node,
+    /// keyed by the parked page's home node. A cached page's physical
+    /// frame is *released* and the page is neither in a span freelist nor
+    /// counted in its header's `free_pages` — which guarantees its vmblk
+    /// can never be released while it is parked.
+    page_cache: Box<[PdStack]>,
+    cache_len: Box<[AtomicUsize]>,
     cache_enabled: bool,
     faults: Faults,
     stats: VmblkStats,
@@ -205,6 +216,7 @@ impl VmblkLayer {
         cache_enabled: bool,
         faults: Faults,
     ) -> Self {
+        let nnodes = space.phys().nnodes();
         VmblkLayer {
             space,
             inner: SpinLock::new(VmInner {
@@ -213,8 +225,8 @@ impl VmblkLayer {
                 nvmblks: 0,
             }),
             release_empty,
-            page_cache: PdStack::new(),
-            cache_len: AtomicUsize::new(0),
+            page_cache: (0..nnodes).map(|_| PdStack::new()).collect(),
+            cache_len: (0..nnodes).map(|_| AtomicUsize::new(0)).collect(),
             cache_enabled,
             faults,
             stats: VmblkStats::default(),
@@ -263,17 +275,31 @@ impl VmblkLayer {
     /// Single-page requests are served from the lock-free page cache when
     /// one is parked there, skipping the boundary-tag lock entirely.
     pub fn alloc_span(&self, npages: usize) -> Result<(NonNull<u8>, &PageDesc), VmError> {
+        self.alloc_span_on(npages, NodeId::new(0))
+    }
+
+    /// As [`VmblkLayer::alloc_span`], preferring physical frames homed on
+    /// node `preferred`. A claim never splits across nodes: the whole span
+    /// is backed by one node (falling back in wrap-around order when the
+    /// preferred node is exhausted), and that node is recorded as the home
+    /// of every page of the span.
+    pub fn alloc_span_on(
+        &self,
+        npages: usize,
+        preferred: NodeId,
+    ) -> Result<(NonNull<u8>, &PageDesc), VmError> {
         assert!(npages >= 1);
         if npages == 1 && self.cache_enabled && !self.faults.hit(faults::VMBLK_CACHE) {
-            let (popped, _) = self.page_cache.pop();
-            if let Some(pd) = popped {
-                self.cache_len.fetch_sub(1, Ordering::Relaxed);
+            if let Some(pd) = self.pop_cached(preferred) {
                 // SAFETY: the pop transferred possession of the parked
                 // descriptor to us.
                 let pdr = unsafe { &*pd };
                 debug_assert_eq!(pdr.kind(), PdKind::Cached);
-                match self.space.phys().claim(1) {
-                    Ok(()) => {
+                // Re-back the page on its own home node when possible, so
+                // the cache hit keeps the frame where the page came from.
+                match self.space.phys().claim_on(pdr.home_node(), 1) {
+                    Ok(node) => {
+                        pdr.set_home_node(node);
                         pdr.set_kind(PdKind::Unused);
                         self.stats.cache_hits.inc();
                         self.stats.span_allocs.inc();
@@ -286,9 +312,10 @@ impl VmblkLayer {
                     }
                     Err(e) => {
                         // No frame to back it: park the page again.
-                        self.cache_len.fetch_add(1, Ordering::Relaxed);
+                        let home = pdr.home_node().index();
+                        self.cache_len[home].fetch_add(1, Ordering::Relaxed);
                         // SAFETY: we possess the descriptor.
-                        unsafe { self.page_cache.push(pd) };
+                        unsafe { self.page_cache[home].push(pd) };
                         return Err(e);
                     }
                 }
@@ -296,7 +323,7 @@ impl VmblkLayer {
         }
         // Claim the frames first: on failure nothing needs undoing, and a
         // span is never visible in an allocated-but-unbacked state.
-        self.space.phys().claim(npages)?;
+        let node = self.space.phys().claim_on(preferred, npages)?;
         let mut inner = self.inner.lock();
         let found = match self.find_span(&mut inner, npages) {
             Some(found) => found,
@@ -312,11 +339,11 @@ impl VmblkLayer {
                 match refound {
                     Some(found) => found,
                     None => {
-                        match self.create_vmblk(&mut inner) {
+                        match self.create_vmblk(&mut inner, preferred) {
                             Ok(()) => {}
                             Err(e) => {
                                 drop(inner);
-                                self.space.phys().release(npages);
+                                self.space.phys().release_on(node, npages);
                                 return Err(e);
                             }
                         }
@@ -326,7 +353,7 @@ impl VmblkLayer {
                                 // Fresh vmblk still too small: the request
                                 // exceeds a vmblk's data capacity.
                                 drop(inner);
-                                self.space.phys().release(npages);
+                                self.space.phys().release_on(node, npages);
                                 return Err(VmError::OutOfVirtual);
                             }
                         }
@@ -345,6 +372,13 @@ impl VmblkLayer {
         // SAFETY: `hdr` is a live published header.
         let hdr_ref = unsafe { &*hdr };
         hdr_ref.free_pages.fetch_sub(npages, Ordering::Relaxed);
+        // Every page of the span records its frame's home, so any
+        // sub-span the caller splits out later still frees to the right
+        // node.
+        for i in idx..idx + npages {
+            // SAFETY: `pd` points into the live header area.
+            unsafe { &*hdr_ref.pd(i) }.set_home_node(node);
+        }
         self.stats.span_allocs.inc();
         let addr = hdr_ref.data_addr(idx);
         // SAFETY: data addresses are non-null (interior of a reservation).
@@ -352,6 +386,21 @@ impl VmblkLayer {
         // SAFETY: `pd` points into the live header area.
         let pd = unsafe { &*hdr_ref.pd(idx) };
         Ok((nn, pd))
+    }
+
+    /// Pops one parked page, preferring `preferred`'s cache and falling
+    /// back to the other nodes' caches in wrap-around order.
+    fn pop_cached(&self, preferred: NodeId) -> Option<*mut PageDesc> {
+        let nn = self.page_cache.len();
+        for k in 0..nn {
+            let i = (preferred.index() + k) % nn;
+            let (popped, _) = self.page_cache[i].pop();
+            if let Some(pd) = popped {
+                self.cache_len[i].fetch_sub(1, Ordering::Relaxed);
+                return Some(pd);
+            }
+        }
+        None
     }
 
     /// Frees a span of `npages` starting at `addr`, coalescing with free
@@ -369,27 +418,31 @@ impl VmblkLayer {
             .expect("span address not managed by this allocator");
         let idx = hdr.page_index(addr.as_ptr() as usize);
         debug_assert!(idx + npages <= hdr.ndata);
+        // The span's frames all live on the node its head descriptor
+        // records (claims never split across nodes).
+        // SAFETY: the span is ours per the function contract.
+        let home = unsafe { &*hdr.pd(idx) }.home_node();
         if npages == 1 && self.cache_enabled && !self.faults.hit(faults::VMBLK_CACHE) {
-            if self.cache_len.fetch_add(1, Ordering::Relaxed) < PAGE_CACHE_CAP {
-                // Park the whole page on the lock-free cache: frame
-                // released, page left outside the span structure (and
-                // outside `free_pages`, so its vmblk stays pinned while
-                // parked).
+            if self.cache_len[home.index()].fetch_add(1, Ordering::Relaxed) < PAGE_CACHE_CAP {
+                // Park the whole page on its home node's lock-free cache:
+                // frame released, page left outside the span structure
+                // (and outside `free_pages`, so its vmblk stays pinned
+                // while parked).
                 self.stats.span_frees.inc();
                 self.stats.cache_puts.inc();
                 let pd = hdr.pd(idx);
                 // SAFETY: the span is ours per the function contract.
                 unsafe { &*pd }.set_kind(PdKind::Cached);
-                self.space.phys().release(1);
+                self.space.phys().release_on(home, 1);
                 // SAFETY: we possess the descriptor until the push
                 // publishes it.
-                unsafe { self.page_cache.push(pd) };
+                unsafe { self.page_cache[home.index()].push(pd) };
                 return;
             }
             // Cap overshoot: undo our reservation, take the locked path.
-            self.cache_len.fetch_sub(1, Ordering::Relaxed);
+            self.cache_len[home.index()].fetch_sub(1, Ordering::Relaxed);
         }
-        self.space.phys().release(npages);
+        self.space.phys().release_on(home, npages);
         self.stats.span_frees.inc();
         let hdr_ptr = hdr as *const VmblkHeader as *mut VmblkHeader;
         let mut inner = self.inner.lock();
@@ -473,17 +526,20 @@ impl VmblkLayer {
     /// so a popped descriptor's header is always still live here.
     fn drain_cache_locked(&self, inner: &mut VmInner) -> usize {
         let mut drained = 0;
-        while let (Some(pd), _) = self.page_cache.pop() {
-            self.cache_len.fetch_sub(1, Ordering::Relaxed);
-            drained += 1;
-            // SAFETY: the pop transferred possession to us.
-            let pdr = unsafe { &*pd };
-            debug_assert_eq!(pdr.kind(), PdKind::Cached);
-            pdr.set_kind(PdKind::Unused);
-            let (hdr, idx, _) = self.locate(pd, 1);
-            // SAFETY: lock held; the parked page is free and unlisted.
-            // Its frame was released at park time, so no phys accounting.
-            unsafe { self.merge_free_locked(inner, hdr, idx, 1) };
+        for (cache, len) in self.page_cache.iter().zip(self.cache_len.iter()) {
+            while let (Some(pd), _) = cache.pop() {
+                len.fetch_sub(1, Ordering::Relaxed);
+                drained += 1;
+                // SAFETY: the pop transferred possession to us.
+                let pdr = unsafe { &*pd };
+                debug_assert_eq!(pdr.kind(), PdKind::Cached);
+                pdr.set_kind(PdKind::Unused);
+                let (hdr, idx, _) = self.locate(pd, 1);
+                // SAFETY: lock held; the parked page is free and unlisted.
+                // Its frame was released at park time, so no phys
+                // accounting.
+                unsafe { self.merge_free_locked(inner, hdr, idx, 1) };
+            }
         }
         drained
     }
@@ -500,8 +556,14 @@ impl VmblkLayer {
     /// paper ("requests for blocks of memory larger than one page bypass
     /// layers 1 through 3").
     pub fn alloc_large(&self, bytes: usize) -> Result<NonNull<u8>, VmError> {
+        self.alloc_large_on(bytes, NodeId::new(0))
+    }
+
+    /// As [`VmblkLayer::alloc_large`], preferring frames homed on
+    /// `preferred`.
+    pub fn alloc_large_on(&self, bytes: usize, preferred: NodeId) -> Result<NonNull<u8>, VmError> {
         let npages = bytes.div_ceil(PAGE_SIZE);
-        let (addr, pd) = self.alloc_span(npages)?;
+        let (addr, pd) = self.alloc_span_on(npages, preferred)?;
         // SAFETY: we own the span; vm lock not required for a page no
         // other layer can see yet.
         unsafe { pd.inner() }.span_pages = npages as u32;
@@ -776,16 +838,20 @@ impl VmblkLayer {
         }
     }
 
-    /// Carves, initializes, and publishes a new vmblk; its whole data area
-    /// becomes one free span.
-    fn create_vmblk(&self, inner: &mut VmInner) -> Result<(), VmError> {
+    /// Carves, initializes, and publishes a new vmblk (header frames
+    /// preferring node `preferred`); its whole data area becomes one free
+    /// span.
+    fn create_vmblk(&self, inner: &mut VmInner, preferred: NodeId) -> Result<(), VmError> {
         let region = self.space.alloc_vmblk()?;
         let total_pages = region.size() >> PAGE_SHIFT;
         let (header_pages, ndata) = geometry(total_pages);
-        if let Err(e) = self.space.phys().claim(header_pages) {
-            self.space.free_vmblk(region);
-            return Err(e);
-        }
+        let home = match self.space.phys().claim_on(preferred, header_pages) {
+            Ok(node) => node,
+            Err(e) => {
+                self.space.free_vmblk(region);
+                return Err(e);
+            }
+        };
         let base = region.base().as_ptr();
         // SAFETY: the region is ours; the header fits in the header pages.
         unsafe {
@@ -793,6 +859,7 @@ impl VmblkLayer {
                 region,
                 header_pages,
                 ndata,
+                home,
                 free_pages: AtomicUsize::new(ndata),
                 next: AtomicPtr::new(inner.vmblks),
             });
@@ -823,6 +890,7 @@ impl VmblkLayer {
         let hdr_ref = unsafe { &*hdr };
         let region = hdr_ref.region;
         let header_pages = hdr_ref.header_pages;
+        let home = hdr_ref.home;
         let ndata = hdr_ref.ndata;
         // SAFETY: vm lock held; the vmblk-wide span is listed per contract.
         unsafe { self.remove_free_span(inner, hdr, 0, ndata) };
@@ -840,7 +908,7 @@ impl VmblkLayer {
         }
         inner.nvmblks -= 1;
         self.stats.vmblks_released.inc();
-        self.space.phys().release(header_pages);
+        self.space.phys().release_on(home, header_pages);
         self.space.free_vmblk(region);
     }
 }
@@ -1122,6 +1190,66 @@ mod tests {
             .find(|s| s.site == kmem_smp::faults::VMBLK_CACHE)
             .unwrap();
         assert_eq!((st.hits, st.fired), (6, 2));
+        l.drain_page_cache();
+        assert_eq!(l.space().phys().in_use(), 0);
+        l.verify();
+    }
+
+    #[test]
+    fn node_preference_places_and_returns_frames_on_the_home_node() {
+        let space = Arc::new(KernelSpace::new(
+            SpaceConfig::new(1 << 20)
+                .vmblk_shift(14)
+                .phys_pages(256)
+                .nodes(2),
+        ));
+        let l = VmblkLayer::new(space, true);
+        let one = NodeId::new(1);
+        let (a, pd) = l.alloc_span_on(1, one).unwrap();
+        assert_eq!(pd.home_node(), one);
+        // Header and data frames both landed on the preferred node.
+        assert_eq!(l.space().phys().node(one).in_use(), 2);
+        assert_eq!(l.space().phys().node(NodeId::new(0)).in_use(), 0);
+        // SAFETY: span just allocated, unreferenced.
+        unsafe { l.free_span(a, 1) };
+        // Release went back to the same node: both shards read zero.
+        assert_eq!(l.space().phys().in_use(), 0);
+        assert_eq!(l.space().phys().node(one).in_use(), 0);
+    }
+
+    #[test]
+    fn page_cache_is_sharded_by_home_node() {
+        let space = Arc::new(KernelSpace::new(
+            SpaceConfig::new(1 << 20)
+                .vmblk_shift(14)
+                .phys_pages(256)
+                .nodes(2),
+        ));
+        let l = VmblkLayer::new_with_cache(space, true, Faults::none());
+        let (n0, n1) = (NodeId::new(0), NodeId::new(1));
+        let (a, pda) = l.alloc_span_on(1, n0).unwrap();
+        let (b, pdb) = l.alloc_span_on(1, n1).unwrap();
+        assert_eq!(pda.home_node(), n0);
+        assert_eq!(pdb.home_node(), n1);
+        // SAFETY: spans just allocated, unreferenced.
+        unsafe {
+            l.free_span(a, 1);
+            l.free_span(b, 1);
+        }
+        assert_eq!(l.stats().cache_puts.get(), 2);
+        // A node-1 request takes the page parked on node 1's cache...
+        let (c, pdc) = l.alloc_span_on(1, n1).unwrap();
+        assert_eq!(c, b);
+        assert_eq!(pdc.home_node(), n1);
+        // ...and with that cache empty, the node-0 page is the fallback.
+        let (d, _) = l.alloc_span_on(1, n1).unwrap();
+        assert_eq!(d, a);
+        assert_eq!(l.stats().cache_hits.get(), 2);
+        // SAFETY: spans just allocated, unreferenced.
+        unsafe {
+            l.free_span(c, 1);
+            l.free_span(d, 1);
+        }
         l.drain_page_cache();
         assert_eq!(l.space().phys().in_use(), 0);
         l.verify();

@@ -37,6 +37,11 @@ pub struct CostModel {
     pub miss_memory: u64,
     /// Miss satisfied by snooping a peer cache's modified line.
     pub miss_remote: u64,
+    /// As `miss_remote`, but the peer sits on a *different NUMA node*:
+    /// the line crosses the interconnect, not just the local bus. Only
+    /// reachable when the directory is built with a CPU→node map
+    /// ([`Coherence::new_with_nodes`]); flat directories never charge it.
+    pub miss_remote_node: u64,
     /// Extra stall for an atomic RMW, on top of the line acquisition.
     pub rmw_stall: u64,
     /// Bus bandwidth stolen by each CPU spinning on a contended lock,
@@ -56,6 +61,7 @@ impl Default for CostModel {
             hit: 2,
             miss_memory: 50,
             miss_remote: 90,
+            miss_remote_node: 150,
             rmw_stall: 20,
             spin_bus_factor: 0.025,
         }
@@ -86,23 +92,36 @@ pub struct Access {
 pub struct Coherence {
     cost: CostModel,
     lines: HashMap<usize, LineState>,
+    /// CPU index → node index; empty means "flat" (everything node 0).
+    node_of: Vec<usize>,
     /// Total accesses priced.
     pub accesses: u64,
     /// Off-chip accesses (misses of either kind).
     pub misses: u64,
     /// Peer-cache transfers.
     pub remote_transfers: u64,
+    /// Peer-cache transfers that crossed a node boundary (a subset of
+    /// `remote_transfers`).
+    pub remote_node_transfers: u64,
 }
 
 impl Coherence {
     /// Creates an empty directory with the given cost model.
     pub fn new(cost: CostModel) -> Self {
+        Coherence::new_with_nodes(cost, Vec::new())
+    }
+
+    /// Creates a directory that knows which node each CPU sits on, so
+    /// dirty transfers between nodes are priced at `miss_remote_node`.
+    pub fn new_with_nodes(cost: CostModel, node_of: Vec<usize>) -> Self {
         Coherence {
             cost,
             lines: HashMap::new(),
+            node_of,
             accesses: 0,
             misses: 0,
             remote_transfers: 0,
+            remote_node_transfers: 0,
         }
     }
 
@@ -111,11 +130,23 @@ impl Coherence {
         self.cost
     }
 
+    /// Cost of pulling a modified line out of `owner`'s cache into
+    /// `cpu`'s, and whether the transfer crossed a node boundary.
+    fn transfer_cost(&self, cpu: usize, owner: usize) -> (u64, bool) {
+        let node = |i: usize| self.node_of.get(i).copied().unwrap_or(0);
+        if node(cpu) != node(owner) {
+            (self.cost.miss_remote_node, true)
+        } else {
+            (self.cost.miss_remote, false)
+        }
+    }
+
     /// Prices one access by `cpu` to `line`.
     pub fn access(&mut self, cpu: usize, line: usize, kind: AccessKind) -> Access {
         debug_assert!(cpu < 64, "cpu index too large for the sharer mask");
         self.accesses += 1;
         let bit = 1u64 << cpu;
+        let mut cross_node = false;
         let (cycles, off_chip, remote, newstate) = match (self.lines.get(&line), kind) {
             // Read hits.
             (Some(LineState::Modified(owner)), AccessKind::Read) if *owner == cpu => {
@@ -126,12 +157,11 @@ impl Coherence {
             }
             // Read from a peer's modified line: remote transfer, both end
             // up sharing.
-            (Some(LineState::Modified(owner)), AccessKind::Read) => (
-                self.cost.miss_remote,
-                true,
-                true,
-                LineState::Shared(bit | (1 << *owner)),
-            ),
+            (Some(LineState::Modified(owner)), AccessKind::Read) => {
+                let (cost, cross) = self.transfer_cost(cpu, *owner);
+                cross_node = cross;
+                (cost, true, true, LineState::Shared(bit | (1 << *owner)))
+            }
             // Read miss to memory; join the sharers.
             (Some(LineState::Shared(set)), AccessKind::Read) => (
                 self.cost.miss_memory,
@@ -156,18 +186,15 @@ impl Coherence {
                     LineState::Modified(cpu),
                 )
             }
-            (Some(LineState::Modified(_)), _) => {
+            (Some(LineState::Modified(owner)), _) => {
                 let stall = if kind == AccessKind::Rmw {
                     self.cost.rmw_stall
                 } else {
                     0
                 };
-                (
-                    self.cost.miss_remote + stall,
-                    true,
-                    true,
-                    LineState::Modified(cpu),
-                )
+                let (cost, cross) = self.transfer_cost(cpu, *owner);
+                cross_node = cross;
+                (cost + stall, true, true, LineState::Modified(cpu))
             }
             (Some(LineState::Shared(set)), _) => {
                 let stall = if kind == AccessKind::Rmw {
@@ -213,6 +240,9 @@ impl Coherence {
         }
         if remote {
             self.remote_transfers += 1;
+        }
+        if cross_node {
+            self.remote_node_transfers += 1;
         }
         Access {
             cycles,
@@ -281,6 +311,27 @@ mod tests {
         }
         assert_eq!(total, 100 * c.cost_model().hit);
         assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn cross_node_transfers_cost_more_than_local_ones() {
+        // CPUs 0,1 on node 0; CPUs 2,3 on node 1.
+        let mut c = Coherence::new_with_nodes(CostModel::default(), vec![0, 0, 1, 1]);
+        c.access(0, 5, AccessKind::Write);
+        // Same-node pull: ordinary remote price, no node transfer counted.
+        let local = c.access(1, 5, AccessKind::Write);
+        assert_eq!(local.cycles, c.cost_model().miss_remote);
+        assert_eq!(c.remote_node_transfers, 0);
+        // Cross-node pull: interconnect price, counted.
+        let far = c.access(2, 5, AccessKind::Write);
+        assert_eq!(far.cycles, c.cost_model().miss_remote_node);
+        assert_eq!(c.remote_node_transfers, 1);
+        // The flat constructor never charges the interconnect.
+        let mut flat = Coherence::new(CostModel::default());
+        flat.access(0, 5, AccessKind::Write);
+        let pull = flat.access(7, 5, AccessKind::Write);
+        assert_eq!(pull.cycles, flat.cost_model().miss_remote);
+        assert_eq!(flat.remote_node_transfers, 0);
     }
 
     #[test]

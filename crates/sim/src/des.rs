@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use kmem_smp::probe::{self, ProbeEvent};
+use kmem_smp::{CpuId, NodeMapping, Topology};
 
 use crate::coherence::{AccessKind, Coherence, CostModel};
 
@@ -25,6 +26,11 @@ use crate::coherence::{AccessKind, Coherence, CostModel};
 pub struct SimConfig {
     /// Virtual CPUs.
     pub ncpus: usize,
+    /// NUMA nodes the virtual CPUs are spread over; 1 (the default) is a
+    /// flat machine where `miss_remote_node` is never charged.
+    pub nodes: usize,
+    /// How vCPU indices map onto nodes (ignored when `nodes == 1`).
+    pub node_mapping: NodeMapping,
     /// Operations each virtual CPU performs.
     pub ops_per_cpu: u64,
     /// Cost model for shared-memory accesses.
@@ -39,10 +45,19 @@ impl SimConfig {
     pub fn new(ncpus: usize, ops_per_cpu: u64) -> Self {
         SimConfig {
             ncpus,
+            nodes: 1,
+            node_mapping: NodeMapping::Block,
             ops_per_cpu,
             cost: CostModel::default(),
             clock_hz: 50_000_000,
         }
+    }
+
+    /// Spreads the vCPUs over `nodes` NUMA nodes (block mapping, matching
+    /// the allocator config's `nodes` builder default).
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
     }
 }
 
@@ -59,6 +74,9 @@ pub struct SimResult {
     pub misses: u64,
     /// Peer-cache transfers among them.
     pub remote_transfers: u64,
+    /// Peer-cache transfers that crossed a node boundary (a subset of
+    /// `remote_transfers`; zero on a 1-node config).
+    pub remote_node_transfers: u64,
     /// Cycles spent waiting for locks.
     pub lock_wait_cycles: u64,
     /// Clock rate used for rate conversion.
@@ -88,8 +106,12 @@ pub struct Simulator {
 impl Simulator {
     /// Creates an engine.
     pub fn new(config: SimConfig) -> Self {
+        let topology = Topology::new(config.nodes, config.ncpus, config.node_mapping);
+        let node_of = (0..config.ncpus)
+            .map(|i| topology.node_of(CpuId::new(i)).index())
+            .collect();
         Simulator {
-            coherence: Coherence::new(config.cost),
+            coherence: Coherence::new_with_nodes(config.cost, node_of),
             locks: HashMap::new(),
             clocks: vec![0; config.ncpus],
             lock_wait: 0,
@@ -136,6 +158,7 @@ impl Simulator {
             accesses: self.coherence.accesses,
             misses: self.coherence.misses,
             remote_transfers: self.coherence.remote_transfers,
+            remote_node_transfers: self.coherence.remote_node_transfers,
             lock_wait_cycles: self.lock_wait,
             clock_hz: self.config.clock_hz,
         }
@@ -257,5 +280,31 @@ mod tests {
         let r = Simulator::new(SimConfig::new(5, 123)).run(|_| 1);
         assert_eq!(r.total_ops, 5 * 123);
         assert!(r.elapsed_cycles >= 123);
+    }
+
+    /// The same lock ping-pong costs more cycles on a 4-node machine than
+    /// on a flat one, and the delta is entirely cross-node transfers.
+    #[test]
+    fn node_topology_prices_the_interconnect() {
+        fn run(nodes: usize) -> SimResult {
+            let lock = SpinLock::new(0u64);
+            Simulator::new(SimConfig::new(8, 200).nodes(nodes)).run(|_| {
+                *lock.lock() += 1;
+                10
+            })
+        }
+        let flat = run(1);
+        let numa = run(4);
+        assert_eq!(flat.remote_node_transfers, 0);
+        assert!(numa.remote_node_transfers > 0);
+        assert!(
+            numa.elapsed_cycles > flat.elapsed_cycles,
+            "flat {} vs numa {}",
+            flat.elapsed_cycles,
+            numa.elapsed_cycles
+        );
+        // Everything else about the run is identical, so the transfer
+        // totals match: only the price of some of them changed.
+        assert_eq!(flat.remote_transfers, numa.remote_transfers);
     }
 }

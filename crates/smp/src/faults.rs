@@ -49,12 +49,15 @@ pub const GLOBAL_GET: &str = "global.get";
 /// Failpoint site: the global layer's spill boundary (forces an early
 /// spill-to-page instead of suppressing one — spills must never be lost).
 pub const GLOBAL_SPILL: &str = "global.spill";
+/// Failpoint site: the global layer's cross-node steal (a firing consult
+/// skips the remote shards, forcing the refill down to the page layer).
+pub const GLOBAL_STEAL: &str = "global.steal";
 /// Failpoint site: installing a refill chain into a per-CPU cache.
 pub const PERCPU_REFILL: &str = "percpu.refill";
 
 /// Every registered failpoint site, in layer order (outermost backend
 /// first). Torture drivers iterate this to arm each site in rotation.
-pub const ALL_SITES: [&str; 8] = [
+pub const ALL_SITES: [&str; 9] = [
     PHYS_CLAIM,
     VM_CARVE,
     VMBLK_CACHE,
@@ -62,6 +65,7 @@ pub const ALL_SITES: [&str; 8] = [
     PAGE_COALESCE,
     GLOBAL_GET,
     GLOBAL_SPILL,
+    GLOBAL_STEAL,
     PERCPU_REFILL,
 ];
 

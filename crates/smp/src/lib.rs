@@ -38,6 +38,7 @@ pub mod percpu;
 pub mod probe;
 pub mod registry;
 pub mod spinlock;
+pub mod topology;
 
 pub use atomics::{TaggedAtomic, TaggedPtr};
 pub use counter::{EventCounter, LocalCounter};
@@ -48,3 +49,4 @@ pub use pad::CachePadded;
 pub use percpu::PerCpu;
 pub use registry::{ClaimError, CpuClaim, CpuRegistry};
 pub use spinlock::{SpinLock, SpinLockGuard};
+pub use topology::{NodeId, NodeMapping, Topology, MAX_NODES};

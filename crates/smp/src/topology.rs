@@ -1,0 +1,218 @@
+//! NUMA topology: nodes, and the CPU-to-node mapping.
+//!
+//! The paper's Symmetry 2000 is a flat-bus machine, but the allocator's
+//! descendants run on NUMA boxes where a cache line homed on a remote node
+//! costs far more than a local miss. The topology here is deliberately
+//! minimal: `N` nodes over `M` CPUs with a configurable mapping, enough for
+//! the allocator to shard its global pools per node and for the DES
+//! simulator to price cross-node transfers. One node is the degenerate
+//! (paper-faithful) configuration and must behave exactly like the
+//! un-sharded allocator.
+
+use core::fmt;
+
+use crate::cpu::CpuId;
+
+/// Maximum number of NUMA nodes supported by the substrate.
+///
+/// Small on purpose: node ids are stored in a byte inside page descriptors,
+/// and the sweeps only exercise 1/2/4 nodes.
+pub const MAX_NODES: usize = 8;
+
+/// Identity of one NUMA node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a `NodeId` from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_NODES`.
+    pub fn new(index: usize) -> Self {
+        assert!(index < MAX_NODES, "node index {index} out of range");
+        NodeId(index as u16)
+    }
+
+    /// Returns the raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// How CPU indices map onto nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeMapping {
+    /// Contiguous blocks: CPUs `[k*ceil(M/N), ...)` belong to node `k` —
+    /// the usual firmware enumeration (all of socket 0, then socket 1...).
+    Block,
+    /// Round-robin: CPU `i` belongs to node `i % N` — the adversarial
+    /// interleaving, useful for making every neighbour remote.
+    Stride,
+}
+
+/// A NUMA topology: `nnodes` nodes over `ncpus` CPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    nnodes: usize,
+    ncpus: usize,
+    mapping: NodeMapping,
+}
+
+impl Topology {
+    /// Creates a topology of `nnodes` nodes over `ncpus` CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nnodes` is zero or exceeds [`MAX_NODES`], or if there are
+    /// fewer CPUs than nodes (a node with no CPU could never be refilled
+    /// locally, which the sharded allocator does not model).
+    pub fn new(nnodes: usize, ncpus: usize, mapping: NodeMapping) -> Self {
+        assert!(
+            (1..=MAX_NODES).contains(&nnodes),
+            "node count {nnodes} out of range 1..={MAX_NODES}"
+        );
+        assert!(
+            ncpus >= nnodes,
+            "{ncpus} CPUs cannot cover {nnodes} nodes (every node needs a CPU)"
+        );
+        Topology {
+            nnodes,
+            ncpus,
+            mapping,
+        }
+    }
+
+    /// The degenerate single-node topology — the paper's flat-bus machine.
+    pub fn single(ncpus: usize) -> Self {
+        Topology::new(1, ncpus.max(1), NodeMapping::Block)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn nnodes(&self) -> usize {
+        self.nnodes
+    }
+
+    /// Number of CPUs.
+    #[inline]
+    pub fn ncpus(&self) -> usize {
+        self.ncpus
+    }
+
+    /// The CPU-to-node mapping rule.
+    #[inline]
+    pub fn mapping(&self) -> NodeMapping {
+        self.mapping
+    }
+
+    /// Home node of `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is outside this topology.
+    #[inline]
+    pub fn node_of(&self, cpu: CpuId) -> NodeId {
+        let i = cpu.index();
+        assert!(
+            i < self.ncpus,
+            "{cpu} outside a {}-cpu topology",
+            self.ncpus
+        );
+        let n = match self.mapping {
+            NodeMapping::Block => i / self.ncpus.div_ceil(self.nnodes),
+            NodeMapping::Stride => i % self.nnodes,
+        };
+        NodeId::new(n)
+    }
+
+    /// CPUs of `node`, as raw indices in ascending order.
+    pub fn cpus_of(&self, node: NodeId) -> Vec<usize> {
+        (0..self.ncpus)
+            .filter(|&i| self.node_of(CpuId::new(i)) == node)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_maps_every_cpu_to_node_zero() {
+        let t = Topology::single(7);
+        assert_eq!(t.nnodes(), 1);
+        for i in 0..7 {
+            assert_eq!(t.node_of(CpuId::new(i)), NodeId::new(0));
+        }
+        assert_eq!(t.cpus_of(NodeId::new(0)).len(), 7);
+    }
+
+    #[test]
+    fn block_mapping_fills_contiguous_ranges() {
+        let t = Topology::new(2, 8, NodeMapping::Block);
+        assert_eq!(t.cpus_of(NodeId::new(0)), vec![0, 1, 2, 3]);
+        assert_eq!(t.cpus_of(NodeId::new(1)), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn block_mapping_with_remainder_covers_every_node() {
+        // 25 CPUs over 4 nodes: ceil(25/4) = 7 per block, last block short.
+        let t = Topology::new(4, 25, NodeMapping::Block);
+        for n in 0..4 {
+            assert!(
+                !t.cpus_of(NodeId::new(n)).is_empty(),
+                "node {n} has no CPUs"
+            );
+        }
+        let total: usize = (0..4).map(|n| t.cpus_of(NodeId::new(n)).len()).sum();
+        assert_eq!(total, 25);
+        assert_eq!(t.node_of(CpuId::new(0)), NodeId::new(0));
+        assert_eq!(t.node_of(CpuId::new(24)), NodeId::new(3));
+    }
+
+    #[test]
+    fn stride_mapping_round_robins() {
+        let t = Topology::new(3, 9, NodeMapping::Stride);
+        assert_eq!(t.cpus_of(NodeId::new(0)), vec![0, 3, 6]);
+        assert_eq!(t.cpus_of(NodeId::new(1)), vec![1, 4, 7]);
+        assert_eq!(t.cpus_of(NodeId::new(2)), vec![2, 5, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_nodes_rejected() {
+        let _ = Topology::new(0, 4, NodeMapping::Block);
+    }
+
+    #[test]
+    #[should_panic(expected = "every node needs a CPU")]
+    fn more_nodes_than_cpus_rejected() {
+        let _ = Topology::new(4, 2, NodeMapping::Block);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_id_range_checked() {
+        let _ = NodeId::new(MAX_NODES);
+    }
+
+    #[test]
+    fn display_names_node() {
+        assert_eq!(NodeId::new(2).to_string(), "node2");
+        assert_eq!(format!("{:?}", NodeId::new(5)), "node5");
+    }
+}

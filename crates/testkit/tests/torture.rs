@@ -95,10 +95,13 @@ fn fault_injection_torture_covers_every_site() {
     // traffic every phase, loose enough that allocation mostly succeeds.
     // 64 KB vmblks mean page-layer growth carves constantly, so the carve
     // failpoint gets hits in every policy rotation, not just at startup.
+    // Two nodes, because the steal site is only consulted when a remote
+    // shard exists to steal from.
     let mut kcfg = KmemConfig::new(
         cfg.threads,
         SpaceConfig::new(64 << 20).phys_pages(384).vmblk_shift(16),
-    );
+    )
+    .nodes(2);
     // The torture driver programs the plan; the arena only has to carry one.
     kcfg.faults = Faults::with_plan();
     let arena = KmemArena::new(kcfg).unwrap();

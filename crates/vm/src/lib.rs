@@ -29,5 +29,5 @@ pub mod space;
 
 pub use error::VmError;
 pub use page::{PAGE_SHIFT, PAGE_SIZE};
-pub use phys::PhysPool;
+pub use phys::{NodePhysPools, PhysPool};
 pub use space::{KernelSpace, SpaceConfig, VmblkRegion};

@@ -13,7 +13,7 @@
 
 use core::sync::atomic::{AtomicUsize, Ordering};
 
-use kmem_smp::{faults, Faults};
+use kmem_smp::{faults, Faults, NodeId};
 
 use crate::error::VmError;
 
@@ -123,6 +123,159 @@ impl PhysPool {
     }
 }
 
+/// Per-node physical frame pools behind one aggregate facade.
+///
+/// On a NUMA machine every frame lives on some node; the allocator above
+/// records each frame's home node in its page descriptor and prefers
+/// node-local frames. The facade keeps the whole single-pool API
+/// (`claim`/`release`/`in_use`/...) working unchanged — with one node it
+/// *is* the old pool — and adds the node-addressed [`claim_on`] /
+/// [`release_on`] pair the node-aware layers use.
+///
+/// Capacity is split evenly across nodes, remainder to the first nodes.
+///
+/// [`claim_on`]: NodePhysPools::claim_on
+/// [`release_on`]: NodePhysPools::release_on
+pub struct NodePhysPools {
+    nodes: Box<[PhysPool]>,
+}
+
+impl NodePhysPools {
+    /// Creates `nnodes` pools splitting `capacity` frames, failpoints off.
+    pub fn new(capacity: usize, nnodes: usize) -> Self {
+        NodePhysPools::with_faults(capacity, nnodes, Faults::none())
+    }
+
+    /// As [`new`](NodePhysPools::new), wired to `faults`.
+    pub fn with_faults(capacity: usize, nnodes: usize, faults: Faults) -> Self {
+        assert!(nnodes >= 1, "at least one node");
+        let base = capacity / nnodes;
+        let rem = capacity % nnodes;
+        let nodes = (0..nnodes)
+            .map(|i| PhysPool::with_faults(base + usize::from(i < rem), faults.clone()))
+            .collect();
+        NodePhysPools { nodes }
+    }
+
+    /// Number of node pools.
+    #[inline]
+    pub fn nnodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The pool of one node.
+    #[inline]
+    pub fn node(&self, node: NodeId) -> &PhysPool {
+        &self.nodes[node.index()]
+    }
+
+    /// Total frames across all nodes.
+    pub fn capacity(&self) -> usize {
+        self.nodes.iter().map(|p| p.capacity()).sum()
+    }
+
+    /// Frames currently claimed across all nodes.
+    pub fn in_use(&self) -> usize {
+        self.nodes.iter().map(|p| p.in_use()).sum()
+    }
+
+    /// Frames currently available across all nodes.
+    pub fn available(&self) -> usize {
+        self.nodes.iter().map(|p| p.available()).sum()
+    }
+
+    /// Sum of per-node high-water marks (an upper bound on the aggregate
+    /// peak; exact with one node).
+    pub fn peak(&self) -> usize {
+        self.nodes.iter().map(|p| p.peak()).sum()
+    }
+
+    /// Total successful claim page-count across all nodes.
+    pub fn total_mapped(&self) -> usize {
+        self.nodes.iter().map(|p| p.total_mapped()).sum()
+    }
+
+    /// Total release page-count across all nodes.
+    pub fn total_unmapped(&self) -> usize {
+        self.nodes.iter().map(|p| p.total_unmapped()).sum()
+    }
+
+    /// Claims `n` frames from a single node, preferring `preferred` and
+    /// falling back to the other nodes in index order. Returns the node
+    /// that actually supplied the frames; a span is never split across
+    /// nodes, so the whole claim has one home.
+    pub fn claim_on(&self, preferred: NodeId, n: usize) -> Result<NodeId, VmError> {
+        let start = preferred.index();
+        debug_assert!(start < self.nodes.len(), "preferred node out of range");
+        let nn = self.nodes.len();
+        let mut last = VmError::OutOfPhysical {
+            requested: n,
+            available: 0,
+        };
+        for k in 0..nn {
+            let i = (start + k) % nn;
+            match self.nodes[i].claim(n) {
+                Ok(()) => return Ok(NodeId::new(i)),
+                Err(e) => last = e,
+            }
+        }
+        // Report the aggregate availability, not the last node's.
+        if let VmError::OutOfPhysical { requested, .. } = last {
+            last = VmError::OutOfPhysical {
+                requested,
+                available: self.available(),
+            };
+        }
+        Err(last)
+    }
+
+    /// Releases `n` frames claimed from `node`.
+    pub fn release_on(&self, node: NodeId, n: usize) {
+        self.nodes[node.index()].release(n);
+    }
+
+    /// Claims `n` frames node-blind (preferring node 0) — the drop-in for
+    /// the old single-pool `claim`. No partial claim.
+    pub fn claim(&self, n: usize) -> Result<(), VmError> {
+        self.claim_on(NodeId::new(0), n).map(|_| ())
+    }
+
+    /// Releases `n` frames node-blind, draining nodes in index order.
+    ///
+    /// Only correct where claims were also node-blind (tests, 1-node
+    /// configurations); node-aware callers pair
+    /// [`claim_on`](NodePhysPools::claim_on) with
+    /// [`release_on`](NodePhysPools::release_on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more frames are released than are claimed in total.
+    pub fn release(&self, n: usize) {
+        let mut left = n;
+        for p in self.nodes.iter() {
+            if left == 0 {
+                return;
+            }
+            let take = left.min(p.in_use());
+            if take > 0 {
+                p.release(take);
+                left -= take;
+            }
+        }
+        assert!(left == 0, "physical page pool: released more than claimed");
+    }
+}
+
+impl core::fmt::Debug for NodePhysPools {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NodePhysPools")
+            .field("nnodes", &self.nnodes())
+            .field("capacity", &self.capacity())
+            .field("in_use", &self.in_use())
+            .finish()
+    }
+}
+
 impl core::fmt::Debug for PhysPool {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("PhysPool")
@@ -200,6 +353,71 @@ mod tests {
         assert_eq!(p.in_use(), 2);
         p.claim(8).unwrap();
         p.release(10);
+    }
+
+    #[test]
+    fn node_pools_split_capacity_with_remainder_to_first_nodes() {
+        let p = NodePhysPools::new(10, 4);
+        assert_eq!(p.nnodes(), 4);
+        assert_eq!(p.capacity(), 10);
+        let caps: Vec<usize> = (0..4).map(|i| p.node(NodeId::new(i)).capacity()).collect();
+        assert_eq!(caps, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn claim_on_prefers_the_named_node_and_falls_back_in_order() {
+        let p = NodePhysPools::new(8, 2); // 4 + 4
+        let n1 = NodeId::new(1);
+        assert_eq!(p.claim_on(n1, 3).unwrap(), n1);
+        assert_eq!(p.node(n1).in_use(), 3);
+        // Node 1 can't take 2 more; the claim falls back to node 0.
+        assert_eq!(p.claim_on(n1, 2).unwrap(), NodeId::new(0));
+        // Release by home node keeps per-node accounting exact.
+        p.release_on(n1, 3);
+        p.release_on(NodeId::new(0), 2);
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn aggregate_claim_reports_total_availability_on_exhaustion() {
+        let p = NodePhysPools::new(6, 3); // 2 + 2 + 2
+        p.claim(2).unwrap();
+        p.claim(2).unwrap();
+        p.claim(1).unwrap();
+        // 1 frame left in total, spread thin: a 2-frame claim fails with
+        // the aggregate availability.
+        let err = p.claim(2).unwrap_err();
+        assert_eq!(
+            err,
+            VmError::OutOfPhysical {
+                requested: 2,
+                available: 1
+            }
+        );
+        p.release(5);
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.total_mapped(), p.total_unmapped());
+    }
+
+    #[test]
+    fn single_node_facade_matches_plain_pool_behaviour() {
+        let p = NodePhysPools::new(10, 1);
+        p.claim(4).unwrap();
+        assert_eq!(p.in_use(), 4);
+        assert_eq!(p.available(), 6);
+        p.claim(6).unwrap();
+        assert!(p.claim(1).is_err());
+        p.release(10);
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.peak(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "released more than claimed")]
+    fn aggregate_over_release_is_caught() {
+        let p = NodePhysPools::new(4, 2);
+        p.claim(1).unwrap();
+        p.release(2);
     }
 
     #[test]

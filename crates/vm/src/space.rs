@@ -8,7 +8,7 @@ use kmem_smp::{faults, Faults, SpinLock};
 
 use crate::error::VmError;
 use crate::page::PAGE_SIZE;
-use crate::phys::PhysPool;
+use crate::phys::NodePhysPools;
 
 /// Configuration for a [`KernelSpace`].
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +21,9 @@ pub struct SpaceConfig {
     /// Capacity of the physical page pool in frames. Defaults to one frame
     /// per page of virtual space.
     pub phys_pages: usize,
+    /// Number of NUMA nodes the physical pool is sharded over. Defaults to
+    /// 1 (the paper's flat-bus machine).
+    pub nodes: usize,
 }
 
 impl SpaceConfig {
@@ -31,12 +34,19 @@ impl SpaceConfig {
             space_bytes,
             vmblk_shift: 22,
             phys_pages: space_bytes / PAGE_SIZE,
+            nodes: 1,
         }
     }
 
     /// Overrides the physical pool capacity.
     pub fn phys_pages(mut self, pages: usize) -> Self {
         self.phys_pages = pages;
+        self
+    }
+
+    /// Overrides the NUMA node count the physical pool is sharded over.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
         self
     }
 
@@ -115,7 +125,7 @@ pub struct KernelSpace {
     /// block address resolves to its page descriptor in two steps
     /// (paper Figure 6).
     dope: Box<[AtomicUsize]>,
-    phys: PhysPool,
+    phys: NodePhysPools,
     /// Failpoint handle; `faults::VM_CARVE` can force carve failures.
     faults: Faults,
 }
@@ -175,14 +185,14 @@ impl KernelSpace {
                 free: Vec::new(),
             }),
             dope,
-            phys: PhysPool::with_faults(config.phys_pages, faults.clone()),
+            phys: NodePhysPools::with_faults(config.phys_pages, config.nodes, faults.clone()),
             faults,
         }
     }
 
-    /// The physical page pool backing this space.
+    /// The per-node physical page pools backing this space.
     #[inline]
-    pub fn phys(&self) -> &PhysPool {
+    pub fn phys(&self) -> &NodePhysPools {
         &self.phys
     }
 
@@ -300,6 +310,7 @@ mod tests {
             space_bytes: 1 << 20,
             vmblk_shift: 14,
             phys_pages: 256,
+            nodes: 1,
         })
     }
 
@@ -382,6 +393,26 @@ mod tests {
     }
 
     #[test]
+    fn node_sharded_space_splits_the_phys_pool() {
+        use kmem_smp::NodeId;
+
+        let s = KernelSpace::new(
+            SpaceConfig::new(1 << 20)
+                .vmblk_shift(14)
+                .phys_pages(256)
+                .nodes(2),
+        );
+        assert_eq!(s.phys().nnodes(), 2);
+        assert_eq!(s.phys().capacity(), 256);
+        assert_eq!(s.phys().node(NodeId::new(0)).capacity(), 128);
+        let home = s.phys().claim_on(NodeId::new(1), 5).unwrap();
+        assert_eq!(home, NodeId::new(1));
+        assert_eq!(s.phys().node(home).in_use(), 5);
+        s.phys().release_on(home, 5);
+        assert_eq!(s.phys().in_use(), 0);
+    }
+
+    #[test]
     fn injected_carve_failure_is_transient() {
         use kmem_smp::FailPolicy;
 
@@ -391,6 +422,7 @@ mod tests {
                 space_bytes: 1 << 20,
                 vmblk_shift: 14,
                 phys_pages: 256,
+                nodes: 1,
             },
             faults.clone(),
         );

@@ -11,7 +11,13 @@
 //! counters are single-writer; the sampler only reads), so the tool can
 //! poll as fast as it likes — try `--interval-ms 1`.
 //!
-//! Usage: kmemstat [--interval-ms N] [--count N] [--threads N] [--json]
+//! Usage: kmemstat [--interval-ms N] [--count N] [--threads N] [--nodes N]
+//!                 [--json]
+//!
+//! `--nodes N` shards the arena over N NUMA nodes (block CPU mapping) and
+//! the closing per-node table shows how the shards behaved: blocks parked
+//! per node, refills served locally vs stolen from a remote shard, and
+//! blocks spilled to the shared page layer.
 //!
 //! With `--json`, each tick emits the full cumulative snapshot as one JSON
 //! object per line (newline-delimited JSON, via the hand-rolled
@@ -38,6 +44,7 @@ struct Args {
     interval_ms: u64,
     count: usize,
     threads: usize,
+    nodes: usize,
     json: bool,
 }
 
@@ -46,6 +53,7 @@ fn parse_args() -> Args {
         interval_ms: 200,
         count: 20,
         threads: 4,
+        nodes: 1,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -56,6 +64,7 @@ fn parse_args() -> Args {
             }
             "--count" => args.count = it.next().expect("--count N").parse().expect("number"),
             "--threads" => args.threads = it.next().expect("--threads N").parse().expect("number"),
+            "--nodes" => args.nodes = it.next().expect("--nodes N").parse().expect("number"),
             "--json" => args.json = true,
             other => panic!("unknown argument {other}"),
         }
@@ -139,7 +148,9 @@ fn tick_line(d: &KmemSnapshot, now: &KmemSnapshot) -> String {
 
 fn main() {
     let args = parse_args();
-    let arena = KmemArena::new(KmemConfig::new(args.threads, SpaceConfig::new(64 << 20))).unwrap();
+    let arena =
+        KmemArena::new(KmemConfig::new(args.threads, SpaceConfig::new(64 << 20)).nodes(args.nodes))
+            .unwrap();
     let stop = AtomicBool::new(false);
 
     std::thread::scope(|s| {
@@ -213,6 +224,24 @@ fn main() {
             t.mean_occupancy()
                 .map(|o| format!("{:.0}", 100.0 * o))
                 .unwrap_or_else(|| "-".into()),
+        );
+    }
+    // Per-node shard behaviour: one row on the default flat topology.
+    println!("\nper-node global shards:");
+    println!(
+        "{:>4} {:>6} {:>10} {:>10} {:>7} {:>10}",
+        "node", "blocks", "refills", "stolen", "steal%", "spilled"
+    );
+    for (node, n) in end.nodes.iter().enumerate() {
+        let refills = n.local_refills + n.stolen_refills;
+        let steal_pct = if refills == 0 {
+            0.0
+        } else {
+            100.0 * n.stolen_refills as f64 / refills as f64
+        };
+        println!(
+            "{node:>4} {:>6} {:>10} {:>10} {steal_pct:>7.2} {:>10}",
+            n.shard_blocks, n.local_refills, n.stolen_refills, n.remote_spills,
         );
     }
 }

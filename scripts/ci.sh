@@ -71,4 +71,13 @@ for t in 2 4 8; do
         --test page_contention
 done
 
+echo "==> NUMA steal-path regression (2 nodes x 4 CPUs, faults on)"
+# The sharded global layer under cross-node producer/consumer flow:
+# steals must move whole chains without breaking per-class conservation,
+# an injected global.steal failure must route refills to the page layer,
+# and the 4-node torture round runs the full mix with every failpoint
+# site armed (the steal site included).
+KMEM_TORTURE_FAULTS=1 cargo test -q --release --offline -p kmem-testkit \
+    --test numa_steal
+
 echo "==> OK: all tier-1 checks passed"

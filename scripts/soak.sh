@@ -31,8 +31,11 @@ cargo build --release --offline --tests
 for i in $(seq 1 "$rounds"); do
     # Large odd stride: consecutive rounds share no low-bit structure.
     seed=$(( base_seed + i * 1000003 ))
-    echo "==> round $i/$rounds: KMEM_TORTURE_SEED=$seed"
-    KMEM_TORTURE_SEED="$seed" \
+    # Rotate the NUMA shard count 1/2/4 so successive rounds soak the
+    # flat arena, the two-node steal path, and the fully sharded layout.
+    nodes=$(( 1 << ((i - 1) % 3) ))
+    echo "==> round $i/$rounds: KMEM_TORTURE_SEED=$seed KMEM_SOAK_NODES=$nodes"
+    KMEM_TORTURE_SEED="$seed" KMEM_SOAK_NODES="$nodes" \
         cargo test -q --release --offline --test soak -- --ignored
     if [ "$faults" != "0" ]; then
         # Same ladder, different stream: the fault schedule rotates with

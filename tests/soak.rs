@@ -14,10 +14,23 @@ use kmem_dlm::Dlm;
 use kmem_streams::StreamsAlloc;
 use kmem_vm::SpaceConfig;
 
+/// NUMA shard count for the soak arenas, from `KMEM_SOAK_NODES` (default
+/// 1 — the flat machine). `scripts/soak.sh` rotates this 1/2/4 so the
+/// steal path and the fully sharded layout both get marathon coverage.
+/// Clamped to `ncpus` because every node needs at least one CPU.
+fn soak_nodes(ncpus: usize) -> usize {
+    std::env::var("KMEM_SOAK_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .clamp(1, ncpus)
+}
+
 #[test]
 #[ignore = "soak test: minutes of runtime; run with --ignored"]
 fn million_op_mixed_soak() {
-    let arena = KmemArena::new(KmemConfig::new(4, SpaceConfig::new(64 << 20))).unwrap();
+    let arena = KmemArena::new(KmemConfig::new(4, SpaceConfig::new(64 << 20)).nodes(soak_nodes(4)))
+        .unwrap();
     let ops_done = AtomicU64::new(0);
     std::thread::scope(|s| {
         for t in 0..4u64 {
@@ -65,7 +78,8 @@ fn million_op_mixed_soak() {
 #[test]
 #[ignore = "soak test: minutes of runtime; run with --ignored"]
 fn subsystem_cohabitation_soak() {
-    let arena = KmemArena::new(KmemConfig::new(3, SpaceConfig::new(64 << 20))).unwrap();
+    let arena = KmemArena::new(KmemConfig::new(3, SpaceConfig::new(64 << 20)).nodes(soak_nodes(3)))
+        .unwrap();
     let dlm = Dlm::new(arena.clone(), 256);
     let sa = StreamsAlloc::new(arena.clone());
     let shared = SharedLocks::new();
