@@ -1,0 +1,151 @@
+//! Hardened-profile overhead: the fast-path price of each defense.
+//!
+//! The same steady-state alloc/free pair as the `ops` bench (256-byte
+//! cookie interface, per-CPU cache hits only), swept across profiles:
+//! the default plain profile, each hardened defense alone, and the full
+//! quartet. The published number is the *minimum* of several timed reps
+//! per profile — the defense cost is a lower-bound property of the code
+//! path, and the min discards scheduler noise.
+//!
+//! Emits `BENCH_hardened.json` at the repo root and self-asserts the
+//! shape: every defense must price in at under `MAX_MULT` times the
+//! default-profile pair, and the full profile under `MAX_FULL_MULT` —
+//! the hardening is a tax, not a redesign.
+//!
+//! Run with: `cargo bench --features bench-ext --bench hardened`
+
+use kmem::{HardenedConfig, KmemArena, KmemConfig};
+use kmem_bench::time_loop;
+
+const ITERS: u64 = 1_000_000;
+/// Timed repetitions per profile; the minimum is published.
+const REPS: usize = 5;
+/// Bound on any single defense's pair-cost multiplier vs default.
+/// Deliberately loose: the default pair is ~10 ns, so frequency
+/// scaling and core placement swing the *ratio* hard even when the
+/// defense's absolute cost is stable (poison, the priciest, adds a
+/// 256-byte write+verify — ~15 ns — per pair).
+const MAX_MULT: f64 = 4.0;
+/// Bound on the full quartet's pair-cost multiplier vs default.
+const MAX_FULL_MULT: f64 = 6.0;
+const SIZE: usize = 256;
+const SEED: u64 = 0x4245_4e43_4852_444e; // "BENCHRDN"
+
+/// Min-of-reps steady-state alloc/free pair cost under `hardened`.
+fn bench_profile(name: &str, hardened: HardenedConfig) -> f64 {
+    let arena = KmemArena::new(KmemConfig::small().hardened(hardened)).unwrap();
+    let cpu = arena.register_cpu().unwrap();
+    let cookie = arena.cookie_for(SIZE).unwrap();
+    // Steady state: warm the per-CPU layer so every timed pair is a
+    // cache hit (and, in quarantined profiles, fill the ring so every
+    // timed free takes the park-and-evict path, not the cheaper
+    // fill-up path).
+    for _ in 0..1024 {
+        let p = cpu.alloc_cookie(cookie).unwrap();
+        // SAFETY: allocated just above, freed exactly once.
+        unsafe { cpu.free_cookie(p, cookie) };
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let ns = time_loop(ITERS, || {
+            let p = cpu.alloc_cookie(cookie).unwrap();
+            std::hint::black_box(p);
+            // SAFETY: allocated just above, freed exactly once.
+            unsafe { cpu.free_cookie(p, cookie) };
+        });
+        best = best.min(ns);
+    }
+    let snap = arena.snapshot();
+    assert_eq!(
+        snap.corruption_reports, 0,
+        "clean bench traffic tripped a detector under {name}: {snap:?}"
+    );
+    println!("hardened/{name:<12} {best:>8.1} ns/pair   (min of {REPS}x{ITERS})");
+    best
+}
+
+fn main() {
+    use core::fmt::Write as _;
+
+    let off = HardenedConfig::off();
+    let profiles: [(&str, HardenedConfig); 6] = [
+        ("default", off),
+        (
+            "encode",
+            HardenedConfig {
+                encode: true,
+                seed: SEED,
+                ..off
+            },
+        ),
+        (
+            "poison",
+            HardenedConfig {
+                poison: true,
+                seed: SEED,
+                ..off
+            },
+        ),
+        (
+            "randomize",
+            HardenedConfig {
+                randomize: true,
+                seed: SEED,
+                ..off
+            },
+        ),
+        (
+            "quarantine",
+            HardenedConfig {
+                quarantine: 8,
+                seed: SEED,
+                ..off
+            },
+        ),
+        ("full", HardenedConfig::full(SEED)),
+    ];
+
+    let results: Vec<(&str, f64)> = profiles
+        .iter()
+        .map(|&(name, h)| (name, bench_profile(name, h)))
+        .collect();
+    let baseline = results[0].1;
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"hardened\",\"size\":{SIZE},\"iters\":{ITERS},\
+         \"reps\":{REPS},\"results\":["
+    );
+    for (i, (name, ns)) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"profile\":\"{name}\",\"pair_ns\":{ns:.1},\
+             \"overhead_pct\":{:.1}}}",
+            100.0 * (ns / baseline - 1.0)
+        );
+    }
+    json.push_str("]}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hardened.json");
+    std::fs::write(path, &json).expect("write BENCH_hardened.json");
+    println!("wrote {path}");
+
+    // Shape pins: hardening is a bounded tax on the fast path, per
+    // defense and in aggregate.
+    for (name, ns) in &results[1..results.len() - 1] {
+        assert!(
+            *ns <= baseline * MAX_MULT,
+            "defense {name} costs {ns:.1} ns/pair vs {baseline:.1} default \
+             (over {MAX_MULT}x)"
+        );
+    }
+    let full = results.last().unwrap().1;
+    assert!(
+        full <= baseline * MAX_FULL_MULT,
+        "full profile costs {full:.1} ns/pair vs {baseline:.1} default \
+         (over {MAX_FULL_MULT}x)"
+    );
+}

@@ -191,7 +191,7 @@ impl SpinPage {
             let blk = unsafe { base.add(i * BLOCK_SIZE) };
             // SAFETY: `blk` is a fresh free block of this page.
             unsafe {
-                block::write_next(blk, pdi.freelist);
+                block::write_next(blk, pdi.freelist, block::LinkKey::PLAIN);
                 block::poison(blk);
             }
             pdi.freelist = blk;
@@ -250,7 +250,7 @@ impl PagePool for SpinPage {
                 let blk = pdi.freelist;
                 rd(blk);
                 // SAFETY: freelist blocks are free blocks of this page.
-                pdi.freelist = unsafe { block::read_next(blk) };
+                pdi.freelist = unsafe { block::read_next(blk, block::LinkKey::PLAIN) };
                 // SAFETY: as above; the block enters the outgoing chain.
                 unsafe { chain.push(blk) };
             }
@@ -283,7 +283,7 @@ impl PagePool for SpinPage {
             let pdi = unsafe { pd.inner() };
             rd(pd_ptr);
             // SAFETY: `blk` is free and ours per the function contract.
-            unsafe { block::write_next(blk, pdi.freelist) };
+            unsafe { block::write_next(blk, pdi.freelist, block::LinkKey::PLAIN) };
             wr(blk);
             pdi.freelist = blk;
             let count = pdi.free_count as usize + 1;

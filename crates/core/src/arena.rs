@@ -8,7 +8,7 @@
 use core::cell::UnsafeCell;
 use core::marker::PhantomData;
 use core::ptr::NonNull;
-use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use kmem_smp::{
@@ -17,15 +17,15 @@ use kmem_smp::{
 };
 use kmem_vm::{KernelSpace, PAGE_SIZE};
 
-use crate::block;
+use crate::block::{self, LinkKey};
 use crate::chain::Chain;
-use crate::config::KmemConfig;
+use crate::config::{HardenedConfig, KmemConfig};
 use crate::cookie::Cookie;
-use crate::error::AllocError;
+use crate::error::{AllocError, CorruptionSite};
 use crate::global::GlobalPool;
 use crate::pagedesc::PdKind;
 use crate::pagelayer::PageLayer;
-use crate::percpu::{CacheStats, CpuCache};
+use crate::percpu::{CacheStats, CpuCache, QuarantineVerdict};
 use crate::pressure::PressureLadder;
 use crate::sizeclass::SizeClasses;
 use crate::snapshot::{
@@ -47,6 +47,14 @@ enum FlushCause {
 
 /// Arena identity counter (cookie validation across arenas).
 static NEXT_ARENA_ID: AtomicU64 = AtomicU64::new(1);
+
+/// splitmix64 finalizer: derives the per-arena link secret and carve
+/// shuffle seed from the configured hardened seed and the arena id.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Per-CPU slot: one cache per size class plus the drain-request flag.
 pub(crate) struct CpuSlot {
@@ -100,6 +108,25 @@ pub(crate) struct ArenaInner {
     faults: Faults,
     /// The memory-pressure escalation state machine.
     pressure: PressureLadder,
+    /// The hardened-profile knobs this arena runs with (DESIGN.md §12).
+    hardened: HardenedConfig,
+    /// Per-class blocks deliberately leaked after a corruption detection:
+    /// a chain walk that hit an implausible link sinks the unreachable
+    /// remainder, and verify-on-alloc refuses a block whose poison was
+    /// overwritten. The conservation check counts these as a known loss —
+    /// the alternative (re-threading a block whose contents lied once)
+    /// would hand the corruption a second chance.
+    sunk: Box<[AtomicUsize]>,
+    /// Blocks currently parked in per-CPU quarantine rings, arena-wide.
+    /// A racy gauge for snapshots; per-class exact reads go through
+    /// [`ArenaInner::quarantined_blocks`] under quiescence.
+    quarantined: AtomicUsize,
+    /// Corruption detections reported, all sites.
+    corruption_reports: EventCounter,
+    /// Poison-based detections (double free by poison, use-after-free).
+    poison_hits: EventCounter,
+    /// Encoded-link detections (implausible decodes, sunk chains).
+    encode_faults: EventCounter,
 }
 
 impl Drop for ArenaInner {
@@ -154,13 +181,34 @@ impl KmemArena {
         );
         let max_large = vm.max_span_pages() * PAGE_SIZE;
         let nnodes = topology.nnodes();
+        let id = NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed);
+        let hardened = config.hardened;
+        // Per-arena secret: the configured seed mixed with the arena id,
+        // so same-seed arenas still encode differently. The key's bounds
+        // are the whole reservation — every freelist link must decode to
+        // null or an in-reservation, block-aligned address.
+        let mixed = mix64(hardened.seed ^ (id.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let key = if hardened.encode {
+            let base = space.base_addr();
+            LinkKey::hardened(
+                mixed as usize,
+                base,
+                base + space.nvmblks() * space.vmblk_size(),
+            )
+        } else {
+            LinkKey::PLAIN
+        };
+        let shuffle_seed = hardened
+            .randomize
+            .then(|| mix64(mixed ^ 0xc0de_5eed_0bad_cafe));
         let mut globals = Vec::with_capacity(config.classes.len() * nnodes);
         for c in &config.classes {
             for _ in 0..nnodes {
-                globals.push(CachePadded::new(GlobalPool::new_with_faults(
+                globals.push(CachePadded::new(GlobalPool::new_hardened(
                     c.target,
                     c.gbltarget,
                     faults.clone(),
+                    key,
                 )));
             }
         }
@@ -177,11 +225,14 @@ impl KmemArena {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                CachePadded::new(PageLayer::new_with_faults(
+                CachePadded::new(PageLayer::new_hardened(
                     i,
                     c.size,
                     config.radix_pages,
                     faults.clone(),
+                    key,
+                    shuffle_seed,
+                    hardened.poison,
                 ))
             })
             .collect();
@@ -189,7 +240,14 @@ impl KmemArena {
             caches: config
                 .classes
                 .iter()
-                .map(|c| UnsafeCell::new(CpuCache::new(c.target, config.split_freelist)))
+                .map(|c| {
+                    UnsafeCell::new(CpuCache::new_hardened(
+                        c.target,
+                        config.split_freelist,
+                        key,
+                        hardened.quarantine,
+                    ))
+                })
                 .collect(),
             stats: config
                 .classes
@@ -198,11 +256,14 @@ impl KmemArena {
                 .collect(),
             drain: AtomicBool::new(false),
         });
+        let sunk = (0..config.classes.len())
+            .map(|_| AtomicUsize::new(0))
+            .collect();
         let registry = CpuRegistry::new(config.ncpus);
         let classes = SizeClasses::new(config.classes);
         Ok(KmemArena {
             inner: Arc::new(ArenaInner {
-                id: NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed),
+                id,
                 classes,
                 space,
                 vm,
@@ -217,6 +278,12 @@ impl KmemArena {
                 large_frees: EventCounter::new(),
                 faults,
                 pressure: PressureLadder::new(config.pressure),
+                hardened,
+                sunk,
+                quarantined: AtomicUsize::new(0),
+                corruption_reports: EventCounter::new(),
+                poison_hits: EventCounter::new(),
+                encode_faults: EventCounter::new(),
             }),
         })
     }
@@ -384,6 +451,10 @@ impl KmemArena {
             pressure_reapplied: inner.pressure.reapplied(),
             fault_hits,
             fault_fired,
+            corruption_reports: inner.corruption_reports.get(),
+            poison_hits: inner.poison_hits.get(),
+            encode_faults: inner.encode_faults.get(),
+            quarantine_len: inner.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -470,6 +541,48 @@ impl ArenaInner {
         for (_, slot) in self.slots.iter() {
             // SAFETY: quiescence per the function contract.
             total += unsafe { &*slot.caches[class].get() }.len();
+        }
+        total
+    }
+
+    /// Reports a detected heap corruption: bumps the counters, then either
+    /// panics with the report (`hardened.panic_on_corruption`) or returns
+    /// the typed error for the caller to surface or drop.
+    #[cold]
+    pub(crate) fn report_corruption(&self, site: CorruptionSite, addr: usize) -> AllocError {
+        self.corruption_reports.inc();
+        match site {
+            CorruptionSite::PoisonOverwrite | CorruptionSite::DoubleFreePoison => {
+                self.poison_hits.inc();
+            }
+            CorruptionSite::FreelistLink => self.encode_faults.inc(),
+            _ => {}
+        }
+        let err = AllocError::Corruption { site, addr };
+        if self.hardened.panic_on_corruption {
+            panic!("{err}");
+        }
+        err
+    }
+
+    /// Blocks of `class` deliberately leaked after corruption detections:
+    /// the arena-level sinks plus every global shard's.
+    pub(crate) fn sunk_blocks(&self, class: usize) -> usize {
+        self.sunk[class].load(Ordering::Relaxed)
+            + self
+                .shards(class)
+                .iter()
+                .map(|pool| pool.sunk())
+                .sum::<usize>()
+    }
+
+    /// Blocks of `class` parked in quarantine rings, summed across CPUs
+    /// (verification; quiescence as for [`ArenaInner::cached_blocks`]).
+    pub(crate) fn quarantined_blocks(&self, class: usize) -> usize {
+        let mut total = 0;
+        for (_, slot) in self.slots.iter() {
+            // SAFETY: quiescence per the function contract.
+            total += unsafe { &*slot.caches[class].get() }.quarantine_len();
         }
         total
     }
@@ -611,7 +724,11 @@ impl CpuHandle {
         for _ in 0..max_attempts.max(1) {
             match self.alloc(size) {
                 Ok(p) => return Ok(p),
-                Err(e @ (AllocError::ZeroSize | AllocError::TooLarge { .. })) => return Err(e),
+                Err(
+                    e @ (AllocError::ZeroSize
+                    | AllocError::TooLarge { .. }
+                    | AllocError::Corruption { .. }),
+                ) => return Err(e),
                 Err(e) => {
                     last = e;
                     if let Some(class) = class {
@@ -637,16 +754,31 @@ impl CpuHandle {
     #[inline]
     pub fn alloc_cookie(&self, cookie: Cookie) -> Result<NonNull<u8>, AllocError> {
         self.check_drain();
-        debug_assert_eq!(
-            cookie.arena_id, self.inner.id,
-            "cookie used on a different arena"
-        );
+        self.check_cookie(cookie)?;
         self.alloc_class(cookie.class as usize, cookie.size as usize)
+    }
+
+    /// Validates a cookie's arena identity: a debug assertion in the
+    /// default profile (zero release cost), a reported corruption under
+    /// any hardened defense — a foreign cookie's class index would walk
+    /// another arena's layout over this arena's freelists.
+    #[inline]
+    fn check_cookie(&self, cookie: Cookie) -> Result<(), AllocError> {
+        if cookie.arena_id != self.inner.id {
+            debug_assert!(false, "cookie used on a different arena");
+            if self.inner.hardened.any() {
+                return Err(self
+                    .inner
+                    .report_corruption(CorruptionSite::CookieArena, cookie.arena_id as usize));
+            }
+        }
+        Ok(())
     }
 
     #[inline]
     fn alloc_class(&self, class: usize, size: usize) -> Result<NonNull<u8>, AllocError> {
-        let stats = &self.inner.slots.get(self.cpu).stats[class];
+        let inner = &*self.inner;
+        let stats = &inner.slots.get(self.cpu).stats[class];
         let nth = stats.alloc.bump();
         // SAFETY: borrow scoped to this operation.
         let cache = unsafe { self.cache_mut(class) };
@@ -660,12 +792,34 @@ impl CpuHandle {
                 b
             }
             None => {
+                if let Some(fault) = cache.take_fault() {
+                    // A chain walk hit an implausible encoded link: the
+                    // unreachable remainder was sunk by the chain; account
+                    // the loss and surface the detection.
+                    inner.sunk[class].fetch_add(fault.lost, Ordering::Relaxed);
+                    return Err(inner.report_corruption(CorruptionSite::FreelistLink, fault.addr));
+                }
                 stats.alloc_miss.bump();
                 self.alloc_class_slow(class, size)?
             }
         };
-        // SAFETY: `block` came off a freelist of this arena.
-        unsafe { block::check_and_clear_poison_on_alloc(block) };
+        if inner.hardened.poison {
+            // SAFETY: `block` came off a freelist of this arena and spans
+            // the full class size.
+            if let Err(word) =
+                unsafe { block::verify_free_poison(block, inner.classes.class(class).size) }
+            {
+                // Someone wrote through a freed block. The block's words
+                // can no longer be trusted as data or links: sink it.
+                inner.sunk[class].fetch_add(1, Ordering::Relaxed);
+                return Err(inner.report_corruption(CorruptionSite::PoisonOverwrite, word));
+            }
+            // SAFETY: as above.
+            unsafe { block::clear_poison_word(block) };
+        } else {
+            // SAFETY: `block` came off a freelist of this arena.
+            unsafe { block::check_and_clear_poison_on_alloc(block) };
+        }
         // SAFETY: freelist blocks are interior to the reservation.
         Ok(unsafe { NonNull::new_unchecked(block) })
     }
@@ -852,6 +1006,22 @@ impl CpuHandle {
     /// this call.
     #[inline]
     pub unsafe fn free(&self, ptr: NonNull<u8>) {
+        // A hardened detection (double free, foreign poison) is counted
+        // and the free dropped; callers that want the typed report use
+        // `free_checked`.
+        // SAFETY: forwarded caller contract.
+        let _ = unsafe { self.free_checked(ptr) };
+    }
+
+    /// Like [`CpuHandle::free`], surfacing hardened corruption detections
+    /// as [`AllocError::Corruption`] instead of count-and-drop. Always
+    /// `Ok(())` in the default profile.
+    ///
+    /// # Safety
+    ///
+    /// As for [`CpuHandle::free`].
+    #[inline]
+    pub unsafe fn free_checked(&self, ptr: NonNull<u8>) -> Result<(), AllocError> {
         self.check_drain();
         let pd = self
             .inner
@@ -862,12 +1032,13 @@ impl CpuHandle {
             PdKind::BlockPage => {
                 let class = pd.class();
                 // SAFETY: forwarded caller contract.
-                unsafe { self.free_class(class, ptr.as_ptr()) };
+                unsafe { self.free_class(class, ptr.as_ptr()) }
             }
             PdKind::Large => {
                 self.inner.large_frees.inc();
                 // SAFETY: forwarded caller contract.
                 unsafe { self.inner.vm.free_large(ptr) };
+                Ok(())
             }
             other => panic!("free of a block in a page of kind {other:?}"),
         }
@@ -886,7 +1057,9 @@ impl CpuHandle {
         self.check_drain();
         match self.inner.classes.class_for(size) {
             // SAFETY: forwarded caller contract.
-            Some(class) => unsafe { self.free_class(class, ptr.as_ptr()) },
+            Some(class) => {
+                let _ = unsafe { self.free_class(class, ptr.as_ptr()) };
+            }
             None => {
                 self.inner.large_frees.inc();
                 // SAFETY: forwarded caller contract.
@@ -904,36 +1077,79 @@ impl CpuHandle {
     #[inline]
     pub unsafe fn free_cookie(&self, ptr: NonNull<u8>, cookie: Cookie) {
         self.check_drain();
-        debug_assert_eq!(
-            cookie.arena_id, self.inner.id,
-            "cookie used on a different arena"
-        );
+        if self.check_cookie(cookie).is_err() {
+            // Reported; freeing through a foreign cookie's class index
+            // would corrupt a freelist, so the block is dropped instead.
+            return;
+        }
         // SAFETY: forwarded caller contract.
-        unsafe { self.free_class(cookie.class as usize, ptr.as_ptr()) };
+        let _ = unsafe { self.free_class(cookie.class as usize, ptr.as_ptr()) };
     }
 
     /// # Safety
     ///
     /// `block` is an allocated block of `class` from this arena, unaliased.
     #[inline]
-    unsafe fn free_class(&self, class: usize, block: *mut u8) {
-        let stats = &self.inner.slots.get(self.cpu).stats[class];
+    unsafe fn free_class(&self, class: usize, block: *mut u8) -> Result<(), AllocError> {
+        let inner = &*self.inner;
+        let stats = &inner.slots.get(self.cpu).stats[class];
         let nth = stats.free.bump();
-        // SAFETY: caller owns the (allocated) block.
-        unsafe {
-            block::check_not_double_free(block);
-            block::poison(block);
+        if inner.hardened.poison {
+            // SAFETY: caller owns the (allocated) block.
+            if unsafe { block::is_free_poisoned(block) } {
+                // The block still carries its free poison: it was never
+                // re-allocated since the last free, so this free is a
+                // duplicate (or a forged pointer at a freed block). It is
+                // already on a freelist — drop this free.
+                return Err(
+                    inner.report_corruption(CorruptionSite::DoubleFreePoison, block as usize)
+                );
+            }
+            // SAFETY: caller owns the block, which spans the class size.
+            unsafe { block::poison_free(block, inner.classes.class(class).size) };
+        } else {
+            // SAFETY: caller owns the (allocated) block.
+            unsafe {
+                // With a quarantine ring configured, ring hits are the
+                // double-free defense and must surface as typed reports;
+                // the debug assertion would fire first and mask them.
+                if inner.hardened.quarantine == 0 {
+                    block::check_not_double_free(block);
+                }
+                block::poison(block);
+            }
         }
         // SAFETY: borrow scoped to this operation.
         let cache = unsafe { self.cache_mut(class) };
-        // SAFETY: the block is free as of this call and in no list.
-        if let Some(chain) = unsafe { cache.free(block) } {
+        let mut park = block;
+        if cache.has_quarantine() {
+            match cache.quarantine_check_insert(block) {
+                QuarantineVerdict::Hit => {
+                    return Err(inner
+                        .report_corruption(CorruptionSite::DoubleFreeQuarantine, block as usize));
+                }
+                QuarantineVerdict::Parked => {
+                    inner.quarantined.fetch_add(1, Ordering::Relaxed);
+                    if nth & 63 == 0 {
+                        stats.sample_occupancy(cache.len(), 2 * cache.target());
+                    }
+                    return Ok(());
+                }
+                // The ring is full: the oldest resident leaves quarantine
+                // and continues down the normal free path in this block's
+                // stead.
+                QuarantineVerdict::Evicted(old) => park = old,
+            }
+        }
+        // SAFETY: `park` is free as of this call and in no list.
+        if let Some(chain) = unsafe { cache.free(park) } {
             stats.free_miss.bump();
             self.return_chain(class, chain);
         } else if nth & 63 == 0 {
             // Occupancy shape sampling, 1 in 64 on the hit path.
             stats.sample_occupancy(cache.len(), 2 * cache.target());
         }
+        Ok(())
     }
 
     /// Hands an overflow chain to this node's global shard, cascading any
@@ -990,7 +1206,12 @@ impl CpuHandle {
             let cache = unsafe { self.cache_mut(class) };
             let stats = &slot.stats[class];
             stats.sample_occupancy(cache.len(), 2 * cache.target());
+            let parked = cache.quarantine_len();
             let all = cache.flush();
+            if parked > 0 {
+                // Quarantined blocks re-entered circulation with the flush.
+                self.inner.quarantined.fetch_sub(parked, Ordering::Relaxed);
+            }
             if !all.is_empty() {
                 match cause {
                     FlushCause::Explicit => stats.flush_explicit.bump(),

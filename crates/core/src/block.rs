@@ -3,8 +3,24 @@
 //! Free blocks carry their freelist linkage *inside themselves*, exactly as
 //! in the kernel: the first word of a free block is the pointer to the next
 //! free block. This module is the single home of the raw reads and writes
-//! of that word, plus the debug-build poisoning that catches use-after-free
-//! and double-free in tests.
+//! of that word, plus the poisoning that catches use-after-free and
+//! double-free.
+//!
+//! # Hardened link encoding
+//!
+//! Intrusive links are the classic kernel-heap corruption target: a
+//! use-after-free write lands directly on a pointer the allocator will
+//! dereference. Under the hardened profile every link word is stored
+//! XOR-encoded with a [`LinkKey`] — `stored = ptr ⊕ secret ⊕ word_addr`,
+//! the SLUB `freelist_ptr` scheme — so an attacker without the per-arena
+//! secret cannot aim a forged pointer, and an honest scribble decodes to
+//! an implausible value that [`LinkKey::plausible`] rejects instead of the
+//! allocator walking into it. Mixing the *word's own address* into the
+//! mask means equal pointers encode differently at every slot, and the
+//! first and second words of one block use different masks. A `secret` of
+//! zero is the identity encoding (the default profile): the mask is zero
+//! and every function below degenerates to the plain load/store it was
+//! before hardening existed.
 //!
 //! # Safety
 //!
@@ -17,20 +33,88 @@
 /// Minimum block size: one link word plus a poison word, with room spare.
 pub const MIN_BLOCK: usize = 16;
 
-/// Debug-build poison value written into the second word of freed blocks.
+/// Poison value written into the second word of freed blocks (all builds
+/// under the hardened profile; debug builds otherwise).
 const POISON: usize = 0xdead_4b4d_454d_beef_u64 as usize;
+
+/// Byte pattern written over the non-pointer body words of freed blocks
+/// under hardened poisoning (SLUB's `POISON_FREE` 0x6b, word-replicated).
+const BODY_POISON: usize = 0x6b6b_6b6b_6b6b_6b6b_u64 as usize;
+
+/// Per-arena key for encoding intrusive link words.
+///
+/// Carries the arena's secret plus the bounds of its reservation, so a
+/// decoded link can be judged *plausible* (null, or in-reservation and
+/// [`MIN_BLOCK`]-aligned) before anything dereferences it. The constant
+/// [`LinkKey::PLAIN`] is the identity encoding used by the default
+/// profile and by unit tests that build chains from host-heap fakes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkKey {
+    secret: usize,
+    base: usize,
+    limit: usize,
+}
+
+impl LinkKey {
+    /// Identity encoding: links are stored as bare pointers and never
+    /// validated. The default (non-hardened) profile.
+    pub const PLAIN: LinkKey = LinkKey {
+        secret: 0,
+        base: 0,
+        limit: 0,
+    };
+
+    /// An encoding key with the given secret, validating decoded links
+    /// against the reservation `[base, limit)`. The secret is forced odd
+    /// so it can never collide with the plain encoding.
+    pub fn hardened(secret: usize, base: usize, limit: usize) -> LinkKey {
+        LinkKey {
+            secret: secret | 1,
+            base,
+            limit,
+        }
+    }
+
+    /// Whether this key is the identity encoding.
+    #[inline]
+    pub fn is_plain(self) -> bool {
+        self.secret == 0
+    }
+
+    /// The XOR mask for the link word at `word_addr`. Zero for the plain
+    /// key, so encode/decode are the identity.
+    #[inline]
+    fn mask(self, word_addr: usize) -> usize {
+        if self.secret == 0 {
+            0
+        } else {
+            self.secret ^ word_addr
+        }
+    }
+
+    /// Whether a decoded link could be a real free-block pointer: null,
+    /// or inside the reservation and [`MIN_BLOCK`]-aligned. A clobbered
+    /// encoded word decodes to an effectively random value, which this
+    /// rejects with probability `1 - reservation_size / 2^64`.
+    #[inline]
+    pub fn plausible(self, ptr: *mut u8) -> bool {
+        let addr = ptr as usize;
+        ptr.is_null() || (addr >= self.base && addr < self.limit && addr.is_multiple_of(MIN_BLOCK))
+    }
+}
 
 /// Reads the next-free-block link from a free block.
 ///
 /// # Safety
 ///
 /// `block` must satisfy the module-level free-block conditions, and its
-/// link word must have been written by [`write_next`].
+/// link word must have been written by [`write_next`] under the same key.
 #[inline]
-pub unsafe fn read_next(block: *mut u8) -> *mut u8 {
+pub unsafe fn read_next(block: *mut u8, key: LinkKey) -> *mut u8 {
     // SAFETY: per the function contract, `block` is a live free block with
     // a valid link word at offset 0.
-    unsafe { (block as *mut *mut u8).read() }
+    let raw = unsafe { (block as *mut usize).read() };
+    (raw ^ key.mask(block as usize)) as *mut u8
 }
 
 /// Writes the next-free-block link into a free block.
@@ -39,10 +123,10 @@ pub unsafe fn read_next(block: *mut u8) -> *mut u8 {
 ///
 /// `block` must satisfy the module-level free-block conditions.
 #[inline]
-pub unsafe fn write_next(block: *mut u8, next: *mut u8) {
+pub unsafe fn write_next(block: *mut u8, next: *mut u8, key: LinkKey) {
     // SAFETY: per the function contract, offset 0 of `block` is writable
     // and owned by the allocator.
-    unsafe { (block as *mut *mut u8).write(next) };
+    unsafe { (block as *mut usize).write(next as usize ^ key.mask(block as usize)) };
 }
 
 /// Atomically reads the next-free-block link from a free block.
@@ -52,7 +136,7 @@ pub unsafe fn write_next(block: *mut u8, next: *mut u8) {
 /// tag CAS confirms ownership, so a racing thread may read the word of a
 /// block that was just popped by someone else (and is even being handed
 /// to a user). The read therefore must be atomic: the value may be
-/// stale garbage, but the access itself is a plain relaxed load that
+/// stale garbage, but the access itself is a relaxed-class load that
 /// cannot fault (the arena reservation is type-stable), and the stale
 /// value is discarded when the generation-tag CAS fails.
 ///
@@ -63,11 +147,12 @@ pub unsafe fn write_next(block: *mut u8, next: *mut u8) {
 /// it — a stale read returns garbage rather than UB-free data, and the
 /// caller must validate ownership (tag CAS) before trusting the value.
 #[inline]
-pub unsafe fn read_next_atomic(block: *mut u8) -> *mut u8 {
+pub unsafe fn read_next_atomic(block: *mut u8, key: LinkKey) -> *mut u8 {
     use core::sync::atomic::{AtomicUsize, Ordering};
     // SAFETY: per the function contract, the first word of `block` is
     // mapped, aligned memory inside the reservation.
-    unsafe { (*(block as *const AtomicUsize)).load(Ordering::Acquire) as *mut u8 }
+    let raw = unsafe { (*(block as *const AtomicUsize)).load(Ordering::Acquire) };
+    (raw ^ key.mask(block as usize)) as *mut u8
 }
 
 /// Atomically writes the next-free-block link into a free block the
@@ -82,15 +167,16 @@ pub unsafe fn read_next_atomic(block: *mut u8) -> *mut u8 {
 ///
 /// `block` must satisfy the module-level free-block conditions.
 #[inline]
-pub unsafe fn write_next_atomic(block: *mut u8, next: *mut u8) {
+pub unsafe fn write_next_atomic(block: *mut u8, next: *mut u8, key: LinkKey) {
     use core::sync::atomic::{AtomicUsize, Ordering};
+    let encoded = next as usize ^ key.mask(block as usize);
     // SAFETY: per the function contract, offset 0 of `block` is writable
     // and owned by the caller.
-    unsafe { (*(block as *const AtomicUsize)).store(next as usize, Ordering::Release) };
+    unsafe { (*(block as *const AtomicUsize)).store(encoded, Ordering::Release) };
 }
 
 /// Stashes a pointer in the *second* word of a free block (the word the
-/// poison normally occupies).
+/// poison normally occupies), encoded under the second word's own mask.
 ///
 /// The lock-free global stack keeps whole chains intact on the stack:
 /// the head block's first word becomes the stack link, so the displaced
@@ -102,36 +188,42 @@ pub unsafe fn write_next_atomic(block: *mut u8, next: *mut u8) {
 ///
 /// `block` must satisfy the module-level free-block conditions, and the
 /// caller must restore the word via [`take_stash`] before the block can
-/// reach [`check_and_clear_poison_on_alloc`].
+/// reach an alloc-time poison check.
 #[inline]
-pub unsafe fn write_stash(block: *mut u8, val: *mut u8) {
+pub unsafe fn write_stash(block: *mut u8, val: *mut u8, key: LinkKey) {
     // SAFETY: blocks are at least [`MIN_BLOCK`] bytes, so the second
     // word is in bounds and allocator-owned.
-    unsafe { (block as *mut usize).add(1).write(val as usize) };
+    let word = unsafe { (block as *mut usize).add(1) };
+    // SAFETY: as above.
+    unsafe { word.write(val as usize ^ key.mask(word as usize)) };
 }
 
 /// Reads back a pointer stashed by [`write_stash`] and re-poisons the
-/// word (debug builds), so the free-poison invariant holds again by the
-/// time the block leaves the global stack.
+/// word, so the free-poison invariant holds again by the time the block
+/// leaves the global stack. (The restore is unconditional: it is off the
+/// per-op fast path — two stores per chain refill — and keeping it
+/// profile-independent means the hardened verify-on-alloc never has to
+/// special-case stack-traversed blocks.)
 ///
 /// # Safety
 ///
 /// `block` must satisfy the module-level free-block conditions and carry
-/// a value written by [`write_stash`].
+/// a value written by [`write_stash`] under the same key.
 #[inline]
-pub unsafe fn take_stash(block: *mut u8) -> *mut u8 {
+pub unsafe fn take_stash(block: *mut u8, key: LinkKey) -> *mut u8 {
     // SAFETY: as in `write_stash`.
     let word = unsafe { (block as *mut usize).add(1) };
     // SAFETY: as in `write_stash`.
-    let val = unsafe { word.read() } as *mut u8;
-    if cfg!(debug_assertions) {
-        // SAFETY: as in `write_stash`.
-        unsafe { word.write(POISON) };
-    }
-    val
+    let val = unsafe { word.read() } ^ key.mask(word as usize);
+    // SAFETY: as in `write_stash`.
+    unsafe { word.write(POISON) };
+    val as *mut u8
 }
 
-/// Marks `block` as freed (debug builds only).
+/// Marks `block` as freed (debug builds only — the default profile's
+/// zero-release-cost poison). The hardened profile uses
+/// [`poison_free`] instead, which also patterns the body and runs in
+/// every build.
 ///
 /// # Safety
 ///
@@ -143,6 +235,80 @@ pub unsafe fn poison(block: *mut u8) {
         // word is in bounds and allocator-owned.
         unsafe { (block as *mut usize).add(1).write(POISON) };
     }
+}
+
+/// Hardened poison-on-free: writes the free poison into the second word
+/// and the body pattern into every remaining word of the block, in every
+/// build profile. The first word is left alone — it is (or will become)
+/// the encoded freelist link.
+///
+/// # Safety
+///
+/// `block` must satisfy the module-level free-block conditions and be at
+/// least `block_size` bytes.
+#[inline]
+pub unsafe fn poison_free(block: *mut u8, block_size: usize) {
+    let words = block as *mut usize;
+    // SAFETY: per the contract, words 1..block_size/8 are in bounds and
+    // allocator-owned.
+    unsafe {
+        words.add(1).write(POISON);
+        for i in 2..block_size / core::mem::size_of::<usize>() {
+            words.add(i).write(BODY_POISON);
+        }
+    }
+}
+
+/// Hardened verify-on-alloc: checks that the free poison written by
+/// [`poison_free`] is intact, returning the address of the first
+/// overwritten word if not. Does *not* clear the poison — call
+/// [`clear_poison_word`] once the block is accepted.
+///
+/// # Safety
+///
+/// `block` must satisfy the module-level free-block conditions and be at
+/// least `block_size` bytes.
+#[inline]
+pub unsafe fn verify_free_poison(block: *mut u8, block_size: usize) -> Result<(), usize> {
+    let words = block as *const usize;
+    // SAFETY: per the contract, words 1..block_size/8 are in bounds.
+    unsafe {
+        if words.add(1).read() != POISON {
+            return Err(words.add(1) as usize);
+        }
+        for i in 2..block_size / core::mem::size_of::<usize>() {
+            if words.add(i).read() != BODY_POISON {
+                return Err(words.add(i) as usize);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether `block` currently carries the free-poison word — the hardened
+/// double-free heuristic (exact for blocks parked on freelists; a live
+/// block whose owner stored exactly the poison value is a false positive
+/// the quarantine does not share).
+///
+/// # Safety
+///
+/// `block` must point to a readable block-sized region.
+#[inline]
+pub unsafe fn is_free_poisoned(block: *mut u8) -> bool {
+    // SAFETY: per the contract, the second word is in bounds.
+    unsafe { (block as *const usize).add(1).read() == POISON }
+}
+
+/// Clears the free-poison word after a hardened verify accepted the
+/// block, so the next free of it is not mistaken for a double free.
+///
+/// # Safety
+///
+/// `block` must satisfy the module-level free-block conditions.
+#[inline]
+pub unsafe fn clear_poison_word(block: *mut u8) {
+    // SAFETY: per the contract, the second word is in bounds.
+    unsafe { (block as *mut usize).add(1).write(0) };
 }
 
 /// Panics (debug builds only) if `block` does not carry the free poison —
@@ -192,6 +358,12 @@ mod tests {
         Box::new([0u8; 32])
     }
 
+    fn key_for(blocks: &[*mut u8]) -> LinkKey {
+        let lo = blocks.iter().map(|&p| p as usize).min().unwrap();
+        let hi = blocks.iter().map(|&p| p as usize).max().unwrap();
+        LinkKey::hardened(0x5eed_cafe_f00d_1234, lo & !15, (hi & !15) + 32)
+    }
+
     #[test]
     fn link_round_trip() {
         let mut a = block();
@@ -199,9 +371,53 @@ mod tests {
         let pa = a.as_mut_ptr();
         let pb = b.as_mut_ptr();
         // SAFETY: `pa` points to 32 owned, writable bytes.
-        unsafe { write_next(pa, pb) };
+        unsafe { write_next(pa, pb, LinkKey::PLAIN) };
         // SAFETY: link was just written.
-        assert_eq!(unsafe { read_next(pa) }, pb);
+        assert_eq!(unsafe { read_next(pa, LinkKey::PLAIN) }, pb);
+        // The plain encoding stores the bare pointer.
+        assert_eq!(unsafe { (pa as *const usize).read() }, pb as usize);
+    }
+
+    #[test]
+    fn keyed_link_round_trips_and_scrambles() {
+        let mut a = block();
+        let mut b = block();
+        let pa = a.as_mut_ptr();
+        let pb = b.as_mut_ptr();
+        let key = key_for(&[pa, pb]);
+        // SAFETY: `pa` points to 32 owned, writable bytes.
+        unsafe { write_next(pa, pb, key) };
+        // SAFETY: link was just written under `key`.
+        assert_eq!(unsafe { read_next(pa, key) }, pb);
+        // The stored word is NOT the bare pointer (and not null for null).
+        assert_ne!(unsafe { (pa as *const usize).read() }, pb as usize);
+        // SAFETY: as above.
+        unsafe { write_next(pa, core::ptr::null_mut(), key) };
+        assert_ne!(unsafe { (pa as *const usize).read() }, 0);
+        assert!(unsafe { read_next(pa, key) }.is_null());
+        // A different slot encodes the same pointer differently.
+        // SAFETY: `pb` points to 32 owned, writable bytes.
+        unsafe { write_next(pb, pa, key) };
+        // SAFETY: both words just written.
+        let wa = unsafe { (pa as *const usize).read() };
+        let wb = unsafe { (pb as *const usize).read() };
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn plausibility_rejects_wild_decodes() {
+        let mut a = block();
+        let pa = a.as_mut_ptr();
+        let key = key_for(&[pa]);
+        assert!(key.plausible(core::ptr::null_mut()));
+        assert!(key.plausible((pa as usize & !15) as *mut u8));
+        // Unaligned, below-base, and random addresses are rejected.
+        assert!(!key.plausible((pa as usize & !15).wrapping_add(8) as *mut u8));
+        assert!(!key.plausible(8 as *mut u8));
+        assert!(!key.plausible(usize::MAX as *mut u8));
+        // The plain key never validates (callers skip the check).
+        assert!(LinkKey::PLAIN.is_plain());
+        assert!(!key.is_plain());
     }
 
     #[test]
@@ -218,6 +434,31 @@ mod tests {
     }
 
     #[test]
+    fn hardened_poison_covers_the_body() {
+        let mut a = block();
+        let pa = a.as_mut_ptr();
+        // SAFETY: `pa` points to 32 owned bytes.
+        unsafe {
+            poison_free(pa, 32);
+            assert!(is_free_poisoned(pa));
+            assert!(verify_free_poison(pa, 32).is_ok());
+            // A body scribble (word 2) is pinpointed.
+            (pa as *mut usize).add(2).write(0x41414141);
+            let bad = verify_free_poison(pa, 32).unwrap_err();
+            assert_eq!(bad, (pa as *const usize).add(2) as usize);
+            // The poison word itself is covered too.
+            (pa as *mut usize).add(2).write(BODY_POISON);
+            (pa as *mut usize).add(1).write(0);
+            assert!(verify_free_poison(pa, 32).is_err());
+            assert!(!is_free_poisoned(pa));
+            // Clearing after a successful verify resets the state.
+            poison_free(pa, 32);
+            clear_poison_word(pa);
+            assert!(!is_free_poisoned(pa));
+        }
+    }
+
+    #[test]
     fn stash_round_trip_restores_poison() {
         let mut a = block();
         let mut b = block();
@@ -226,10 +467,29 @@ mod tests {
         // SAFETY: both point to 32 owned, writable bytes.
         unsafe {
             poison(pa);
-            write_stash(pa, pb);
-            assert_eq!(take_stash(pa), pb);
+            write_stash(pa, pb, LinkKey::PLAIN);
+            assert_eq!(take_stash(pa, LinkKey::PLAIN), pb);
             // Poison is back: the alloc-time check passes.
             check_and_clear_poison_on_alloc(pa);
+        }
+    }
+
+    #[test]
+    fn keyed_stash_round_trip_restores_poison() {
+        let mut a = block();
+        let mut b = block();
+        let pa = a.as_mut_ptr();
+        let pb = b.as_mut_ptr();
+        let key = key_for(&[pa, pb]);
+        // SAFETY: both point to 32 owned, writable bytes.
+        unsafe {
+            poison_free(pa, 32);
+            write_stash(pa, pb, key);
+            // The stashed word is encoded, not the bare pointer.
+            assert_ne!((pa as *const usize).add(1).read(), pb as usize);
+            assert_eq!(take_stash(pa, key), pb);
+            // The unconditional restore re-arms the poison in all builds.
+            assert!(is_free_poisoned(pa));
         }
     }
 
@@ -239,12 +499,15 @@ mod tests {
         let mut b = block();
         let pa = a.as_mut_ptr();
         let pb = b.as_mut_ptr();
-        // SAFETY: `pa` points to 32 owned, writable bytes.
-        unsafe { write_next_atomic(pa, pb) };
-        // SAFETY: link was just written; mixed atomic/plain access to the
-        // same word is fine from a single thread.
-        assert_eq!(unsafe { read_next_atomic(pa) }, pb);
-        assert_eq!(unsafe { read_next(pa) }, pb);
+        let key = key_for(&[pa, pb]);
+        for k in [LinkKey::PLAIN, key] {
+            // SAFETY: `pa` points to 32 owned, writable bytes.
+            unsafe { write_next_atomic(pa, pb, k) };
+            // SAFETY: link was just written; mixed atomic/plain access to
+            // the same word is fine from a single thread.
+            assert_eq!(unsafe { read_next_atomic(pa, k) }, pb);
+            assert_eq!(unsafe { read_next(pa, k) }, pb);
+        }
     }
 
     #[test]

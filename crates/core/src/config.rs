@@ -42,6 +42,93 @@ impl ClassConfig {
     }
 }
 
+/// The hardened-profile knobs: which heap-corruption defenses an arena
+/// runs with. The default ([`HardenedConfig::off`]) is the paper's plain
+/// profile — every defense compiled in but dormant, with the dormant cost
+/// of the link paths being the identity XOR mask (see
+/// [`crate::block::LinkKey::PLAIN`]).
+///
+/// The defenses are the SLUB-style quartet: XOR-encoded freelist links,
+/// poison-on-free verified on alloc, seeded randomized carve order for
+/// fresh pages, and a per-CPU double-free quarantine ring. Each can be
+/// toggled independently (the overhead bench prices them one at a time);
+/// [`HardenedConfig::full`] turns them all on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardenedConfig {
+    /// XOR-encode every intrusive `next`/stash word with
+    /// `secret ^ word_address`, so a decoded clobber is implausible and
+    /// detected rather than dereferenced.
+    pub encode: bool,
+    /// Fill freed blocks with the poison pattern and verify it on the
+    /// next allocation; an overwrite is a detected use-after-free.
+    pub poison: bool,
+    /// Shuffle the order in which a fresh page's blocks are carved onto
+    /// its freelist, so heap feng-shui cannot rely on address-ordered
+    /// allocation.
+    pub randomize: bool,
+    /// Per-CPU double-free quarantine ring size in blocks (0 disables the
+    /// ring). A freed block parks here; freeing it again while parked is
+    /// a detected double free.
+    pub quarantine: usize,
+    /// Panic with the corruption report instead of returning
+    /// [`crate::KmemError::Corruption`]. Off by default: a production
+    /// kernel wants the typed error, `should_panic` tests want the panic.
+    pub panic_on_corruption: bool,
+    /// Seed for the per-arena link secret and the carve shuffle. Two
+    /// arenas with the same seed still derive different secrets (the
+    /// arena id is mixed in), but a fixed seed makes torture rounds
+    /// reproducible.
+    pub seed: u64,
+}
+
+impl HardenedConfig {
+    /// Every defense off — the paper's plain profile.
+    pub const fn off() -> Self {
+        HardenedConfig {
+            encode: false,
+            poison: false,
+            randomize: false,
+            quarantine: 0,
+            panic_on_corruption: false,
+            seed: 0,
+        }
+    }
+
+    /// Every defense on: encoded links, poisoning, randomized carve, and
+    /// an 8-slot per-CPU quarantine, reporting corruption as typed
+    /// errors. The quarantine is deliberately small: its job is catching
+    /// the free/free-again window, not delaying reuse, and each slot
+    /// holds a block out of circulation per CPU per class.
+    pub const fn full(seed: u64) -> Self {
+        HardenedConfig {
+            encode: true,
+            poison: true,
+            randomize: true,
+            quarantine: 8,
+            panic_on_corruption: false,
+            seed,
+        }
+    }
+
+    /// Whether any defense is active (the one branch the dormant path
+    /// pays per configuration read).
+    pub const fn any(&self) -> bool {
+        self.encode || self.poison || self.randomize || self.quarantine > 0
+    }
+
+    /// Panic instead of returning typed corruption errors.
+    pub const fn panicking(mut self) -> Self {
+        self.panic_on_corruption = true;
+        self
+    }
+}
+
+impl Default for HardenedConfig {
+    fn default() -> Self {
+        HardenedConfig::off()
+    }
+}
+
 /// Configuration for a [`crate::KmemArena`].
 #[derive(Debug, Clone)]
 pub struct KmemConfig {
@@ -78,6 +165,8 @@ pub struct KmemConfig {
     pub faults: Faults,
     /// Watermarks and hysteresis for the memory-pressure ladder.
     pub pressure: PressureConfig,
+    /// Heap-corruption defenses ([`HardenedConfig::off`] by default).
+    pub hardened: HardenedConfig,
 }
 
 impl KmemConfig {
@@ -98,6 +187,7 @@ impl KmemConfig {
             release_empty_vmblks: true,
             faults: Faults::none(),
             pressure: PressureConfig::default(),
+            hardened: HardenedConfig::off(),
         }
     }
 
@@ -110,6 +200,12 @@ impl KmemConfig {
     /// Spreads the arena over `nodes` NUMA nodes (block CPU mapping).
     pub fn nodes(mut self, nodes: usize) -> Self {
         self.nodes = nodes;
+        self
+    }
+
+    /// Replaces the hardened profile (builder form of the field).
+    pub fn hardened(mut self, hardened: HardenedConfig) -> Self {
+        self.hardened = hardened;
         self
     }
 
@@ -240,6 +336,19 @@ mod tests {
         cfg.validate();
         assert_eq!(cfg.topology().nnodes(), 2);
         assert_eq!(cfg.topology().ncpus(), 4);
+    }
+
+    #[test]
+    fn hardened_defaults_off_and_full_turns_everything_on() {
+        let cfg = KmemConfig::small();
+        assert!(!cfg.hardened.any());
+        let cfg = cfg.hardened(HardenedConfig::full(42));
+        assert!(cfg.hardened.any());
+        assert!(cfg.hardened.encode && cfg.hardened.poison && cfg.hardened.randomize);
+        assert!(cfg.hardened.quarantine > 0);
+        assert!(!cfg.hardened.panic_on_corruption);
+        assert!(HardenedConfig::full(1).panicking().panic_on_corruption);
+        cfg.validate();
     }
 
     #[test]

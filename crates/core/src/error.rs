@@ -4,14 +4,50 @@ use core::fmt;
 
 use kmem_vm::VmError;
 
+/// Where a hardened-profile corruption check fired.
+///
+/// Each site's [`fmt::Display`] string names the misuse the same way the
+/// debug-build `debug_assert!` guards do ("double free", "use-after-free",
+/// "different arena"), so `#[should_panic(expected = ...)]` tests match
+/// across build profiles and detection mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionSite {
+    /// A free of a block still sitting in the per-CPU quarantine ring.
+    DoubleFreeQuarantine,
+    /// A free of a block whose free-poison word is still intact — the
+    /// block is already on some freelist.
+    DoubleFreePoison,
+    /// Verify-on-alloc found the free-poison pattern overwritten: the
+    /// block was written to after it was freed.
+    PoisonOverwrite,
+    /// A freed block's encoded `next` word decoded to an implausible
+    /// pointer: the intrusive freelist link was clobbered.
+    FreelistLink,
+    /// A cookie minted by one arena was presented to another.
+    CookieArena,
+}
+
+impl fmt::Display for CorruptionSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CorruptionSite::DoubleFreeQuarantine => "double free (quarantine hit)",
+            CorruptionSite::DoubleFreePoison => "double free (free poison intact)",
+            CorruptionSite::PoisonOverwrite => "use-after-free (free poison overwritten)",
+            CorruptionSite::FreelistLink => "corrupted freelist link",
+            CorruptionSite::CookieArena => "cookie used on a different arena",
+        })
+    }
+}
+
 /// Errors returned by allocation paths.
 ///
 /// The paper's `kmem_alloc` can be called with `KM_NOSLEEP`, in which case
 /// it returns `NULL` under memory pressure; this enum is the typed version
 /// of that `NULL`, with enough detail to tell virtual from physical
-/// exhaustion in tests.
+/// exhaustion in tests — plus the hardened profile's typed corruption
+/// report, the alternative to panicking on detected heap misuse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AllocError {
+pub enum KmemError {
     /// A zero-byte allocation was requested.
     ZeroSize,
     /// The request exceeds what the arena can ever satisfy.
@@ -27,29 +63,45 @@ pub enum AllocError {
         /// The requested size in bytes.
         requested: usize,
     },
+    /// The hardened profile detected heap corruption (double free,
+    /// use-after-free, clobbered freelist link, cross-arena cookie).
+    /// Returned instead of panicking when
+    /// [`crate::config::HardenedConfig::panic_on_corruption`] is off.
+    Corruption {
+        /// Which check fired.
+        site: CorruptionSite,
+        /// Address of the offending block.
+        addr: usize,
+    },
 }
 
-impl fmt::Display for AllocError {
+/// Historical name for [`KmemError`]; every allocation API returns it.
+pub type AllocError = KmemError;
+
+impl fmt::Display for KmemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AllocError::ZeroSize => write!(f, "zero-size allocation"),
-            AllocError::TooLarge { requested, max } => {
+            KmemError::ZeroSize => write!(f, "zero-size allocation"),
+            KmemError::TooLarge { requested, max } => {
                 write!(f, "request of {requested} bytes exceeds maximum {max}")
             }
-            AllocError::OutOfMemory { requested } => {
+            KmemError::OutOfMemory { requested } => {
                 write!(f, "out of memory allocating {requested} bytes")
+            }
+            KmemError::Corruption { site, addr } => {
+                write!(f, "kmem corruption: {site} at {addr:#x}")
             }
         }
     }
 }
 
-impl std::error::Error for AllocError {}
+impl std::error::Error for KmemError {}
 
-impl From<VmError> for AllocError {
+impl From<VmError> for KmemError {
     fn from(_: VmError) -> Self {
         // Detail about which resource ran out is recorded in the VM stats;
         // allocation callers only observe memory exhaustion.
-        AllocError::OutOfMemory { requested: 0 }
+        KmemError::OutOfMemory { requested: 0 }
     }
 }
 
@@ -59,14 +111,33 @@ mod tests {
 
     #[test]
     fn display_mentions_sizes() {
-        let s = AllocError::TooLarge {
+        let s = KmemError::TooLarge {
             requested: 10,
             max: 5,
         }
         .to_string();
         assert!(s.contains("10") && s.contains('5'));
-        assert!(AllocError::OutOfMemory { requested: 64 }
+        assert!(KmemError::OutOfMemory { requested: 64 }
             .to_string()
             .contains("64"));
+    }
+
+    #[test]
+    fn corruption_display_names_the_misuse() {
+        // The should_panic phrases the misuse tests match on must survive
+        // in the typed error's rendering, whatever the build profile.
+        let cases = [
+            (CorruptionSite::DoubleFreeQuarantine, "double free"),
+            (CorruptionSite::DoubleFreePoison, "double free"),
+            (CorruptionSite::PoisonOverwrite, "use-after-free"),
+            (CorruptionSite::FreelistLink, "freelist link"),
+            (CorruptionSite::CookieArena, "different arena"),
+        ];
+        for (site, phrase) in cases {
+            let e = KmemError::Corruption { site, addr: 0x4000 };
+            let s = e.to_string();
+            assert!(s.contains(phrase), "{s:?} missing {phrase:?}");
+            assert!(s.contains("0x4000"), "{s:?} missing the address");
+        }
     }
 }

@@ -32,11 +32,11 @@
 //! never entered while the slow-path lock is held.
 
 use core::ptr;
-use core::sync::atomic::{AtomicI64, Ordering};
+use core::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 
 use kmem_smp::{faults, EventCounter, Faults, SpinLock, TaggedAtomic};
 
-use crate::block;
+use crate::block::{self, LinkKey};
 use crate::chain::Chain;
 
 /// Statistics for one global pool.
@@ -139,6 +139,15 @@ pub struct GlobalPool {
     bucket: SpinLock<Chain>,
     target: usize,
     gbltarget: usize,
+    /// Link-encoding key shared with every chain this pool handles (the
+    /// arena's per-secret key under the hardened profile, identity
+    /// otherwise). Steal targets share the arena key, so a stolen chain
+    /// decodes on the thief's node exactly as it would at home.
+    key: LinkKey,
+    /// Blocks sunk by a detected bucket-link corruption: they are
+    /// unreachable through the clobbered word, so the pool drops them and
+    /// records the loss here for the conservation check.
+    sunk: AtomicUsize,
     faults: Faults,
     stats: GlobalStats,
 }
@@ -153,16 +162,30 @@ impl GlobalPool {
     /// site is consulted on *both* the CAS fast path and the locked slow
     /// path of [`GlobalPool::get_chain`].
     pub fn new_with_faults(target: usize, gbltarget: usize, faults: Faults) -> Self {
+        GlobalPool::new_hardened(target, gbltarget, Faults::none(), LinkKey::PLAIN)
+            .with_faults(faults)
+    }
+
+    /// Creates an empty pool whose stack words, stash words, and bucket
+    /// links are all encoded under `key`.
+    pub fn new_hardened(target: usize, gbltarget: usize, faults: Faults, key: LinkKey) -> Self {
         assert!(target >= 1, "target-sized chains must hold a block");
         GlobalPool {
             stack: TaggedAtomic::null(),
             slow_net: AtomicI64::new(0),
-            bucket: SpinLock::new(Chain::new()),
+            bucket: SpinLock::new(Chain::new_keyed(key)),
             target,
             gbltarget,
+            key,
+            sunk: AtomicUsize::new(0),
             faults,
             stats: GlobalStats::default(),
         }
+    }
+
+    fn with_faults(mut self, faults: Faults) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// This pool's `target`.
@@ -195,15 +218,15 @@ impl GlobalPool {
             // SAFETY: we own the chain; head and its successor are free
             // blocks of at least MIN_BLOCK bytes.
             unsafe {
-                let second = block::read_next(head);
-                block::write_stash(head, second);
-                block::write_stash(second, tail);
+                let second = block::read_next(head, self.key);
+                block::write_stash(head, second, self.key);
+                block::write_stash(second, tail, self.key);
             }
         }
         let mut cur = self.stack.load();
         loop {
             // SAFETY: we still own `head` until the CAS publishes it.
-            unsafe { block::write_next_atomic(head, cur.ptr()) };
+            unsafe { block::write_next_atomic(head, cur.ptr(), self.key) };
             match self.stack.compare_exchange(cur, head) {
                 Ok(_) => return,
                 Err(seen) => {
@@ -228,7 +251,7 @@ impl GlobalPool {
             // CPU — the arena reservation is type-stable, so this atomic
             // load cannot fault, and a stale value is discarded below
             // when the generation-tag CAS fails.
-            let next = unsafe { block::read_next_atomic(head) };
+            let next = unsafe { block::read_next_atomic(head, self.key) };
             match self.stack.compare_exchange(cur, next) {
                 Ok(_) => {
                     // SAFETY: the successful tag CAS transferred the
@@ -253,20 +276,35 @@ impl GlobalPool {
         if self.target == 1 {
             // SAFETY: we own `head`; racing poppers may still load its
             // first word, hence the atomic store.
-            unsafe { block::write_next_atomic(head, ptr::null_mut()) };
+            unsafe { block::write_next_atomic(head, ptr::null_mut(), self.key) };
             // SAFETY: a single owned block is a well-formed chain.
-            return unsafe { Chain::from_raw(head, head, 1) };
+            return unsafe { Chain::from_raw(head, head, 1, self.key) };
         }
         // SAFETY: push_stack stashed the second-block and tail pointers
         // in the spare words; taking them back re-poisons the words.
-        let second = unsafe { block::take_stash(head) };
-        // SAFETY: as above.
-        let tail = unsafe { block::take_stash(second) };
+        let second = unsafe { block::take_stash(head, self.key) };
+        // Under a hardened key, a scribble over the head's stash word
+        // decodes to an implausible second-block pointer; stop before
+        // dereferencing it. A clean panic (not a typed error) because the
+        // popped chain is already off the stack: there is no caller state
+        // to unwind to that could keep the arena consistent.
+        if !self.key.is_plain() && (!self.key.plausible(second) || second.is_null()) {
+            panic!(
+                "corrupted freelist link: stash word of stacked chain head {head:p} decoded to {second:p}"
+            );
+        }
+        // SAFETY: as above (plausibility-checked under hardened keys).
+        let tail = unsafe { block::take_stash(second, self.key) };
+        if !self.key.is_plain() && (!self.key.plausible(tail) || tail.is_null()) {
+            panic!(
+                "corrupted freelist link: tail stash of stacked chain {head:p} decoded to {tail:p}"
+            );
+        }
         // SAFETY: restoring the intra-chain link we displaced; atomic
         // because racing poppers may still load this word.
-        unsafe { block::write_next_atomic(head, second) };
+        unsafe { block::write_next_atomic(head, second, self.key) };
         // SAFETY: head -> second -> … -> tail is the original chain.
-        unsafe { Chain::from_raw(head, tail, self.target) }
+        unsafe { Chain::from_raw(head, tail, self.target, self.key) }
     }
 
     /// Conservative lock-free estimate of the blocks on the stack.
@@ -412,7 +450,19 @@ impl GlobalPool {
             return None;
         }
         let n = bucket.len().min(self.target);
-        let chain = bucket.split_first(n);
+        let chain = match bucket.try_split_first(n) {
+            Ok(chain) => chain,
+            Err(fault) => {
+                // A clobbered bucket link: the walk stopped before
+                // dereferencing it, the bucket sank its now-unreachable
+                // blocks, and this get becomes a miss the page layer will
+                // serve. The loss is recorded for the conservation check.
+                drop(bucket);
+                self.sunk.fetch_add(fault.lost, Ordering::Relaxed);
+                self.stats.get_miss.inc();
+                return None;
+            }
+        };
         drop(bucket);
         if n < self.target {
             self.stats.get_short_deficit.add((self.target - n) as u64);
@@ -520,7 +570,7 @@ impl GlobalPool {
         if total <= bound {
             return None;
         }
-        let mut spill = Chain::new();
+        let mut spill = Chain::new_keyed(self.key);
         while total > bound {
             let excess = total - bound;
             match self.pop_stack_slow() {
@@ -563,6 +613,13 @@ impl GlobalPool {
     /// Returns whether the pool is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Blocks this pool sank on detected bucket-link corruption — still
+    /// part of the arena's reservation, so the conservation check counts
+    /// them alongside free and cached blocks.
+    pub fn sunk(&self) -> usize {
+        self.sunk.load(Ordering::Relaxed)
     }
 
     /// Drains every block (arena teardown and low-memory reclaim).
@@ -943,6 +1000,77 @@ mod tests {
             .fired;
         assert_eq!(fired, 2, "one firing per path");
         discard(pool.drain_all());
+    }
+
+    /// 16-aligned backing store for hardened-key tests (plausibility
+    /// checks reject unaligned link targets).
+    #[repr(align(16))]
+    struct Aligned([u8; 32]);
+
+    // Boxed so each block keeps a stable address while the Vec grows.
+    #[expect(clippy::vec_box)]
+    fn aligned_store(n: usize) -> (Vec<Box<Aligned>>, LinkKey) {
+        let store: Vec<Box<Aligned>> = (0..n).map(|_| Box::new(Aligned([0u8; 32]))).collect();
+        let lo = store.iter().map(|b| b.0.as_ptr() as usize).min().unwrap();
+        let hi = store.iter().map(|b| b.0.as_ptr() as usize).max().unwrap();
+        let key = LinkKey::hardened(0xfeed_5eed, lo, hi + 32);
+        (store, key)
+    }
+
+    fn keyed_chain(
+        store: &mut [Box<Aligned>],
+        key: LinkKey,
+        range: core::ops::Range<usize>,
+    ) -> Chain {
+        let mut c = Chain::new_keyed(key);
+        for b in &mut store[range] {
+            // SAFETY: fake blocks are owned and disjoint.
+            unsafe { c.push(b.0.as_mut_ptr()) };
+        }
+        c
+    }
+
+    #[test]
+    fn hardened_pool_round_trips_encoded_chains() {
+        // The Treiber stack's word-stash layout must decode/re-encode
+        // correctly under a hardened key: chains survive push/pop (and
+        // steal_chain, the cross-shard path) with members and tail intact.
+        let (mut store, key) = aligned_store(16);
+        let pool = GlobalPool::new_hardened(3, 12, Faults::none(), key);
+        let c = keyed_chain(&mut store, key, 0..3);
+        let members: Vec<*mut u8> = c.iter().collect();
+        assert!(pool.put_chain(c).is_none());
+        assert!(pool.put_chain(keyed_chain(&mut store, key, 3..6)).is_none());
+        // Stack depth 2: the deeper chain's stash words round-trip too.
+        let stolen = pool.steal_chain().unwrap();
+        assert_eq!(stolen.len(), 3);
+        let mut got = pool.get_chain().unwrap();
+        assert_eq!(got.iter().collect::<Vec<_>>(), members);
+        // Tail survived the stash round trip: append still works.
+        let mut more = keyed_chain(&mut store, key, 6..7);
+        got.append(&mut more);
+        assert_eq!(got.len(), 4);
+        discard(stolen);
+        discard(got);
+    }
+
+    #[test]
+    fn hardened_bucket_corruption_is_sunk_not_dereferenced() {
+        let (mut store, key) = aligned_store(8);
+        let pool = GlobalPool::new_hardened(4, 8, Faults::none(), key);
+        let chain = keyed_chain(&mut store, key, 0..3);
+        let head = chain.peek().unwrap();
+        assert!(pool.put_odd(chain).is_none());
+        // Scribble the bucket head's encoded link (a use-after-free).
+        // SAFETY: the fake block is owned by the test.
+        unsafe { (head as *mut usize).write(0x4141_4141_4141_4141_u64 as usize) };
+        assert!(
+            pool.get_chain().is_none(),
+            "a clobbered bucket must miss, not hand out garbage"
+        );
+        assert_eq!(pool.sunk(), 3, "the unreachable blocks are accounted");
+        assert_eq!(pool.len(), 0);
+        assert_eq!(pool.stats().get_miss.get(), 1);
     }
 
     #[test]

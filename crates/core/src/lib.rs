@@ -76,9 +76,9 @@ pub mod verify;
 pub mod vmblklayer;
 
 pub use arena::{CpuHandle, KmemArena};
-pub use config::{ClassConfig, KmemConfig};
+pub use config::{ClassConfig, HardenedConfig, KmemConfig};
 pub use cookie::Cookie;
-pub use error::AllocError;
+pub use error::{AllocError, CorruptionSite, KmemError};
 pub use kmem_smp::{faults, FailPolicy, FaultPlan, Faults};
 pub use object::{KBox, Obj, ObjectCache};
 pub use pressure::PressureConfig;

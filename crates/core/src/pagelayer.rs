@@ -54,7 +54,7 @@ use core::sync::atomic::{AtomicUsize, Ordering};
 use kmem_smp::{faults, EventCounter, Faults, NodeId, TaggedPtr};
 use kmem_vm::{VmError, PAGE_SIZE};
 
-use crate::block;
+use crate::block::{self, LinkKey};
 use crate::chain::Chain;
 use crate::pagedesc::{PageDesc, PdKind, PdStack};
 use crate::vmblklayer::VmblkLayer;
@@ -140,6 +140,15 @@ pub struct PageLayer {
     npages: AtomicUsize,
     /// Free blocks across all owned pages.
     free_blocks: AtomicUsize,
+    /// Link-encoding key for the per-page `afree` freelists (the arena
+    /// key under the hardened profile, identity otherwise).
+    key: LinkKey,
+    /// `Some(seed)` shuffles each fresh page's carve order (hardened
+    /// randomization); `None` carves in ascending address order.
+    shuffle_seed: Option<u64>,
+    /// Write the full free-poison pattern at carve time, so verify-on-
+    /// alloc holds for never-yet-allocated blocks too.
+    poison: bool,
     faults: Faults,
     stats: PageLayerStats,
 }
@@ -153,6 +162,30 @@ impl PageLayer {
     /// As [`new`](PageLayer::new), wired to a fault-injection plan
     /// (consults `page.get` and `page.coalesce`).
     pub fn new_with_faults(class: usize, block_size: usize, radix: bool, faults: Faults) -> Self {
+        PageLayer::new_hardened(
+            class,
+            block_size,
+            radix,
+            faults,
+            LinkKey::PLAIN,
+            None,
+            false,
+        )
+    }
+
+    /// As [`new_with_faults`](PageLayer::new_with_faults), with the
+    /// hardened profile's knobs: freelist links encoded under `key`,
+    /// fresh pages carved in an order shuffled from `shuffle_seed`, and
+    /// (`poison`) the free-poison pattern laid down at carve time.
+    pub fn new_hardened(
+        class: usize,
+        block_size: usize,
+        radix: bool,
+        faults: Faults,
+        key: LinkKey,
+        shuffle_seed: Option<u64>,
+        poison: bool,
+    ) -> Self {
         assert!(block_size.is_power_of_two() && block_size <= PAGE_SIZE);
         let blocks_per_page = PAGE_SIZE / block_size;
         PageLayer {
@@ -163,6 +196,9 @@ impl PageLayer {
             buckets: (0..=blocks_per_page).map(|_| PdStack::new()).collect(),
             npages: AtomicUsize::new(0),
             free_blocks: AtomicUsize::new(0),
+            key,
+            shuffle_seed,
+            poison,
             faults,
             stats: PageLayerStats::default(),
         }
@@ -207,7 +243,7 @@ impl PageLayer {
             });
         }
         self.stats.refills.inc();
-        let mut chain = Chain::new();
+        let mut chain = Chain::new_keyed(self.key);
         while chain.len() < want {
             let pd = match self.pop_page() {
                 Some(pd) => pd,
@@ -261,7 +297,7 @@ impl PageLayer {
                 // SAFETY: `next` is free and ours per the function
                 // contract; the run stays private until the splice below
                 // publishes it.
-                unsafe { block::write_next_atomic(next, run_head) };
+                unsafe { block::write_next_atomic(next, run_head, self.key) };
                 run_head = next;
                 k += 1;
             }
@@ -272,7 +308,7 @@ impl PageLayer {
             let mut head = pd.afree().load();
             loop {
                 // SAFETY: `run_tail` is free and ours per the contract.
-                unsafe { block::write_next_atomic(run_tail, head.ptr()) };
+                unsafe { block::write_next_atomic(run_tail, head.ptr(), self.key) };
                 match pd.afree().compare_exchange(head, run_head) {
                     Ok(_) => break,
                     Err(seen) => {
@@ -431,7 +467,7 @@ impl PageLayer {
                 debug_assert!(!blk.is_null(), "page freelist under-supplied");
                 // SAFETY: `blk` is a free block of this page; its next
                 // field was published by the pushing CPU's Release CAS.
-                let next = unsafe { block::read_next_atomic(blk) };
+                let next = unsafe { block::read_next_atomic(blk, self.key) };
                 // SAFETY: reserved above.
                 unsafe { chain.push(blk) };
                 blk = next;
@@ -445,7 +481,7 @@ impl PageLayer {
                 let mut tail = blk;
                 loop {
                     // SAFETY: surplus blocks are ours until respliced.
-                    let next = unsafe { block::read_next_atomic(tail) };
+                    let next = unsafe { block::read_next_atomic(tail, self.key) };
                     if next.is_null() {
                         break;
                     }
@@ -454,7 +490,7 @@ impl PageLayer {
                 let mut head = pdr.afree().load();
                 loop {
                     // SAFETY: `tail` is ours until the CAS publishes it.
-                    unsafe { block::write_next_atomic(tail, head.ptr()) };
+                    unsafe { block::write_next_atomic(tail, head.ptr(), self.key) };
                     match pdr.afree().compare_exchange(head, blk) {
                         Ok(_) => break,
                         Err(seen) => {
@@ -663,19 +699,52 @@ impl PageLayer {
         let base = page.as_ptr();
         pd.set_class(self.class);
         pd.set_kind(PdKind::BlockPage);
-        // Carve the page into blocks, building the page freelist in
-        // ascending address order. Plain writes: nothing is published
-        // until the freelist-head CAS below releases them.
+        // Carve the page into blocks, building the page freelist — in
+        // ascending address order by default, or in an order shuffled
+        // from the hardened seed so allocation order does not expose the
+        // page layout. Plain writes: nothing is published until the
+        // freelist-head CAS below releases them.
         let mut freelist = ptr::null_mut();
-        for i in (0..self.blocks_per_page).rev() {
+        let carve = |i: usize, freelist: &mut *mut u8| {
             // SAFETY: offsets stay inside the page we own.
             let blk = unsafe { base.add(i * self.block_size) };
             // SAFETY: `blk` is a fresh free block of this page.
             unsafe {
-                block::write_next(blk, freelist);
-                block::poison(blk);
+                block::write_next(blk, *freelist, self.key);
+                if self.poison {
+                    block::poison_free(blk, self.block_size);
+                } else {
+                    block::poison(blk);
+                }
             }
-            freelist = blk;
+            *freelist = blk;
+        };
+        match self.shuffle_seed {
+            None => {
+                for i in (0..self.blocks_per_page).rev() {
+                    carve(i, &mut freelist);
+                }
+            }
+            Some(seed) => {
+                // Fisher–Yates over the block indices, seeded per page
+                // (arena seed ⊕ page address) so two pages of the same
+                // class carve in different orders but a fixed seed keeps
+                // the whole run reproducible.
+                let mut order: Vec<usize> = (0..self.blocks_per_page).collect();
+                let mut s = seed ^ base as u64;
+                for i in (1..order.len()).rev() {
+                    // splitmix64 step — self-contained, no RNG dependency.
+                    s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = s;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    z ^= z >> 31;
+                    order.swap(i, (z % (i as u64 + 1)) as usize);
+                }
+                for &i in &order {
+                    carve(i, &mut freelist);
+                }
+            }
         }
         // The page is exclusively ours, so these CASes cannot contend;
         // the loops only track the tag.
@@ -777,7 +846,7 @@ impl PageLayer {
                 while !blk.is_null() {
                     n += 1;
                     // SAFETY: page freelist blocks are free and linked.
-                    blk = unsafe { block::read_next_atomic(blk) };
+                    blk = unsafe { block::read_next_atomic(blk, self.key) };
                 }
                 f(st.count(), n);
             }
@@ -1004,6 +1073,44 @@ mod tests {
         // SAFETY: blocks from this layer.
         unsafe { layer.free_chain(&vm, warm) };
         assert_eq!(layer.usage(), (0, 0));
+    }
+
+    #[test]
+    fn hardened_carve_is_shuffled_encoded_and_poisoned() {
+        let space = Arc::new(KernelSpace::new(
+            SpaceConfig::new(1 << 20).vmblk_shift(14).phys_pages(64),
+        ));
+        let base = space.base_addr();
+        let key = LinkKey::hardened(0xc0de_5eed, base, base + (1 << 20));
+        let vm = VmblkLayer::new(space, true);
+        let layer =
+            PageLayer::new_hardened(3, 256, true, Faults::none(), key, Some(0x5eed_f00d), true);
+        // One whole page: 16 blocks, all through encoded afree links.
+        let mut chain = layer.alloc_chain(&vm, 16).unwrap();
+        assert_eq!(chain.len(), 16);
+        let mut order = Vec::new();
+        while let Some(b) = chain.pop() {
+            // Carve-time poison: word 1 and the body still carry the
+            // pattern (only word 0 was used for links).
+            // SAFETY: `b` is a free block of the page just carved.
+            assert!(unsafe { block::verify_free_poison(b, 256) }.is_ok());
+            order.push(b as usize);
+        }
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        let reversed: Vec<usize> = sorted.iter().rev().copied().collect();
+        assert_ne!(order, sorted, "carve order must not be ascending");
+        assert_ne!(order, reversed, "carve order must not be descending");
+        // Hand everything back; the page drains and is released.
+        let mut back = Chain::new_keyed(key);
+        for a in order {
+            // SAFETY: these are the blocks we just took.
+            unsafe { back.push(a as *mut u8) };
+        }
+        // SAFETY: as above.
+        unsafe { layer.free_chain(&vm, back) };
+        assert_eq!(layer.usage(), (0, 0));
+        assert_eq!(vm.space().phys().in_use(), 0);
     }
 
     #[test]

@@ -19,7 +19,8 @@
 
 use kmem_smp::{ExclusionFlag, LocalCounter};
 
-use crate::chain::Chain;
+use crate::block::LinkKey;
+use crate::chain::{Chain, ChainFault};
 
 /// Number of buckets in the cache-occupancy histogram: bucket `i` counts
 /// samples where the cache held between `i/8` and `(i+1)/8` of its
@@ -95,6 +96,20 @@ impl CacheStats {
     }
 }
 
+/// What the double-free quarantine said about a freed block.
+#[derive(Debug, PartialEq, Eq)]
+pub enum QuarantineVerdict {
+    /// The block is already parked in the ring: this free is a double
+    /// free, caught before it could damage a list.
+    Hit,
+    /// The block was parked; the free is complete for now (the block
+    /// re-enters circulation when it is evicted or the cache flushes).
+    Parked,
+    /// The block was parked and the oldest resident evicted; the caller
+    /// continues the free with the evicted block.
+    Evicted(*mut u8),
+}
+
 /// One per-(CPU, class) cache: the split freelist plus its bookkeeping.
 pub struct CpuCache {
     main: Chain,
@@ -104,19 +119,42 @@ pub struct CpuCache {
     /// `false` selects the single-list ablation (no `aux`; overflow walks
     /// the list to split off a chain).
     split: bool,
+    /// Hardened-profile double-free quarantine: the most recently freed
+    /// blocks, parked out of circulation. A free whose block is still in
+    /// the ring is a double free. Empty (len 0) in the default profile.
+    quarantine: Box<[*mut u8]>,
+    /// Next ring slot to fill/evict.
+    q_pos: usize,
+    /// Occupied ring slots (grows to capacity, then stays).
+    q_len: usize,
     /// Simulated interrupt disabling: asserts the cache is never
     /// re-entered.
     excl: ExclusionFlag,
 }
 
+// SAFETY: the quarantine ring holds free blocks the cache owns outright,
+// exactly like the blocks threaded through `main`/`aux`; moving the cache
+// to another thread moves that ownership wholesale.
+unsafe impl Send for CpuCache {}
+
 impl CpuCache {
-    /// Creates an empty cache with the given `target`.
+    /// Creates an empty cache with the given `target` (plain link
+    /// encoding, no quarantine — the default profile).
     pub fn new(target: usize, split: bool) -> Self {
+        CpuCache::new_hardened(target, split, LinkKey::PLAIN, 0)
+    }
+
+    /// Creates an empty cache whose chains encode links under `key` and
+    /// whose double-free quarantine ring holds `quarantine` blocks.
+    pub fn new_hardened(target: usize, split: bool, key: LinkKey, quarantine: usize) -> Self {
         CpuCache {
-            main: Chain::new(),
-            aux: Chain::new(),
+            main: Chain::new_keyed(key),
+            aux: Chain::new_keyed(key),
             target,
             split,
+            quarantine: vec![core::ptr::null_mut(); quarantine].into_boxed_slice(),
+            q_pos: 0,
+            q_len: 0,
             excl: ExclusionFlag::new(),
         }
     }
@@ -229,16 +267,70 @@ impl CpuCache {
         overflow
     }
 
+    /// Checks `block` against the double-free quarantine and parks it.
+    ///
+    /// A hit means `block` is already sitting in the ring — a double free,
+    /// reported before any list is damaged. Otherwise the block is parked
+    /// and, once the ring is full, the oldest resident is evicted for the
+    /// caller to continue freeing. Only called on the hardened free path
+    /// (the ring has capacity 0 otherwise).
+    ///
+    /// The ring is per-(CPU, class): a double free whose second free runs
+    /// on another CPU is not caught here (the poison heuristic covers that
+    /// window), which keeps the check a short local scan.
+    pub fn quarantine_check_insert(&mut self, block: *mut u8) -> QuarantineVerdict {
+        let _irq = self.excl.enter();
+        if self.quarantine[..self.q_len].contains(&block) {
+            return QuarantineVerdict::Hit;
+        }
+        let evicted = self.quarantine[self.q_pos];
+        self.quarantine[self.q_pos] = block;
+        self.q_pos = (self.q_pos + 1) % self.quarantine.len();
+        if self.q_len < self.quarantine.len() {
+            self.q_len += 1;
+            QuarantineVerdict::Parked
+        } else {
+            QuarantineVerdict::Evicted(evicted)
+        }
+    }
+
+    /// Blocks currently parked in the quarantine ring (a gauge the
+    /// conservation check and snapshots account as neither cached nor
+    /// free).
+    #[inline]
+    pub fn quarantine_len(&self) -> usize {
+        self.q_len
+    }
+
+    /// Whether the ring can park blocks at all.
+    #[inline]
+    pub fn has_quarantine(&self) -> bool {
+        !self.quarantine.is_empty()
+    }
+
+    /// Takes the corruption fault latched by a chain walk inside this
+    /// cache, if any (hardened alloc path; see [`Chain::take_fault`]).
+    pub fn take_fault(&mut self) -> Option<ChainFault> {
+        self.main.take_fault().or_else(|| self.aux.take_fault())
+    }
+
     /// Flushes the whole cache, returning every block as one chain.
     ///
     /// Used for low-memory draining and arena teardown. The chain's length
     /// is arbitrary ("odd-sized"), so the global layer routes it through
-    /// its bucket list.
+    /// its bucket list. Quarantined blocks leave the ring and join the
+    /// chain: nothing stays parked across a flush.
     pub fn flush(&mut self) -> Chain {
         let _irq = self.excl.enter();
         let mut all = self.main.take();
         let mut aux = self.aux.take();
         all.append(&mut aux);
+        for i in 0..self.q_len {
+            // SAFETY: a parked block is a free block this cache owns.
+            unsafe { all.push(self.quarantine[i]) };
+        }
+        self.q_len = 0;
+        self.q_pos = 0;
         all
     }
 
@@ -446,6 +538,60 @@ mod tests {
         assert_eq!(all.len(), 5);
         assert!(cache.is_empty());
         drain_chain(all);
+    }
+
+    #[test]
+    fn quarantine_catches_a_double_free_and_evicts_fifo() {
+        let mut blocks = Blocks::new(8);
+        let mut cache = CpuCache::new_hardened(3, true, LinkKey::PLAIN, 2);
+        assert!(cache.has_quarantine());
+        let a = blocks.take();
+        let b = blocks.take();
+        let c = blocks.take();
+        assert_eq!(cache.quarantine_check_insert(a), QuarantineVerdict::Parked);
+        assert_eq!(cache.quarantine_check_insert(b), QuarantineVerdict::Parked);
+        assert_eq!(cache.quarantine_len(), 2);
+        // Freeing a block still in the ring is the double free.
+        assert_eq!(cache.quarantine_check_insert(a), QuarantineVerdict::Hit);
+        // A third distinct block evicts the oldest resident (FIFO).
+        assert_eq!(
+            cache.quarantine_check_insert(c),
+            QuarantineVerdict::Evicted(a)
+        );
+        assert_eq!(cache.quarantine_len(), 2);
+        // Flush surfaces the parked blocks and empties the ring.
+        let all = cache.flush();
+        assert_eq!(all.len(), 2);
+        assert_eq!(cache.quarantine_len(), 0);
+        drain_chain(all);
+    }
+
+    #[test]
+    fn hardened_cache_latches_faults_from_its_chains() {
+        // Real links must pass the key's 16-alignment plausibility check,
+        // so these fakes (unlike `Blocks`) carry the arena alignment.
+        #[repr(align(16))]
+        struct Aligned([u8; 64]);
+        let mut store: Vec<Box<Aligned>> = (0..2).map(|_| Box::new(Aligned([0u8; 64]))).collect();
+        let lo = store.iter().map(|s| s.0.as_ptr() as usize).min().unwrap();
+        let hi = store.iter().map(|s| s.0.as_ptr() as usize).max().unwrap();
+        let key = LinkKey::hardened(0x5eed, lo, hi + 64);
+        let mut cache = CpuCache::new_hardened(2, true, key, 0);
+        let a = store[0].0.as_mut_ptr();
+        let b = store[1].0.as_mut_ptr();
+        // SAFETY: fake blocks are owned and disjoint.
+        unsafe {
+            cache.free(a);
+            cache.free(b);
+        }
+        // Scribble the head's encoded link: the next alloc must miss and
+        // latch a fault instead of returning a wild pointer.
+        // SAFETY: the fake block is owned by the test.
+        unsafe { (b as *mut usize).write(0x4141_4141) };
+        assert!(cache.alloc().is_none());
+        let fault = cache.take_fault().expect("fault latched");
+        assert_eq!(fault.addr, b as usize);
+        assert_eq!(fault.lost, 2);
     }
 
     #[test]

@@ -613,6 +613,17 @@ pub struct KmemSnapshot {
     pub fault_hits: u64,
     /// Failpoint firings (injected failures).
     pub fault_fired: u64,
+    /// Hardened-profile corruption detections reported, all sites
+    /// (always zero in the default profile).
+    pub corruption_reports: u64,
+    /// Poison-based detections: double free by intact poison, or a
+    /// use-after-free write caught by verify-on-alloc.
+    pub poison_hits: u64,
+    /// Encoded-link detections: an implausible decode sank a chain.
+    pub encode_faults: u64,
+    /// Blocks currently parked in double-free quarantine rings (gauge;
+    /// `delta` keeps the later value).
+    pub quarantine_len: usize,
 }
 
 impl KmemSnapshot {
@@ -704,6 +715,12 @@ impl KmemSnapshot {
                 .saturating_sub(earlier.pressure_reapplied),
             fault_hits: self.fault_hits.saturating_sub(earlier.fault_hits),
             fault_fired: self.fault_fired.saturating_sub(earlier.fault_fired),
+            corruption_reports: self
+                .corruption_reports
+                .saturating_sub(earlier.corruption_reports),
+            poison_hits: self.poison_hits.saturating_sub(earlier.poison_hits),
+            encode_faults: self.encode_faults.saturating_sub(earlier.encode_faults),
+            quarantine_len: self.quarantine_len,
         }
     }
 
@@ -873,8 +890,17 @@ impl KmemSnapshot {
         arr(&mut out, &self.pressure_escalations);
         let _ = write!(
             out,
-            ",\"deescalations\":{},\"reapplied\":{}}},\"faults\":{{\"hits\":{},\"fired\":{}}}}}",
-            self.pressure_deescalations, self.pressure_reapplied, self.fault_hits, self.fault_fired,
+            ",\"deescalations\":{},\"reapplied\":{}}},\"faults\":{{\"hits\":{},\"fired\":{}}},\
+             \"hardened\":{{\"corruption_reports\":{},\"poison_hits\":{},\"encode_faults\":{},\
+             \"quarantine_len\":{}}}}}",
+            self.pressure_deescalations,
+            self.pressure_reapplied,
+            self.fault_hits,
+            self.fault_fired,
+            self.corruption_reports,
+            self.poison_hits,
+            self.encode_faults,
+            self.quarantine_len,
         );
         out
     }
@@ -1047,6 +1073,17 @@ impl KmemSnapshot {
         )?;
         mono("fault_hits".into(), self.fault_hits, earlier.fault_hits)?;
         mono("fault_fired".into(), self.fault_fired, earlier.fault_fired)?;
+        mono(
+            "corruption_reports".into(),
+            self.corruption_reports,
+            earlier.corruption_reports,
+        )?;
+        mono("poison_hits".into(), self.poison_hits, earlier.poison_hits)?;
+        mono(
+            "encode_faults".into(),
+            self.encode_faults,
+            earlier.encode_faults,
+        )?;
         Ok(())
     }
 }
@@ -1090,6 +1127,10 @@ mod tests {
             pressure_reapplied: 0,
             fault_hits: 0,
             fault_fired: 0,
+            corruption_reports: 0,
+            poison_hits: 0,
+            encode_faults: 0,
+            quarantine_len: 0,
         }
     }
 
@@ -1180,6 +1221,10 @@ mod tests {
         assert!(json.contains("\"alloc\":10,"));
         assert!(json.contains("\"pressure\":{\"level\":2,\"escalations\":[3,2,1]"));
         assert!(json.contains("\"faults\":{\"hits\":7,\"fired\":2}"));
+        assert!(json.contains(
+            "\"hardened\":{\"corruption_reports\":0,\"poison_hits\":0,\
+             \"encode_faults\":0,\"quarantine_len\":0}"
+        ));
         assert!(json.contains(
             "\"nodes\":[{\"shard_blocks\":0,\"local_refills\":0,\
              \"stolen_refills\":0,\"remote_spills\":0}]"

@@ -82,7 +82,11 @@ pub fn verify_arena(arena: &KmemArena) {
 /// class the *caller* currently holds.
 ///
 /// For every class: `pages_owned * blocks_per_page` must equal
-/// `page-layer free + global pool + per-CPU caches + user_held`.
+/// `page-layer free + global pool + per-CPU caches + quarantined +
+/// sunk + user_held`. The last two are hardened-profile terms (both zero
+/// in the default profile): blocks parked in per-CPU double-free
+/// quarantine rings, and blocks the arena deliberately leaked after a
+/// corruption detection — a known, counted loss rather than a silent one.
 ///
 /// # Panics
 ///
@@ -95,12 +99,15 @@ pub fn verify_conservation(arena: &KmemArena, user_held: &[usize]) {
         let (pages, page_free) = layer.usage();
         let global = inner.global_blocks(idx);
         let cached = inner.cached_blocks(idx);
+        let quarantined = inner.quarantined_blocks(idx);
+        let sunk = inner.sunk_blocks(idx);
         let capacity = pages * layer.blocks_per_page();
         assert_eq!(
             capacity,
-            page_free + global + cached + held,
+            page_free + global + cached + quarantined + sunk + held,
             "class {idx}: {pages} pages hold {capacity} blocks but \
              {page_free} (page) + {global} (global) + {cached} (cached) + \
+             {quarantined} (quarantined) + {sunk} (sunk) + \
              {held} (user) were found"
         );
     }

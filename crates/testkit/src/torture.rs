@@ -66,6 +66,12 @@ pub struct TortureConfig {
     /// overrides), independent of the op-stream seed so the same ops can
     /// be replayed under different fault schedules.
     pub fault_seed: u64,
+    /// Request the hardened profile (`KMEM_TORTURE_HARDENED=1`/`0`
+    /// overrides). The driver itself never builds arenas; tests use
+    /// [`TortureConfig::hardened_requested`] to decide whether to
+    /// construct theirs with `HardenedConfig::full(seed)`, so the same
+    /// op streams replay with every defense armed.
+    pub hardened: bool,
 }
 
 impl TortureConfig {
@@ -85,6 +91,7 @@ impl TortureConfig {
             check_conservation: true,
             faults: false,
             fault_seed: 0x4641_554c_5453_2121, // "FAULTS!!"
+            hardened: false,
         }
     }
 
@@ -95,6 +102,17 @@ impl TortureConfig {
         match std::env::var("KMEM_TORTURE_FAULTS") {
             Ok(v) => !matches!(v.trim(), "" | "0"),
             Err(_) => self.faults,
+        }
+    }
+
+    /// Whether the arena for this run should be built with the hardened
+    /// profile, after applying the `KMEM_TORTURE_HARDENED` environment
+    /// override. The op streams are unchanged; only the arena's defenses
+    /// (link encoding, poison, carve shuffle, quarantine) differ.
+    pub fn hardened_requested(&self) -> bool {
+        match std::env::var("KMEM_TORTURE_HARDENED") {
+            Ok(v) => !matches!(v.trim(), "" | "0"),
+            Err(_) => self.hardened,
         }
     }
 }

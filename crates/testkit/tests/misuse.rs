@@ -1,15 +1,26 @@
-//! Misuse detection: the debug-build guards must catch API abuse loudly
-//! instead of corrupting the arena.
+//! Misuse detection: the guards must catch API abuse loudly instead of
+//! corrupting the arena.
 //!
-//! The cookie-validation and poisoning guards are `debug_assert!`-based
-//! (they must cost nothing in release kernels), so those tests are gated
-//! on `debug_assertions`. The dope-vector foreign-pointer guard is
-//! structural and fires in every build.
+//! Two tiers. In the *default* profile the cookie-validation and
+//! poisoning guards are `debug_assert!`-based (they must cost nothing in
+//! release kernels), so those tests are gated on `debug_assertions`. In
+//! the *hardened* profile the same abuses are detected in every build —
+//! the second half of this file runs the release-capable versions, gated
+//! on the profile rather than the compiler. The dope-vector
+//! foreign-pointer guard is structural and fires in every build and
+//! every profile.
 
-use kmem::{KmemArena, KmemConfig};
+use kmem::{HardenedConfig, KmemArena, KmemConfig};
 
 fn arena() -> KmemArena {
     KmemArena::new(KmemConfig::small()).unwrap()
+}
+
+/// A hardened arena that panics on detection, for `should_panic` tests
+/// that must behave identically in debug and release builds.
+fn hardened_arena() -> KmemArena {
+    KmemArena::new(KmemConfig::small().hardened(HardenedConfig::full(0x4d49_5355_5345).panicking()))
+        .unwrap()
 }
 
 /// A cookie resolved against one arena must be rejected by another:
@@ -73,6 +84,82 @@ fn use_after_free_is_caught_at_realloc() {
     // The freed block sits at the head of the per-CPU freelist, so the
     // next same-class allocation returns it and checks its poison.
     let _ = cpu.alloc(128);
+}
+
+// ---------------------------------------------------------------------
+// Hardened profile: the same abuses, detected in *release* builds too.
+// No `#[cfg(debug_assertions)]` below — these tests are profile-gated,
+// not compiler-gated, and CI runs them with `--release`.
+// ---------------------------------------------------------------------
+
+/// Double free under the hardened profile: the second free finds the
+/// free poison intact and panics (panicking profile) in any build.
+#[test]
+#[should_panic(expected = "double free")]
+fn hardened_double_free_panics_in_any_build() {
+    let a = hardened_arena();
+    let cpu = a.register_cpu().unwrap();
+    let p = cpu.alloc(128).unwrap();
+    // SAFETY: first free is legal; the second is the violation under test.
+    unsafe {
+        cpu.free_sized(p, 128);
+        cpu.free_sized(p, 128);
+    }
+}
+
+/// Use-after-free under the hardened profile: a write through a freed
+/// block (past the link word — clobbering the link is the *next* test)
+/// is caught when the allocator re-issues the block, in any build.
+#[test]
+#[should_panic(expected = "use-after-free")]
+fn hardened_use_after_free_panics_at_realloc() {
+    // Quarantine off so the freed block is the very next one handed out.
+    let mut h = HardenedConfig::full(0x0055_4146).panicking();
+    h.quarantine = 0;
+    let a = KmemArena::new(KmemConfig::small().hardened(h)).unwrap();
+    let cpu = a.register_cpu().unwrap();
+    let p = cpu.alloc(128).unwrap();
+    // SAFETY: allocated above, freed once; the write below is the
+    // violation under test. Offset 8 lands in the poisoned body, not the
+    // encoded link word.
+    unsafe {
+        cpu.free_sized(p, 128);
+        core::ptr::write_bytes(p.as_ptr().add(8), 0xff, 8);
+    }
+    let _ = cpu.alloc(128);
+}
+
+/// Overwriting the *link word* of a freed block decodes to an
+/// implausible pointer: the chain walk detects it instead of
+/// dereferencing it, in any build.
+#[test]
+#[should_panic(expected = "corrupted freelist link")]
+fn hardened_clobbered_link_panics_at_realloc() {
+    let mut h = HardenedConfig::full(0x4c49_4e4b).panicking();
+    h.quarantine = 0;
+    let a = KmemArena::new(KmemConfig::small().hardened(h)).unwrap();
+    let cpu = a.register_cpu().unwrap();
+    let p = cpu.alloc(128).unwrap();
+    // SAFETY: allocated above, freed once; the link-word write is the
+    // violation under test.
+    unsafe {
+        cpu.free_sized(p, 128);
+        (p.as_ptr() as *mut usize).write(!0usize);
+    }
+    let _ = cpu.alloc(128);
+}
+
+/// A cookie resolved against one arena is rejected by a hardened other
+/// arena in any build (debug builds trip the assertion, release builds
+/// the reported corruption — same message either way).
+#[test]
+#[should_panic(expected = "different arena")]
+fn hardened_cross_arena_cookie_panics_in_any_build() {
+    let a = hardened_arena();
+    let b = hardened_arena();
+    let cookie_a = a.cookie_for(256).unwrap();
+    let cpu_b = b.register_cpu().unwrap();
+    let _ = cpu_b.alloc_cookie(cookie_a);
 }
 
 /// A pointer the arena never issued (here: from the host heap) is

@@ -12,7 +12,7 @@ use std::ptr::NonNull;
 
 use kmem::faults::{FailPolicy, GLOBAL_STEAL};
 use kmem::verify::{verify_arena, verify_conservation, verify_empty};
-use kmem::{Faults, KmemArena, KmemConfig};
+use kmem::{Faults, HardenedConfig, KmemArena, KmemConfig};
 use kmem_testkit::{run_torture, TortureConfig};
 use kmem_vm::SpaceConfig;
 
@@ -215,6 +215,42 @@ fn four_node_torture_round_is_conserving() {
         assert!(stolen > 0, "4-node torture never stole: {snap:?}");
     }
     assert!(local > 0, "no refill ever hit a local shard: {snap:?}");
+
+    arena.reclaim();
+    verify_empty(&arena);
+}
+
+/// A seeded 2-node torture round with every hardened defense armed: a
+/// stolen chain crosses shards *encoded* (both shards share the arena's
+/// link key), so real steals must happen and decode cleanly — no false
+/// freelist-link detections, conservation at every checkpoint, and an
+/// empty arena at the end.
+#[test]
+fn two_node_hardened_torture_round_steals_encoded_chains() {
+    let cfg = TortureConfig {
+        threads: 4,
+        ops_per_thread: 25_000,
+        phases: 3,
+        seed: 0x4e55_4d41_4852_4431, // "NUMAHRD1"
+        hardened: true,
+        ..TortureConfig::standard()
+    };
+    let kcfg = KmemConfig::new(cfg.threads, SpaceConfig::new(128 << 20))
+        .nodes(2)
+        .hardened(HardenedConfig::full(cfg.seed));
+    let arena = KmemArena::new(kcfg).unwrap();
+    let report = run_torture(&arena, &cfg);
+    assert_eq!(report.ops, (cfg.threads * cfg.ops_per_thread) as u64);
+    assert!(report.cross_frees > 500, "no cross-node flow: {report:?}");
+
+    let snap = arena.snapshot();
+    assert_eq!(snap.nodes.len(), 2);
+    let stolen: u64 = snap.nodes.iter().map(|n| n.stolen_refills).sum();
+    assert!(stolen > 0, "hardened 2-node round never stole: {snap:?}");
+    assert_eq!(
+        snap.corruption_reports, 0,
+        "encoded steal traffic tripped a detector: {snap:?}"
+    );
 
     arena.reclaim();
     verify_empty(&arena);

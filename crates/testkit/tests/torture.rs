@@ -2,17 +2,34 @@
 //! invariant walkers at every quiescent checkpoint.
 
 use kmem::verify::{verify_arena, verify_empty};
-use kmem::{Faults, KmemArena, KmemConfig};
+use kmem::{Faults, HardenedConfig, KmemArena, KmemConfig};
 use kmem_testkit::{check, interleaving, no_shrink, run_torture, TortureConfig};
 use kmem_vm::SpaceConfig;
+
+/// Applies the run's hardened request (config or `KMEM_TORTURE_HARDENED`)
+/// to the arena configuration: same op streams, every defense armed.
+fn apply_hardened(kcfg: KmemConfig, cfg: &TortureConfig) -> KmemConfig {
+    if cfg.hardened_requested() {
+        let seed = cfg.seed;
+        kcfg.hardened(HardenedConfig::full(seed))
+    } else {
+        kcfg
+    }
+}
 
 /// 4 threads × 100 000 randomized ops over 4 size classes, with
 /// cross-thread frees, flush pressure, and conservation checks at every
 /// phase boundary — the headline multi-threaded soak.
+/// `KMEM_TORTURE_HARDENED=1` reruns the same mix with every corruption
+/// defense armed.
 #[test]
 fn standard_torture_run_is_clean() {
     let cfg = TortureConfig::standard();
-    let arena = KmemArena::new(KmemConfig::new(cfg.threads, SpaceConfig::new(256 << 20))).unwrap();
+    let kcfg = apply_hardened(
+        KmemConfig::new(cfg.threads, SpaceConfig::new(256 << 20)),
+        &cfg,
+    );
+    let arena = KmemArena::new(kcfg).unwrap();
     let report = run_torture(&arena, &cfg);
 
     // The run must actually exercise the mix, not degenerate into no-ops.
@@ -55,11 +72,11 @@ fn torture_survives_low_memory_pressure() {
     };
     // 384 KB of frames versus megabytes of steady-state demand: the pool
     // runs dry and the flush/drain-request ladder gets real traffic.
-    let arena = KmemArena::new(KmemConfig::new(
-        cfg.threads,
-        SpaceConfig::new(64 << 20).phys_pages(96),
-    ))
-    .unwrap();
+    let kcfg = apply_hardened(
+        KmemConfig::new(cfg.threads, SpaceConfig::new(64 << 20).phys_pages(96)),
+        &cfg,
+    );
+    let arena = KmemArena::new(kcfg).unwrap();
     let report = run_torture(&arena, &cfg);
 
     assert!(
@@ -97,11 +114,14 @@ fn fault_injection_torture_covers_every_site() {
     // failpoint gets hits in every policy rotation, not just at startup.
     // Two nodes, because the steal site is only consulted when a remote
     // shard exists to steal from.
-    let mut kcfg = KmemConfig::new(
-        cfg.threads,
-        SpaceConfig::new(64 << 20).phys_pages(384).vmblk_shift(16),
-    )
-    .nodes(2);
+    let mut kcfg = apply_hardened(
+        KmemConfig::new(
+            cfg.threads,
+            SpaceConfig::new(64 << 20).phys_pages(384).vmblk_shift(16),
+        )
+        .nodes(2),
+        &cfg,
+    );
     // The torture driver programs the plan; the arena only has to carry one.
     kcfg.faults = Faults::with_plan();
     let arena = KmemArena::new(kcfg).unwrap();

@@ -12,7 +12,12 @@
 //! poll as fast as it likes — try `--interval-ms 1`.
 //!
 //! Usage: kmemstat [--interval-ms N] [--count N] [--threads N] [--nodes N]
-//!                 [--json]
+//!                 [--hardened] [--json]
+//!
+//! `--hardened` runs the arena with every corruption defense armed
+//! (encoded freelist links, poison-on-free, randomized carve,
+//! double-free quarantine); the closing hardened table then shows live
+//! quarantine occupancy alongside the detection counters.
 //!
 //! `--nodes N` shards the arena over N NUMA nodes (block CPU mapping) and
 //! the closing per-node table shows how the shards behaved: blocks parked
@@ -37,7 +42,7 @@ use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use kmem::{KmemArena, KmemConfig, KmemSnapshot};
+use kmem::{HardenedConfig, KmemArena, KmemConfig, KmemSnapshot};
 use kmem_vm::SpaceConfig;
 
 struct Args {
@@ -45,6 +50,7 @@ struct Args {
     count: usize,
     threads: usize,
     nodes: usize,
+    hardened: bool,
     json: bool,
 }
 
@@ -54,6 +60,7 @@ fn parse_args() -> Args {
         count: 20,
         threads: 4,
         nodes: 1,
+        hardened: false,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -65,6 +72,7 @@ fn parse_args() -> Args {
             "--count" => args.count = it.next().expect("--count N").parse().expect("number"),
             "--threads" => args.threads = it.next().expect("--threads N").parse().expect("number"),
             "--nodes" => args.nodes = it.next().expect("--nodes N").parse().expect("number"),
+            "--hardened" => args.hardened = true,
             "--json" => args.json = true,
             other => panic!("unknown argument {other}"),
         }
@@ -148,9 +156,11 @@ fn tick_line(d: &KmemSnapshot, now: &KmemSnapshot) -> String {
 
 fn main() {
     let args = parse_args();
-    let arena =
-        KmemArena::new(KmemConfig::new(args.threads, SpaceConfig::new(64 << 20)).nodes(args.nodes))
-            .unwrap();
+    let mut cfg = KmemConfig::new(args.threads, SpaceConfig::new(64 << 20)).nodes(args.nodes);
+    if args.hardened {
+        cfg = cfg.hardened(HardenedConfig::full(0x4b4d_5354_4154));
+    }
+    let arena = KmemArena::new(cfg).unwrap();
     let stop = AtomicBool::new(false);
 
     std::thread::scope(|s| {
@@ -244,4 +254,19 @@ fn main() {
             n.shard_blocks, n.local_refills, n.stolen_refills, n.remote_spills,
         );
     }
+    // Corruption-defense counters: all zero for a healthy workload, in
+    // the default profile *and* under --hardened (where the defenses are
+    // armed and a nonzero count would be a real detection).
+    println!(
+        "\nhardened profile ({}):",
+        if args.hardened { "armed" } else { "off" }
+    );
+    println!(
+        "{:>12} {:>12} {:>13} {:>15}",
+        "corruption", "poison-hits", "encode-faults", "quarantine-len"
+    );
+    println!(
+        "{:>12} {:>12} {:>13} {:>15}",
+        end.corruption_reports, end.poison_hits, end.encode_faults, end.quarantine_len
+    );
 }

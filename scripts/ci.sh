@@ -71,6 +71,20 @@ for t in 2 4 8; do
         --test page_contention
 done
 
+echo "==> hardened profile (release): detection guards + torture round"
+# The corruption defenses must detect in *release* builds, not just under
+# debug_assertions: the misuse guards (double free, use-after-free,
+# clobbered link, cross-arena cookie) and the typed-error/property flows
+# run with every defense armed, then the fault-injection torture mix
+# reruns on a hardened arena — encoded links, poisoning, randomized
+# carve, and the quarantine under injected failures, with conservation
+# checked at every phase boundary.
+cargo test -q --release --offline -p kmem-testkit --test misuse
+cargo test -q --release --offline -p kmem-testkit --test hardened
+KMEM_TORTURE_HARDENED=1 KMEM_TORTURE_FAULTS=1 \
+    cargo test -q --release --offline -p kmem-testkit --test torture \
+    fault_injection
+
 echo "==> NUMA steal-path regression (2 nodes x 4 CPUs, faults on)"
 # The sharded global layer under cross-node producer/consumer flow:
 # steals must move whole chains without breaking per-class conservation,

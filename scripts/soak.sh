@@ -12,6 +12,10 @@
 #   KMEM_SOAK_FAULTS=1      additionally run the fault-injection torture
 #                           each round, rotating KMEM_TORTURE_FAULT_SEED
 #                           on the same ladder as KMEM_TORTURE_SEED
+#   KMEM_SOAK_HARDENED=0/1  force the hardened profile off/on for every
+#                           round; unset, it rotates (odd rounds run with
+#                           every corruption defense armed, even rounds
+#                           with the plain profile)
 #
 # A failing round prints the reproducing seed in the panic message;
 # re-run just that round with KMEM_TORTURE_SEED=<seed> cargo test ...
@@ -34,8 +38,12 @@ for i in $(seq 1 "$rounds"); do
     # Rotate the NUMA shard count 1/2/4 so successive rounds soak the
     # flat arena, the two-node steal path, and the fully sharded layout.
     nodes=$(( 1 << ((i - 1) % 3) ))
-    echo "==> round $i/$rounds: KMEM_TORTURE_SEED=$seed KMEM_SOAK_NODES=$nodes"
+    # Rotate the hardened profile unless pinned: odd rounds soak with
+    # every corruption defense armed (a false detection fails the round).
+    hardened="${KMEM_SOAK_HARDENED:-$(( i % 2 ))}"
+    echo "==> round $i/$rounds: KMEM_TORTURE_SEED=$seed KMEM_SOAK_NODES=$nodes KMEM_SOAK_HARDENED=$hardened"
     KMEM_TORTURE_SEED="$seed" KMEM_SOAK_NODES="$nodes" \
+        KMEM_SOAK_HARDENED="$hardened" \
         cargo test -q --release --offline --test soak -- --ignored
     if [ "$faults" != "0" ]; then
         # Same ladder, different stream: the fault schedule rotates with
@@ -43,7 +51,7 @@ for i in $(seq 1 "$rounds"); do
         fault_seed=$(( base_seed + i * 1000033 ))
         echo "==> round $i/$rounds: KMEM_TORTURE_FAULT_SEED=$fault_seed"
         KMEM_TORTURE_FAULTS=1 KMEM_TORTURE_FAULT_SEED="$fault_seed" \
-            KMEM_TORTURE_SEED="$seed" \
+            KMEM_TORTURE_SEED="$seed" KMEM_TORTURE_HARDENED="$hardened" \
             cargo test -q --release --offline -p kmem-testkit \
             --test torture fault_injection
     fi

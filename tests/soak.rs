@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use kmem::verify::{verify_arena, verify_empty};
-use kmem::{KmemArena, KmemConfig};
+use kmem::{HardenedConfig, KmemArena, KmemConfig};
 use kmem_dlm::workload::{run_worker, SharedLocks, WorkloadConfig};
 use kmem_dlm::Dlm;
 use kmem_streams::StreamsAlloc;
@@ -26,11 +26,26 @@ fn soak_nodes(ncpus: usize) -> usize {
         .clamp(1, ncpus)
 }
 
+/// Arms every hardened defense when `KMEM_SOAK_HARDENED` is set and
+/// nonzero (`scripts/soak.sh` rotates it round by round): the marathon
+/// traffic then runs over encoded links, poisoning, randomized carve,
+/// and the quarantine, and must never trip a false detection.
+fn soak_hardened(cfg: KmemConfig) -> KmemConfig {
+    match std::env::var("KMEM_SOAK_HARDENED") {
+        Ok(v) if !matches!(v.trim(), "" | "0") => {
+            cfg.hardened(HardenedConfig::full(0x534f_414b)) // "SOAK"
+        }
+        _ => cfg,
+    }
+}
+
 #[test]
 #[ignore = "soak test: minutes of runtime; run with --ignored"]
 fn million_op_mixed_soak() {
-    let arena = KmemArena::new(KmemConfig::new(4, SpaceConfig::new(64 << 20)).nodes(soak_nodes(4)))
-        .unwrap();
+    let arena = KmemArena::new(soak_hardened(
+        KmemConfig::new(4, SpaceConfig::new(64 << 20)).nodes(soak_nodes(4)),
+    ))
+    .unwrap();
     let ops_done = AtomicU64::new(0);
     std::thread::scope(|s| {
         for t in 0..4u64 {
@@ -78,8 +93,10 @@ fn million_op_mixed_soak() {
 #[test]
 #[ignore = "soak test: minutes of runtime; run with --ignored"]
 fn subsystem_cohabitation_soak() {
-    let arena = KmemArena::new(KmemConfig::new(3, SpaceConfig::new(64 << 20)).nodes(soak_nodes(3)))
-        .unwrap();
+    let arena = KmemArena::new(soak_hardened(
+        KmemConfig::new(3, SpaceConfig::new(64 << 20)).nodes(soak_nodes(3)),
+    ))
+    .unwrap();
     let dlm = Dlm::new(arena.clone(), 256);
     let sa = StreamsAlloc::new(arena.clone());
     let shared = SharedLocks::new();
