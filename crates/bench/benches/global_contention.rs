@@ -22,6 +22,8 @@ use std::time::Instant;
 
 use kmem::chain::Chain;
 use kmem::global::GlobalPool;
+use kmem::{HardenedConfig, KmemConfig};
+use kmem_bench::{arena_contended_pair_ns, BenchReport};
 use kmem_smp::{EventCounter, SpinLock};
 
 const TARGET: usize = 4;
@@ -35,6 +37,18 @@ const REPS: usize = 7;
 /// the lock on *every* put (its bound check), an O(depth) walk the
 /// lock-free pool's derived block count eliminates.
 const POOL_CHAINS: usize = 128;
+/// Whole-arena hardened sweep: alloc/free pairs per thread, with a
+/// flush every [`HARDENED_FLUSH_EVERY`] pairs forcing cross-layer
+/// traffic through the shared (and, hardened, encoded) global layer.
+const HARDENED_OPS: usize = 20_000;
+const HARDENED_FLUSH_EVERY: usize = 64;
+const HARDENED_SIZE: usize = 256;
+const HARDENED_SEED: u64 = 0x4245_4e43_4752_4e44; // "BENCGRND"
+/// Bound on the full hardened profile's contended-pair multiplier vs
+/// the default profile under the same contention. Loose on purpose:
+/// under contention the shared-line traffic dominates and the defense
+/// cost should *shrink* relative to the uncontended 6x fast-path bound.
+const HARDENED_MAX_MULT: f64 = 8.0;
 
 /// Backing store of fake blocks with stable addresses.
 #[expect(clippy::vec_box)]
@@ -155,24 +169,33 @@ impl ChainPool for SpinPool {
 /// Times `threads` × [`OPS_PER_THREAD`] get/put pairs against `pool`,
 /// which must be pre-seeded; returns ns per pair.
 fn run_pairs(pool: &dyn ChainPool, threads: usize) -> f64 {
-    let barrier = Barrier::new(threads + 1);
-    let mut start = Instant::now();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                barrier.wait();
-                for _ in 0..OPS_PER_THREAD {
-                    if let Some(c) = pool.get() {
-                        pool.put(c);
+    let barrier = Barrier::new(threads);
+    // Phase wall = max(end) - min(start), stamped inside the workers:
+    // the worker rolling straight through the barrier release stamps the
+    // true phase start. (Spawner-side timing reads near zero when the
+    // workers finish before the spawner is rescheduled; per-worker spans
+    // alone fake an N-times speedup when a serialized phase reschedules
+    // each worker just before its own loop.)
+    let spans: Vec<(Instant, Instant)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    let start = Instant::now();
+                    for _ in 0..OPS_PER_THREAD {
+                        if let Some(c) = pool.get() {
+                            pool.put(c);
+                        }
                     }
-                }
-            });
-        }
-        barrier.wait();
-        start = Instant::now();
-        // The scope joins every worker before returning.
+                    (start, Instant::now())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    start.elapsed().as_nanos() as f64 / (threads * OPS_PER_THREAD) as f64
+    let start = spans.iter().map(|&(s, _)| s).min().unwrap();
+    let end = spans.iter().map(|&(_, e)| e).max().unwrap();
+    (end - start).as_nanos() as f64 / (threads * OPS_PER_THREAD) as f64
 }
 
 fn bench_spin(threads: usize) -> f64 {
@@ -200,9 +223,26 @@ fn bench_lockfree(threads: usize) -> f64 {
     ns
 }
 
-fn main() {
-    use core::fmt::Write as _;
+/// Min-of-reps contended pair cost for a whole arena under `hardened`,
+/// at `threads` threads (with periodic flushes driving the shared
+/// global layer).
+fn bench_arena(hardened: HardenedConfig, threads: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let config = KmemConfig::new(threads, kmem_vm::SpaceConfig::new(16 << 20).vmblk_shift(18))
+            .hardened(hardened);
+        best = best.min(arena_contended_pair_ns(
+            config,
+            HARDENED_SIZE,
+            threads,
+            HARDENED_OPS,
+            HARDENED_FLUSH_EVERY,
+        ));
+    }
+    best
+}
 
+fn main() {
     let mut rows = Vec::new();
     for threads in THREAD_COUNTS {
         // Warm-up pass absorbs thread-spawn and first-touch costs.
@@ -225,26 +265,49 @@ fn main() {
         rows.push((threads, spin, lockfree));
     }
 
-    let mut json = String::new();
-    let _ = write!(
-        json,
-        "{{\"bench\":\"global_contention\",\"target\":{TARGET},\
-         \"ops_per_thread\":{OPS_PER_THREAD},\"results\":["
-    );
-    for (i, (threads, spin, lockfree)) in rows.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        let _ = write!(
-            json,
-            "{{\"threads\":{threads},\"spinlock_ns\":{spin:.1},\
-             \"lockfree_ns\":{lockfree:.1}}}"
+    // Hardened variant of the sweep: the same thread counts, but whole
+    // arenas (default vs full hardened profile) with flush-forced
+    // cross-layer traffic — what the defenses cost when the global
+    // layer is actually contended, not just on a lone fast path.
+    let mut hardened_rows = Vec::new();
+    for threads in THREAD_COUNTS {
+        let default_ns = bench_arena(HardenedConfig::off(), threads);
+        let hardened_ns = bench_arena(HardenedConfig::full(HARDENED_SEED), threads);
+        println!(
+            "global_contention/{threads:>2} threads   default  {default_ns:>9.1} ns/pair   \
+             hardened  {hardened_ns:>9.1} ns/pair   ({:.2}x)",
+            hardened_ns / default_ns
         );
+        hardened_rows.push((threads, default_ns, hardened_ns));
     }
-    json.push_str("]}");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_global.json");
-    std::fs::write(path, &json).expect("write BENCH_global.json");
-    println!("wrote {path}");
+
+    let mut report = BenchReport::new("global_contention", HARDENED_SEED).config(|c| {
+        c.usize("target", TARGET)
+            .usize("ops_per_thread", OPS_PER_THREAD)
+            .usize("pool_chains", POOL_CHAINS)
+            .usize("reps", REPS)
+            .usize("hardened_ops", HARDENED_OPS)
+            .usize("hardened_flush_every", HARDENED_FLUSH_EVERY)
+            .usize("hardened_size", HARDENED_SIZE);
+    });
+    report
+        .body()
+        .arr("results", &rows, |&(threads, spin, lockfree), row| {
+            row.usize("threads", threads)
+                .f64("spinlock_ns", spin, 1)
+                .f64("lockfree_ns", lockfree, 1);
+        });
+    report.body().arr(
+        "hardened",
+        &hardened_rows,
+        |&(threads, default_ns, hardened_ns), row| {
+            row.usize("threads", threads)
+                .f64("default_ns", default_ns, 1)
+                .f64("hardened_ns", hardened_ns, 1)
+                .f64("overhead_pct", 100.0 * (hardened_ns / default_ns - 1.0), 1);
+        },
+    );
+    report.write_artifact("BENCH_global.json");
 
     // Shape pin: at every measured count of 8+ threads the lock-free
     // layer must not lose to the lock it replaced.
@@ -256,5 +319,13 @@ fn main() {
                  {lockfree:.1} vs {spin:.1} ns/pair"
             );
         }
+    }
+    // And the hardened profile stays a bounded tax under contention.
+    for (threads, default_ns, hardened_ns) in hardened_rows {
+        assert!(
+            hardened_ns <= default_ns * HARDENED_MAX_MULT,
+            "hardened arena costs {hardened_ns:.1} ns/pair vs {default_ns:.1} \
+             default at {threads} threads (over {HARDENED_MAX_MULT}x)"
+        );
     }
 }

@@ -7,15 +7,21 @@
 //! per profile — the defense cost is a lower-bound property of the code
 //! path, and the min discards scheduler noise.
 //!
+//! A second sweep prices the full quartet under *contention*: real
+//! threads with periodic flushes pushing traffic through the shared
+//! global layer, default vs hardened, across thread counts.
+//!
 //! Emits `BENCH_hardened.json` at the repo root and self-asserts the
 //! shape: every defense must price in at under `MAX_MULT` times the
-//! default-profile pair, and the full profile under `MAX_FULL_MULT` —
-//! the hardening is a tax, not a redesign.
+//! default-profile pair, the full profile under `MAX_FULL_MULT`, and
+//! the contended full profile under `MAX_CONTENDED_MULT` — the
+//! hardening is a tax, not a redesign.
 //!
 //! Run with: `cargo bench --features bench-ext --bench hardened`
 
 use kmem::{HardenedConfig, KmemArena, KmemConfig};
-use kmem_bench::time_loop;
+use kmem_bench::{arena_contended_pair_ns, time_loop, BenchReport};
+use kmem_vm::SpaceConfig;
 
 const ITERS: u64 = 1_000_000;
 /// Timed repetitions per profile; the minimum is published.
@@ -28,8 +34,17 @@ const REPS: usize = 5;
 const MAX_MULT: f64 = 4.0;
 /// Bound on the full quartet's pair-cost multiplier vs default.
 const MAX_FULL_MULT: f64 = 6.0;
+/// Bound on the full quartet under *contention* — looser still, since
+/// shared-line traffic dominates there and ratios swing with scheduling.
+const MAX_CONTENDED_MULT: f64 = 8.0;
 const SIZE: usize = 256;
 const SEED: u64 = 0x4245_4e43_4852_444e; // "BENCHRDN"
+/// Contended sweep: thread counts, pairs per thread, and the flush
+/// period that forces traffic through the shared global layer.
+const CONTENTION_THREADS: [usize; 3] = [1, 4, 8];
+const CONTENTION_OPS: usize = 20_000;
+const CONTENTION_FLUSH_EVERY: usize = 64;
+const CONTENTION_REPS: usize = 3;
 
 /// Min-of-reps steady-state alloc/free pair cost under `hardened`.
 fn bench_profile(name: &str, hardened: HardenedConfig) -> f64 {
@@ -64,9 +79,24 @@ fn bench_profile(name: &str, hardened: HardenedConfig) -> f64 {
     best
 }
 
-fn main() {
-    use core::fmt::Write as _;
+/// Min-of-reps contended pair cost for `hardened` at `threads` threads.
+fn bench_contended(hardened: HardenedConfig, threads: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..CONTENTION_REPS {
+        let config =
+            KmemConfig::new(threads, SpaceConfig::new(16 << 20).vmblk_shift(18)).hardened(hardened);
+        best = best.min(arena_contended_pair_ns(
+            config,
+            SIZE,
+            threads,
+            CONTENTION_OPS,
+            CONTENTION_FLUSH_EVERY,
+        ));
+    }
+    best
+}
 
+fn main() {
     let off = HardenedConfig::off();
     let profiles: [(&str, HardenedConfig); 6] = [
         ("default", off),
@@ -111,27 +141,47 @@ fn main() {
         .collect();
     let baseline = results[0].1;
 
-    let mut json = String::new();
-    let _ = write!(
-        json,
-        "{{\"bench\":\"hardened\",\"size\":{SIZE},\"iters\":{ITERS},\
-         \"reps\":{REPS},\"results\":["
-    );
-    for (i, (name, ns)) in results.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        let _ = write!(
-            json,
-            "{{\"profile\":\"{name}\",\"pair_ns\":{ns:.1},\
-             \"overhead_pct\":{:.1}}}",
-            100.0 * (ns / baseline - 1.0)
+    // Price the defenses under contention as well: the same profile pair
+    // (default vs full quartet) with real threads pushing flush traffic
+    // through the shared global layer.
+    let mut contention = Vec::new();
+    for threads in CONTENTION_THREADS {
+        let default_ns = bench_contended(off, threads);
+        let hardened_ns = bench_contended(HardenedConfig::full(SEED), threads);
+        println!(
+            "hardened/contended/{threads} threads   default {default_ns:>8.1} ns/pair   \
+             full {hardened_ns:>8.1} ns/pair   ({:.2}x)",
+            hardened_ns / default_ns
         );
+        contention.push((threads, default_ns, hardened_ns));
     }
-    json.push_str("]}");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hardened.json");
-    std::fs::write(path, &json).expect("write BENCH_hardened.json");
-    println!("wrote {path}");
+
+    let mut report = BenchReport::new("hardened", SEED).config(|c| {
+        c.usize("size", SIZE)
+            .u64("iters", ITERS)
+            .usize("reps", REPS)
+            .usize("contention_ops", CONTENTION_OPS)
+            .usize("contention_flush_every", CONTENTION_FLUSH_EVERY)
+            .usize("contention_reps", CONTENTION_REPS);
+    });
+    report.body().arr("results", &results, |&(name, ns), row| {
+        row.str("profile", name).f64("pair_ns", ns, 1).f64(
+            "overhead_pct",
+            100.0 * (ns / baseline - 1.0),
+            1,
+        );
+    });
+    report.body().arr(
+        "contention",
+        &contention,
+        |&(threads, default_ns, hardened_ns), row| {
+            row.usize("threads", threads)
+                .f64("default_ns", default_ns, 1)
+                .f64("hardened_ns", hardened_ns, 1)
+                .f64("overhead_pct", 100.0 * (hardened_ns / default_ns - 1.0), 1);
+        },
+    );
+    report.write_artifact("BENCH_hardened.json");
 
     // Shape pins: hardening is a bounded tax on the fast path, per
     // defense and in aggregate.
@@ -148,4 +198,12 @@ fn main() {
         "full profile costs {full:.1} ns/pair vs {baseline:.1} default \
          (over {MAX_FULL_MULT}x)"
     );
+    for (threads, default_ns, hardened_ns) in contention {
+        assert!(
+            hardened_ns <= default_ns * MAX_CONTENDED_MULT,
+            "contended full profile costs {hardened_ns:.1} ns/pair vs \
+             {default_ns:.1} default at {threads} threads \
+             (over {MAX_CONTENDED_MULT}x)"
+        );
+    }
 }

@@ -36,6 +36,8 @@ const WORKING_SET: usize = 384;
 /// Calibrated probe-free base cost of one lock/unlock op (alloc + table
 /// walk; the newkma pair costs 115 — see `kmem_bench::calib`).
 const BASE_CYCLES: u64 = 150;
+/// Base of the per-CPU RNG streams (each CPU xors in its index).
+const RNG_SEED: u64 = 0xD1_5C0;
 
 /// What one simulated run measured.
 struct RunStats {
@@ -68,7 +70,7 @@ fn run(ncpus: usize, arena_nodes: usize) -> RunStats {
     let dlm = Dlm::new(arena.clone(), 256);
     let cpus: Vec<_> = (0..ncpus).map(|_| arena.register_cpu().unwrap()).collect();
     let mut rngs: Vec<Rng> = (0..ncpus)
-        .map(|i| Rng::new(0xD1_5C0 ^ (i as u64).wrapping_mul(0x9E37_79B9)))
+        .map(|i| Rng::new(RNG_SEED ^ (i as u64).wrapping_mul(0x9E37_79B9)))
         .collect();
     // The cross-CPU hand-off pool. A plain Vec, not a probed structure:
     // the pool is workload plumbing, identical in both runs, and keeping
@@ -116,8 +118,6 @@ fn run(ncpus: usize, arena_nodes: usize) -> RunStats {
 }
 
 fn main() {
-    use core::fmt::Write as _;
-
     let mut rows = Vec::new();
     for ncpus in CPU_COUNTS {
         let blind = run(ncpus, 1);
@@ -136,40 +136,29 @@ fn main() {
         rows.push((ncpus, blind, local));
     }
 
-    let mut json = String::new();
-    let _ = write!(
-        json,
-        "{{\"bench\":\"numa_contention\",\"machine_nodes\":{NODES},\
-         \"ops_per_cpu\":{OPS_PER_CPU},\"results\":["
-    );
-    for (i, (ncpus, blind, local)) in rows.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        let side = |s: &RunStats, out: &mut String| {
-            let _ = write!(
-                out,
-                "{{\"cycles_per_op\":{:.0},\"remote_transfers\":{},\
-                 \"remote_node_transfers\":{},\"lock_wait_cycles\":{},\
-                 \"local_refills\":{},\"stolen_refills\":{}}}",
-                s.cycles_per_op,
-                s.remote_transfers,
-                s.remote_node_transfers,
-                s.lock_wait_cycles,
-                s.local_refills,
-                s.stolen_refills,
-            );
-        };
-        let _ = write!(json, "{{\"cpus\":{ncpus},\"node_blind\":");
-        side(blind, &mut json);
-        json.push_str(",\"node_local\":");
-        side(local, &mut json);
-        json.push('}');
-    }
-    json.push_str("]}");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_numa.json");
-    std::fs::write(path, &json).expect("write BENCH_numa.json");
-    println!("wrote {path}");
+    let side = |s: &RunStats, obj: &mut kmem_bench::JsonObj| {
+        obj.f64("cycles_per_op", s.cycles_per_op, 0)
+            .u64("remote_transfers", s.remote_transfers)
+            .u64("remote_node_transfers", s.remote_node_transfers)
+            .u64("lock_wait_cycles", s.lock_wait_cycles)
+            .u64("local_refills", s.local_refills)
+            .u64("stolen_refills", s.stolen_refills);
+    };
+    let mut report = kmem_bench::BenchReport::new("numa_contention", RNG_SEED).config(|c| {
+        c.usize("machine_nodes", NODES)
+            .u64("ops_per_cpu", OPS_PER_CPU)
+            .u64("resources", RESOURCES)
+            .usize("working_set", WORKING_SET)
+            .u64("base_cycles", BASE_CYCLES);
+    });
+    report
+        .body()
+        .arr("results", &rows, |(ncpus, blind, local), row| {
+            row.usize("cpus", *ncpus)
+                .obj("node_blind", |o| side(blind, o))
+                .obj("node_local", |o| side(local, o));
+        });
+    report.write_artifact("BENCH_numa.json");
 
     // Shape pins. At the full 25-CPU machine, node-local placement must
     // beat node-blind on both axes the paper's argument rests on: less

@@ -318,36 +318,46 @@ impl PagePool for SpinPage {
 /// Times `threads` × [`OPS_PER_THREAD`] free-oldest + alloc-replacement
 /// pairs against `pool`; returns ns per pair.
 fn run_pairs(pool: &dyn PagePool, threads: usize) -> f64 {
-    let barrier = Barrier::new(threads + 1);
-    let mut start = Instant::now();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                // Standing ring: keeps pages partial so the radix lists,
-                // not just carve/merge, carry the traffic.
-                let mut ring: Vec<Chain> = (0..RING)
-                    .map(|_| pool.alloc(WANT).expect("bench sized for no pressure"))
-                    .collect();
-                barrier.wait();
-                for i in 0..OPS_PER_THREAD {
-                    let old = std::mem::replace(
-                        &mut ring[i % RING],
-                        pool.alloc(WANT).expect("bench sized for no pressure"),
-                    );
-                    // SAFETY: `old` was allocated from `pool` above.
-                    unsafe { pool.free(old) };
-                }
-                for c in ring {
-                    // SAFETY: ring chains were allocated from `pool`.
-                    unsafe { pool.free(c) };
-                }
-            });
-        }
-        barrier.wait();
-        start = Instant::now();
-        // The scope joins every worker before returning.
+    let barrier = Barrier::new(threads);
+    // Phase wall = max(end) - min(start), stamped inside the workers:
+    // the worker rolling straight through the barrier release stamps the
+    // true phase start. (Spawner-side timing reads near zero when the
+    // workers finish before the spawner is rescheduled; per-worker spans
+    // alone fake an N-times speedup when a serialized phase reschedules
+    // each worker just before its own loop.)
+    let spans: Vec<(Instant, Instant)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    // Standing ring: keeps pages partial so the radix lists,
+                    // not just carve/merge, carry the traffic.
+                    let mut ring: Vec<Chain> = (0..RING)
+                        .map(|_| pool.alloc(WANT).expect("bench sized for no pressure"))
+                        .collect();
+                    barrier.wait();
+                    let start = Instant::now();
+                    for i in 0..OPS_PER_THREAD {
+                        let old = std::mem::replace(
+                            &mut ring[i % RING],
+                            pool.alloc(WANT).expect("bench sized for no pressure"),
+                        );
+                        // SAFETY: `old` was allocated from `pool` above.
+                        unsafe { pool.free(old) };
+                    }
+                    let end = Instant::now();
+                    for c in ring {
+                        // SAFETY: ring chains were allocated from `pool`.
+                        unsafe { pool.free(c) };
+                    }
+                    (start, end)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    start.elapsed().as_nanos() as f64 / (threads * OPS_PER_THREAD) as f64
+    let start = spans.iter().map(|&(s, _)| s).min().unwrap();
+    let end = spans.iter().map(|&(_, e)| e).max().unwrap();
+    (end - start).as_nanos() as f64 / (threads * OPS_PER_THREAD) as f64
 }
 
 fn bench_spin(threads: usize) -> f64 {
@@ -397,8 +407,6 @@ fn sim_point(pool: &dyn PagePool, ncpus: usize) -> (f64, f64) {
 }
 
 fn main() {
-    use core::fmt::Write as _;
-
     // Wall clock: informational on a small host (see module docs).
     let mut wall = Vec::new();
     for threads in THREAD_COUNTS {
@@ -437,42 +445,33 @@ fn main() {
         sim.push((ncpus, spin_rate, lf_rate, spin_wait));
     }
 
-    let mut json = String::new();
-    let _ = write!(
-        json,
-        "{{\"bench\":\"page_contention\",\"block_size\":{BLOCK_SIZE},\
-         \"chain_len\":{WANT},\"ops_per_thread\":{OPS_PER_THREAD},\"wall\":["
-    );
-    for (i, (threads, spin, lockfree)) in wall.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        let _ = write!(
-            json,
-            "{{\"threads\":{threads},\"spinlock_ns\":{spin:.1},\
-             \"lockfree_ns\":{lockfree:.1}}}"
-        );
-    }
-    let _ = write!(
-        json,
-        "],\"sim\":{{\"pairs_per_cpu\":{SIM_PAIRS_PER_CPU},\"base_cycles\":{SIM_BASE},\
-         \"results\":["
-    );
-    for (i, (ncpus, spin_rate, lf_rate, spin_wait)) in sim.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        let _ = write!(
-            json,
-            "{{\"cpus\":{ncpus},\"spinlock_pairs_per_sec\":{spin_rate:.0},\
-             \"lockfree_pairs_per_sec\":{lf_rate:.0},\
-             \"spinlock_lock_wait_frac\":{spin_wait:.3}}}"
-        );
-    }
-    json.push_str("]}}");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_page.json");
-    std::fs::write(path, &json).expect("write BENCH_page.json");
-    println!("wrote {path}");
+    let mut report = kmem_bench::BenchReport::new("page_contention", 0).config(|c| {
+        c.usize("block_size", BLOCK_SIZE)
+            .usize("chain_len", WANT)
+            .usize("ops_per_thread", OPS_PER_THREAD);
+    });
+    report
+        .body()
+        .arr("wall", &wall, |&(threads, spin, lockfree), row| {
+            row.usize("threads", threads)
+                .f64("spinlock_ns", spin, 1)
+                .f64("lockfree_ns", lockfree, 1);
+        });
+    report.body().obj("sim", |s| {
+        s.u64("pairs_per_cpu", SIM_PAIRS_PER_CPU)
+            .u64("base_cycles", SIM_BASE)
+            .arr(
+                "results",
+                &sim,
+                |&(ncpus, spin_rate, lf_rate, spin_wait), row| {
+                    row.usize("cpus", ncpus)
+                        .f64("spinlock_pairs_per_sec", spin_rate, 0)
+                        .f64("lockfree_pairs_per_sec", lf_rate, 0)
+                        .f64("spinlock_lock_wait_frac", spin_wait, 3);
+                },
+            );
+    });
+    report.write_artifact("BENCH_page.json");
 
     // Shape pins on the simulated sweep: at 8+ CPUs the lock-free layer
     // must beat the spinlocked baseline, and the baseline must be

@@ -1,0 +1,205 @@
+//! Shared emitter for the `BENCH_*.json` artifacts.
+//!
+//! The workspace is hermetic (no serde), so the benches hand-roll their
+//! JSON; this module is the one place that does it. Every artifact gets
+//! the same envelope — `schema` version, `bench` name, RNG `seed` (zero
+//! for benches with no randomized workload), and a `config` object
+//! holding the knobs the numbers depend on — so a reader can tell at a
+//! glance which code vintage and parameters produced a file.
+
+use core::fmt::Write as _;
+
+/// Version stamped into every artifact as `"schema"`. Bump when the
+/// envelope itself (not a bench's own fields) changes shape.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// An in-progress JSON object. Keys are emitted in call order; values
+/// are limited to what the benches need (numbers, short names, nested
+/// objects and arrays-of-objects).
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonObj {
+    pub fn new() -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        debug_assert!(!k.contains(['"', '\\']), "keys are plain identifiers");
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{k}\":");
+    }
+
+    /// A string value. Values must not need escaping (bench and profile
+    /// names are plain identifiers).
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        debug_assert!(
+            !v.contains(['"', '\\']),
+            "string values must not need escaping"
+        );
+        self.key(k);
+        let _ = write!(self.buf, "\"{v}\"");
+        self
+    }
+
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub fn usize(&mut self, k: &str, v: usize) -> &mut Self {
+        self.u64(k, v as u64)
+    }
+
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// A float rendered with `prec` decimal places (JSON has no NaN or
+    /// infinity; the benches only publish finite measurements).
+    pub fn f64(&mut self, k: &str, v: f64, prec: usize) -> &mut Self {
+        debug_assert!(v.is_finite(), "artifacts hold finite measurements only");
+        self.key(k);
+        let _ = write!(self.buf, "{v:.prec$}");
+        self
+    }
+
+    /// A nested object built by `f`.
+    pub fn obj(&mut self, k: &str, f: impl FnOnce(&mut JsonObj)) -> &mut Self {
+        self.key(k);
+        let mut child = JsonObj::new();
+        f(&mut child);
+        self.buf.push_str(&child.finish());
+        self
+    }
+
+    /// An array of objects, one per item, each built by `f`.
+    pub fn arr<T>(
+        &mut self,
+        k: &str,
+        items: impl IntoIterator<Item = T>,
+        mut f: impl FnMut(T, &mut JsonObj),
+    ) -> &mut Self {
+        self.key(k);
+        self.buf.push('[');
+        let mut first = true;
+        for item in items {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            let mut child = JsonObj::new();
+            f(item, &mut child);
+            self.buf.push_str(&child.finish());
+        }
+        self.buf.push(']');
+        self
+    }
+
+    pub fn finish(self) -> String {
+        let mut buf = self.buf;
+        buf.push('}');
+        buf
+    }
+}
+
+/// A `BENCH_*.json` artifact under construction, with the standard
+/// envelope pre-filled.
+pub struct BenchReport {
+    obj: JsonObj,
+}
+
+impl BenchReport {
+    /// Starts a report: `schema`, `bench`, and `seed` land first. Pass
+    /// `seed = 0` for benches whose workload has no RNG.
+    pub fn new(bench: &str, seed: u64) -> Self {
+        let mut obj = JsonObj::new();
+        obj.u64("schema", SCHEMA_VERSION as u64)
+            .str("bench", bench)
+            .u64("seed", seed);
+        BenchReport { obj }
+    }
+
+    /// The `config` block: every knob the numbers depend on.
+    pub fn config(mut self, f: impl FnOnce(&mut JsonObj)) -> Self {
+        self.obj.obj("config", f);
+        self
+    }
+
+    /// Direct access for the bench's own result sections.
+    pub fn body(&mut self) -> &mut JsonObj {
+        &mut self.obj
+    }
+
+    /// Renders the artifact to a JSON string.
+    pub fn render(self) -> String {
+        self.obj.finish()
+    }
+
+    /// Writes the artifact to `file` at the workspace root and logs the
+    /// path — the single exit every bench shares.
+    pub fn write_artifact(self, file: &str) {
+        let path = format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, self.render()).unwrap_or_else(|e| panic!("write {file}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_leads_every_report() {
+        let report = BenchReport::new("demo", 42).config(|c| {
+            c.usize("threads", 8).f64("budget", 1.5, 1);
+        });
+        assert_eq!(
+            report.render(),
+            format!(
+                "{{\"schema\":{SCHEMA_VERSION},\"bench\":\"demo\",\"seed\":42,\
+                 \"config\":{{\"threads\":8,\"budget\":1.5}}}}"
+            )
+        );
+    }
+
+    #[test]
+    fn nested_arrays_and_objects_render_in_order() {
+        let mut report = BenchReport::new("demo", 0);
+        report.body().arr("results", [1usize, 2], |n, row| {
+            row.usize("threads", n).bool("win", n > 1);
+        });
+        report.body().obj("sim", |s| {
+            s.f64("rate", 1234.5678, 0);
+        });
+        let json = report.render();
+        assert!(json.ends_with(
+            "\"results\":[{\"threads\":1,\"win\":false},\
+             {\"threads\":2,\"win\":true}],\"sim\":{\"rate\":1235}}"
+        ));
+    }
+
+    #[test]
+    fn empty_iterators_render_empty_arrays() {
+        let mut obj = JsonObj::new();
+        obj.arr("rows", core::iter::empty::<usize>(), |_, _| {});
+        assert_eq!(obj.finish(), "{\"rows\":[]}");
+    }
+}

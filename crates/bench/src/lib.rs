@@ -8,10 +8,12 @@
 
 pub mod calib;
 pub mod drivers;
+pub mod json;
 pub mod measure;
 pub mod report;
 
 pub use calib::*;
 pub use drivers::{sim_pairs_per_sec, SimPoint};
-pub use measure::{bench_ns, thread_pairs_per_sec, time_loop};
+pub use json::{BenchReport, JsonObj};
+pub use measure::{arena_contended_pair_ns, bench_ns, thread_pairs_per_sec, time_loop};
 pub use report::{ascii_chart, print_table, Series};

@@ -1,8 +1,10 @@
 //! Real-thread, wall-clock measurement (for hosts with real CPUs).
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
+use kmem::{KmemArena, KmemConfig};
 use kmem_baselines::KernelAllocator;
 
 /// Times `iters` runs of `f` and returns nanoseconds per run.
@@ -70,10 +72,62 @@ pub fn thread_pairs_per_sec<A: KernelAllocator>(
     total as f64 / duration.as_secs_f64()
 }
 
+/// ns per alloc/free pair with `threads` real threads hammering one
+/// arena built from `config` (which must allow at least `threads` CPUs).
+/// Every `flush_every` pairs each thread flushes its per-CPU caches, so
+/// chains ping-pong through the shared global layer — this measures the
+/// contended cross-layer path, not the cache-hit fast path.
+pub fn arena_contended_pair_ns(
+    config: KmemConfig,
+    size: usize,
+    threads: usize,
+    ops_per_thread: usize,
+    flush_every: usize,
+) -> f64 {
+    let arena = KmemArena::new(config).expect("bench arena");
+    let cookie = arena.cookie_for(size).expect("bench size class");
+    let barrier = Barrier::new(threads);
+    // The phase is timed from inside the workers as max(end) - min(start):
+    // the worker that rolls straight through the barrier release stamps
+    // the true phase start, and the last finisher stamps the end. Timing
+    // from the spawning thread is wrong on an oversubscribed host (the
+    // workers can run to completion before the spawner is rescheduled
+    // after the barrier, reading near-zero elapsed time), and taking only
+    // per-worker spans is wrong the other way (a descheduled worker
+    // stamps its start late, so each span covers just its own loop and an
+    // N-thread serialized phase masquerades as an N-times speedup).
+    let spans: Vec<(Instant, Instant)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let arena = &arena;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let cpu = arena.register_cpu().expect("config sized for threads");
+                    barrier.wait();
+                    let start = Instant::now();
+                    for i in 1..=ops_per_thread {
+                        let p = cpu.alloc_cookie(cookie).expect("bench must not exhaust");
+                        std::hint::black_box(p);
+                        // SAFETY: allocated just above, freed exactly once.
+                        unsafe { cpu.free_cookie(p, cookie) };
+                        if i % flush_every == 0 {
+                            cpu.flush();
+                        }
+                    }
+                    (start, Instant::now())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let first_start = spans.iter().map(|&(s, _)| s).min().expect("threads > 0");
+    let last_end = spans.iter().map(|&(_, e)| e).max().expect("threads > 0");
+    (last_end - first_start).as_nanos() as f64 / (threads * ops_per_thread) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kmem::{KmemArena, KmemConfig};
     use kmem_baselines::KmemCookieAlloc;
 
     #[test]
@@ -81,6 +135,12 @@ mod tests {
         let alloc = KmemCookieAlloc::new(KmemArena::new(KmemConfig::small()).unwrap());
         let rate = thread_pairs_per_sec(&alloc, 128, 2, Duration::from_millis(50));
         assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn contended_pair_measurement_runs() {
+        let ns = arena_contended_pair_ns(KmemConfig::small(), 256, 2, 500, 64);
+        assert!(ns > 0.0);
     }
 
     #[test]

@@ -90,6 +90,14 @@ pub struct GlobalStats {
     /// Failed tag-CAS attempts on the Treiber stack head (both pops and
     /// pushes; monotone, and zero without contention).
     pub cas_retries: EventCounter,
+    /// Epoch-batched stack detaches ([`GlobalPool::detach_stack_locked`]):
+    /// each one moved *every* stacked chain with a single tagged CAS and
+    /// settled the slow-path block account with a single RMW.
+    pub batch_drains: EventCounter,
+    /// Chains moved by batched detaches. `batched_chains / batch_drains`
+    /// is the per-CAS amortization the maintenance core achieves over the
+    /// one-CAS-per-chain pop loop it replaced.
+    pub batched_chains: EventCounter,
 }
 
 impl GlobalStats {
@@ -382,6 +390,82 @@ impl GlobalPool {
         Some(chain)
     }
 
+    /// Epoch-batched multi-chain pop: detaches **every** stacked chain
+    /// with a *single* tagged CAS (swap the head to null), rebuilds the
+    /// run privately, and settles the slow-path block account with a
+    /// *single* RMW — instead of one CAS plus one `fetch_sub` per chain.
+    /// This is what the maintenance core drains through: a bulk drain of
+    /// N chains costs O(1) shared-line RMWs on the stack head no matter
+    /// how large N is (probe-asserted in the tests below).
+    ///
+    /// Returns the merged chain and the number of chains it contained.
+    /// Caller must hold the bucket lock (the `slow_net` convention); the
+    /// walk itself touches only blocks the CAS transferred to us.
+    fn detach_stack_locked(&self) -> (Chain, usize) {
+        let mut all = Chain::new_keyed(self.key);
+        let mut cur = self.stack.load();
+        let run = loop {
+            if cur.is_null() {
+                return (all, 0);
+            }
+            match self.stack.compare_exchange(cur, ptr::null_mut()) {
+                Ok(_) => break cur.ptr(),
+                Err(seen) => {
+                    self.stats.cas_retries.inc();
+                    cur = seen;
+                }
+            }
+        };
+        let mut node = run;
+        let mut chains = 0usize;
+        while !node.is_null() {
+            // Read the stack link *before* rebuilding: rebuild_chain
+            // overwrites the head's first word with the intra-chain link.
+            // SAFETY: the successful detach CAS transferred the whole run
+            // to us; every node is an owned chain head.
+            let next = unsafe { block::read_next_atomic(node, self.key) };
+            // SAFETY: as above — `node` is an owned chain head laid out by
+            // push_stack for this pool's target.
+            let mut chain = unsafe { self.rebuild_chain(node) };
+            all.append(&mut chain);
+            chains += 1;
+            node = next;
+        }
+        // One settle for the whole epoch: every stacked chain is exactly
+        // `target` blocks, so the batch moved `chains * target` blocks.
+        self.slow_net
+            .fetch_sub((chains * self.target) as i64, Ordering::Release);
+        self.stats.batch_drains.inc();
+        self.stats.batched_chains.add(chains as u64);
+        (all, chains)
+    }
+
+    /// The batched analogue of [`GlobalPool::trim_locked`], used by the
+    /// maintenance core: one detach CAS pulls the whole stack, exact
+    /// arithmetic decides the spill, and the remainder regroups back. The
+    /// re-push CASes run on the maintenance core, not a hot CPU. Caller
+    /// holds the bucket lock; counter-free like `trim_locked`.
+    fn trim_batched_locked(&self, bucket: &mut Chain, bound: usize) -> Option<Chain> {
+        if self.stack_blocks() + bucket.len() <= bound {
+            return None;
+        }
+        let (mut pool_blocks, _chains) = self.detach_stack_locked();
+        pool_blocks.append(bucket);
+        let total = pool_blocks.len();
+        if total <= bound {
+            // The estimate over-stated (in-flight fast puts); put
+            // everything back and let the next crossing re-judge.
+            bucket.append(&mut pool_blocks);
+            self.regroup(bucket);
+            return None;
+        }
+        let spill = pool_blocks.split_first(total - bound);
+        debug_assert_eq!(spill.len(), total - bound);
+        bucket.append(&mut pool_blocks);
+        self.regroup(bucket);
+        Some(spill)
+    }
+
     /// Fetches a chain for a per-CPU cache.
     ///
     /// The common case is a single tag-CAS pop of a ready `target`-sized
@@ -523,6 +607,80 @@ impl GlobalPool {
         self.spill_locked(&mut bucket)
     }
 
+    /// Deferred-maintenance put of an exact-`target` chain: *always*
+    /// pushes wait-free (the same counted fast-path push as
+    /// [`GlobalPool::put_chain`]'s common case, so the derived block
+    /// estimate stays exact) and returns whether the pool is now over its
+    /// `2 * gbltarget` bound. On `true` the caller posts a `Trim` work
+    /// item to the maintenance mailbox instead of trimming inline — the
+    /// hot CPU never takes the bucket lock on this path. The bound
+    /// overshoots transiently until the maintenance core drains the trim;
+    /// the arena's invariant walker is run after the pump in maintenance
+    /// mode (DESIGN.md §13).
+    ///
+    /// A wrong-length chain routes through
+    /// [`GlobalPool::put_odd_deferred`], mirroring `put_chain`'s routing.
+    pub fn put_chain_deferred(&self, chain: Chain) -> bool {
+        if chain.len() != self.target {
+            return self.put_odd_deferred(chain);
+        }
+        let over = self.bound_estimate() + self.target > 2 * self.gbltarget;
+        self.stats.put_fast.inc();
+        self.push_stack(chain);
+        over
+    }
+
+    /// Deferred-maintenance odd put: blocks land in the bucket with one
+    /// O(1) lock-append — no regroup walk, no trim — and the caller posts
+    /// a `Regroup` work item. Returns whether maintenance is needed
+    /// (always, for a non-empty chain; the mailbox dedups the storm).
+    /// Gets stay correct meanwhile: the locked get path serves straight
+    /// from the un-regrouped bucket.
+    pub fn put_odd_deferred(&self, mut chain: Chain) -> bool {
+        if chain.is_empty() {
+            return false;
+        }
+        self.stats.put_slow.inc();
+        self.stats.put_odd.inc();
+        let mut bucket = self.bucket.lock();
+        bucket.append(&mut chain);
+        true
+    }
+
+    /// Maintenance-core trim to the standard `2 * gbltarget` bound via
+    /// the epoch-batched detach — the deferred half of a bound-exceeding
+    /// put, with the same attribution as the inline path (`put_miss`,
+    /// `spill_blocks`).
+    pub fn maint_trim(&self) -> Option<Chain> {
+        let mut bucket = self.bucket.lock();
+        let spill = self.trim_batched_locked(&mut bucket, 2 * self.gbltarget)?;
+        drop(bucket);
+        self.stats.put_miss.inc();
+        self.stats.spill_blocks.add(spill.len() as u64);
+        Some(spill)
+    }
+
+    /// Maintenance-core regroup of the bucket list (the deferred half of
+    /// an odd put), then the standard bound trim — identical tail to the
+    /// inline [`GlobalPool::put_odd`].
+    pub fn maint_regroup(&self) -> Option<Chain> {
+        let mut bucket = self.bucket.lock();
+        self.regroup(&mut bucket);
+        self.spill_locked(&mut bucket)
+    }
+
+    /// Maintenance-core pressure spill down to `bound` via the batched
+    /// detach — the deferred [`GlobalPool::spill_to`], with the same
+    /// attribution (`pressure_spills`, `spill_blocks`).
+    pub fn maint_spill(&self, bound: usize) -> Option<Chain> {
+        let mut bucket = self.bucket.lock();
+        let spill = self.trim_batched_locked(&mut bucket, bound)?;
+        drop(bucket);
+        self.stats.pressure_spills.inc();
+        self.stats.spill_blocks.add(spill.len() as u64);
+        Some(spill)
+    }
+
     /// Regroup: "the bucket list, which is used to group the blocks back
     /// into target-sized lists". Exact chains leave the bucket for the
     /// lock-free stack, where gets can reach them without the lock.
@@ -622,13 +780,14 @@ impl GlobalPool {
         self.sunk.load(Ordering::Relaxed)
     }
 
-    /// Drains every block (arena teardown and low-memory reclaim).
+    /// Drains every block (arena teardown and low-memory reclaim) through
+    /// the epoch-batched detach: the whole stack moves with one tagged
+    /// CAS and one counter settle, however many chains it held.
     pub fn drain_all(&self) -> Chain {
         let mut bucket = self.bucket.lock();
         let mut all = bucket.take();
-        while let Some(mut c) = self.pop_stack_slow() {
-            all.append(&mut c);
-        }
+        let (mut stacked, _chains) = self.detach_stack_locked();
+        all.append(&mut stacked);
         all
     }
 }
@@ -1096,6 +1255,125 @@ mod tests {
         });
         assert_eq!(pool.len() + spilled.get() as usize, 80);
         discard(pool.drain_all());
+    }
+
+    /// The acceptance-criterion probe test for the epoch-batched drain:
+    /// a bulk drain of N chains costs the same number of shared-line
+    /// RMWs whether N is 4 or 64 — one tagged CAS detaches the whole run
+    /// and one RMW settles the slow-path account, unlike the old
+    /// one-CAS-per-chain pop loop.
+    #[test]
+    fn batched_drain_moves_n_chains_with_constant_rmw_cost() {
+        let rmws_for = |chains: usize| {
+            let mut blocks = Blocks::new(chains * 2);
+            let pool = GlobalPool::new(2, 2 * chains);
+            for _ in 0..chains {
+                assert!(pool.put_chain(blocks.chain(2)).is_none());
+            }
+            let (all, ev) = probe::record(|| pool.drain_all());
+            assert_eq!(discard(all), chains * 2, "batched drain conserves");
+            assert_eq!(pool.stats().batch_drains.get(), 1);
+            assert_eq!(pool.stats().batched_chains.get(), chains as u64);
+            ev.iter()
+                .filter(|e| matches!(e, ProbeEvent::LineRmw { .. }))
+                .count()
+        };
+        let small = rmws_for(4);
+        let large = rmws_for(64);
+        assert_eq!(
+            small, large,
+            "drain RMW cost must not scale with chain count"
+        );
+    }
+
+    #[test]
+    fn deferred_exact_puts_push_wait_free_and_flag_the_trim() {
+        let mut blocks = Blocks::new(64);
+        // target 3, gbltarget 6: bound 12 = 4 chains.
+        let pool = GlobalPool::new(3, 6);
+        for _ in 0..4 {
+            assert!(
+                !pool.put_chain_deferred(blocks.chain(3)),
+                "within bound: no maintenance requested"
+            );
+        }
+        assert_eq!(pool.len(), 12);
+        // Over the bound: the put still lands wait-free (no spinlock),
+        // the pool transiently overshoots, and the caller is told to
+        // post a Trim to the maintenance core.
+        let (over, ev) = probe::record(|| pool.put_chain_deferred(blocks.chain(3)));
+        assert!(over, "over-bound deferred put must request maintenance");
+        assert!(
+            ev.iter().all(|e| !matches!(
+                e,
+                ProbeEvent::LockAcquire { .. } | ProbeEvent::LockRelease { .. }
+            )),
+            "deferred put took a lock: {ev:?}"
+        );
+        assert_eq!(pool.len(), 15, "trim is deferred, not inline");
+        // The maintenance core's trim restores the bound with `put_miss`
+        // attribution, exactly like the inline slow path would have.
+        let spill = pool.maint_trim().unwrap();
+        assert_eq!(spill.len(), 3);
+        assert_eq!(pool.len(), 12);
+        let s = pool.stats();
+        assert_eq!(s.put_fast.get(), 5, "deferred puts count as fast pushes");
+        assert_eq!(s.put_miss.get(), 1);
+        assert_eq!(s.spill_blocks.get(), 3);
+        assert!(pool.maint_trim().is_none(), "second trim finds nothing");
+        discard(spill);
+        discard(pool.drain_all());
+    }
+
+    #[test]
+    fn deferred_odd_puts_append_and_regroup_at_the_pump() {
+        let mut blocks = Blocks::new(32);
+        let pool = GlobalPool::new(3, 8);
+        assert!(pool.put_odd_deferred(blocks.chain(2)));
+        assert!(pool.put_odd_deferred(blocks.chain(2)));
+        assert_eq!(pool.stats().put_odd.get(), 2);
+        assert_eq!(pool.len(), 4);
+        assert!(pool.maint_regroup().is_none());
+        // One exact chain regrouped onto the lock-free stack.
+        let c = pool.get_chain().unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(
+            pool.stats().get_fast.get(),
+            1,
+            "regrouped chain is served lock-free"
+        );
+        discard(c);
+        discard(pool.drain_all());
+    }
+
+    #[test]
+    fn maint_spill_trims_batched_with_pressure_attribution() {
+        let mut blocks = Blocks::new(64);
+        let pool = GlobalPool::new(3, 6);
+        for _ in 0..4 {
+            assert!(pool.put_chain(blocks.chain(3)).is_none());
+        }
+        assert!(pool.maint_spill(12).is_none(), "already within the bound");
+        let spill = pool.maint_spill(6).unwrap();
+        assert_eq!(spill.len(), 6);
+        assert_eq!(pool.len(), 6);
+        let s = pool.stats();
+        assert_eq!(s.pressure_spills.get(), 1);
+        assert_eq!(s.put_miss.get(), 0);
+        discard(spill);
+        discard(pool.drain_all());
+    }
+
+    #[test]
+    fn hardened_batched_drain_decodes_the_whole_run() {
+        let (mut store, key) = aligned_store(9);
+        let pool = GlobalPool::new_hardened(3, 12, Faults::none(), key);
+        for i in 0..3 {
+            let chain = keyed_chain(&mut store, key, i * 3..i * 3 + 3);
+            assert!(pool.put_chain(chain).is_none());
+        }
+        assert_eq!(discard(pool.drain_all()), 9);
+        assert_eq!(pool.stats().batched_chains.get(), 3);
     }
 
     /// Exact-chain recycling under real threads: the headline pattern the

@@ -64,6 +64,7 @@ pub mod config;
 pub mod cookie;
 pub mod error;
 pub mod global;
+pub mod maint;
 pub mod object;
 pub mod pagedesc;
 pub mod pagelayer;
@@ -75,15 +76,16 @@ pub mod stats;
 pub mod verify;
 pub mod vmblklayer;
 
-pub use arena::{CpuHandle, KmemArena};
-pub use config::{ClassConfig, HardenedConfig, KmemConfig};
+pub use arena::{CpuHandle, KmemArena, MaintPump};
+pub use config::{ClassConfig, HardenedConfig, KmemConfig, MaintConfig};
 pub use cookie::Cookie;
 pub use error::{AllocError, CorruptionSite, KmemError};
 pub use kmem_smp::{faults, FailPolicy, FaultPlan, Faults};
+pub use maint::{MaintKeys, MaintWork};
 pub use object::{KBox, Obj, ObjectCache};
 pub use pressure::PressureConfig;
 pub use snapshot::{
-    CacheCounts, ClassSnapshot, GlobalCounts, KmemSnapshot, NodeCounts, PageCounts,
+    CacheCounts, ClassSnapshot, GlobalCounts, KmemSnapshot, MaintCounts, NodeCounts, PageCounts,
 };
 pub use stats::{ClassStats, KmemStats, LayerCounts};
 

@@ -1,0 +1,209 @@
+//! Maintenance-core work descriptors and their mailbox key layout.
+//!
+//! When the maintenance core is enabled ([`crate::config::MaintConfig`]),
+//! slow-path chores are described by a [`MaintWork`] item and posted to a
+//! [`kmem_smp::Mailbox`] instead of running inline. The mailbox
+//! deduplicates per key, so the key layout *is* the dedup policy: one key
+//! per (site, shard) means a storm of identical threshold crossings — a
+//! hundred CPUs all noticing the same shard is over its bound — collapses
+//! to one unit of work.
+//!
+//! [`MaintKeys`] owns the dense key layout for one arena topology:
+//!
+//! ```text
+//! [0,            nshards)                    Regroup  per (class, node)
+//! [nshards,      2*nshards)                  Trim     per (class, node)
+//! [2*nshards,    3*nshards)                  Spill    per (class, node)
+//! [3*nshards,    3*nshards + ncpus)          DrainCpu per cpu
+//! [3*nshards+ncpus, .. + nclasses)           Coalesce per class
+//! ```
+//!
+//! where `nshards = nclasses * nnodes` and shards are node-minor
+//! (`class * nnodes + node`), matching the arena's global-pool layout.
+
+use kmem_smp::Mailbox;
+
+/// One unit of deferred slow-path work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintWork {
+    /// Regroup the bucket list of shard `(class, node)` into
+    /// `target`-sized stack chains and trim to the standard bound — the
+    /// deferred half of an odd put.
+    Regroup { class: usize, node: usize },
+    /// Trim shard `(class, node)` back to its `2 * gbltarget` bound via
+    /// the epoch-batched detach — the deferred half of a bound-exceeding
+    /// exact put.
+    Trim { class: usize, node: usize },
+    /// Pressure-ladder spill of shard `(class, node)` down to
+    /// `gbltarget` blocks.
+    Spill { class: usize, node: usize },
+    /// Request a cache drain from `cpu` (sets its drain flag; the CPU
+    /// flushes at its next poll, as with the inline request).
+    DrainCpu { cpu: usize },
+    /// Push `class`'s fully free pages back to the vmblk layer.
+    Coalesce { class: usize },
+}
+
+/// Dense key layout for one arena topology (see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct MaintKeys {
+    nclasses: usize,
+    nnodes: usize,
+    ncpus: usize,
+}
+
+impl MaintKeys {
+    /// Builds the layout for `nclasses` size classes over `nnodes` NUMA
+    /// nodes and `ncpus` CPUs.
+    pub fn new(nclasses: usize, nnodes: usize, ncpus: usize) -> Self {
+        assert!(nclasses >= 1 && nnodes >= 1 && ncpus >= 1);
+        MaintKeys {
+            nclasses,
+            nnodes,
+            ncpus,
+        }
+    }
+
+    fn nshards(&self) -> usize {
+        self.nclasses * self.nnodes
+    }
+
+    /// Total number of dedup keys (the mailbox size).
+    pub fn count(&self) -> usize {
+        3 * self.nshards() + self.ncpus + self.nclasses
+    }
+
+    /// The dedup key for `work`.
+    pub fn key(&self, work: MaintWork) -> usize {
+        let shard = |class: usize, node: usize| {
+            debug_assert!(class < self.nclasses && node < self.nnodes);
+            class * self.nnodes + node
+        };
+        match work {
+            MaintWork::Regroup { class, node } => shard(class, node),
+            MaintWork::Trim { class, node } => self.nshards() + shard(class, node),
+            MaintWork::Spill { class, node } => 2 * self.nshards() + shard(class, node),
+            MaintWork::DrainCpu { cpu } => {
+                debug_assert!(cpu < self.ncpus);
+                3 * self.nshards() + cpu
+            }
+            MaintWork::Coalesce { class } => {
+                debug_assert!(class < self.nclasses);
+                3 * self.nshards() + self.ncpus + class
+            }
+        }
+    }
+
+    /// The work item a drained `key` describes (inverse of
+    /// [`MaintKeys::key`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= self.count()` — a key can only come from this
+    /// layout's own mailbox.
+    pub fn work(&self, key: usize) -> MaintWork {
+        let nshards = self.nshards();
+        let unshard = |shard: usize| (shard / self.nnodes, shard % self.nnodes);
+        if key < nshards {
+            let (class, node) = unshard(key);
+            MaintWork::Regroup { class, node }
+        } else if key < 2 * nshards {
+            let (class, node) = unshard(key - nshards);
+            MaintWork::Trim { class, node }
+        } else if key < 3 * nshards {
+            let (class, node) = unshard(key - 2 * nshards);
+            MaintWork::Spill { class, node }
+        } else if key < 3 * nshards + self.ncpus {
+            MaintWork::DrainCpu {
+                cpu: key - 3 * nshards,
+            }
+        } else if key < self.count() {
+            MaintWork::Coalesce {
+                class: key - 3 * nshards - self.ncpus,
+            }
+        } else {
+            panic!("maintenance key {key} out of range for {self:?}");
+        }
+    }
+}
+
+/// Per-arena maintenance state: the mailbox plus its key layout.
+pub(crate) struct MaintState {
+    pub(crate) mailbox: Mailbox,
+    pub(crate) keys: MaintKeys,
+}
+
+impl MaintState {
+    pub(crate) fn new(keys: MaintKeys) -> Self {
+        MaintState {
+            mailbox: Mailbox::new(keys.count()),
+            keys,
+        }
+    }
+
+    /// Wait-free post of a work item (deduplicated per key).
+    pub(crate) fn post(&self, work: MaintWork) {
+        self.mailbox.post(self.keys.key(work), 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_dense_distinct_and_round_trip() {
+        for (nclasses, nnodes, ncpus) in [(1, 1, 1), (9, 1, 4), (9, 4, 16), (3, 2, 5)] {
+            let keys = MaintKeys::new(nclasses, nnodes, ncpus);
+            let mut seen = vec![false; keys.count()];
+            let mut all = Vec::new();
+            for class in 0..nclasses {
+                for node in 0..nnodes {
+                    all.push(MaintWork::Regroup { class, node });
+                    all.push(MaintWork::Trim { class, node });
+                    all.push(MaintWork::Spill { class, node });
+                }
+                all.push(MaintWork::Coalesce { class });
+            }
+            for cpu in 0..ncpus {
+                all.push(MaintWork::DrainCpu { cpu });
+            }
+            assert_eq!(all.len(), keys.count(), "layout is dense");
+            for work in all {
+                let k = keys.key(work);
+                assert!(!seen[k], "key {k} assigned twice");
+                seen[k] = true;
+                assert_eq!(keys.work(k), work, "key round-trips");
+            }
+            assert!(seen.iter().all(|&s| s), "every key is reachable");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_key_is_rejected() {
+        let keys = MaintKeys::new(2, 1, 1);
+        let _ = keys.work(keys.count());
+    }
+
+    #[test]
+    fn state_posts_dedupe_per_work_item() {
+        let state = MaintState::new(MaintKeys::new(2, 1, 2));
+        state.post(MaintWork::Trim { class: 0, node: 0 });
+        state.post(MaintWork::Trim { class: 0, node: 0 });
+        state.post(MaintWork::Trim { class: 1, node: 0 });
+        assert_eq!(state.mailbox.posted(), 3);
+        assert_eq!(state.mailbox.deduped(), 1);
+        let mut drained = Vec::new();
+        state
+            .mailbox
+            .try_drain(|key, _| drained.push(state.keys.work(key)));
+        assert_eq!(
+            drained,
+            vec![
+                MaintWork::Trim { class: 0, node: 0 },
+                MaintWork::Trim { class: 1, node: 0 },
+            ]
+        );
+    }
+}

@@ -523,6 +523,47 @@ impl PageCounts {
     }
 }
 
+/// Maintenance-core counters: mailbox flow plus the epoch-batched drain
+/// totals summed over every global shard. All zeros (with
+/// `enabled: false`) when the arena runs without the core
+/// ([`crate::config::MaintConfig`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintCounts {
+    /// Whether the arena was built with the maintenance core enabled.
+    pub enabled: bool,
+    /// Work-item post attempts, including deduplicated ones.
+    pub posted: u64,
+    /// Posts suppressed because the same key was already queued.
+    pub deduped: u64,
+    /// Work items drained and run by the maintenance core. At quiescence
+    /// (mailbox empty, no poster mid-call) `drained == posted - deduped`.
+    pub drained: u64,
+    /// Work items currently queued (gauge; `delta` keeps the later
+    /// value; racy while posters are active).
+    pub backlog: usize,
+    /// Epoch-batched stack detaches across all global shards — each is
+    /// one tagged CAS, however many chains it moved.
+    pub batch_drains: u64,
+    /// Chains moved by those batched detaches.
+    pub batched_chains: u64,
+}
+
+impl MaintCounts {
+    /// Events between `earlier` and `self`; gauges and the enabled flag
+    /// keep the later (`self`) values.
+    pub fn delta(&self, earlier: &MaintCounts) -> MaintCounts {
+        MaintCounts {
+            enabled: self.enabled,
+            posted: self.posted.saturating_sub(earlier.posted),
+            deduped: self.deduped.saturating_sub(earlier.deduped),
+            drained: self.drained.saturating_sub(earlier.drained),
+            backlog: self.backlog,
+            batch_drains: self.batch_drains.saturating_sub(earlier.batch_drains),
+            batched_chains: self.batched_chains.saturating_sub(earlier.batched_chains),
+        }
+    }
+}
+
 /// Snapshot of one size class: per-CPU cache counters plus the shared
 /// global-pool and page-layer counters.
 #[derive(Debug, Clone)]
@@ -624,6 +665,8 @@ pub struct KmemSnapshot {
     /// Blocks currently parked in double-free quarantine rings (gauge;
     /// `delta` keeps the later value).
     pub quarantine_len: usize,
+    /// Maintenance-core mailbox and batched-drain counters.
+    pub maint: MaintCounts,
 }
 
 impl KmemSnapshot {
@@ -721,6 +764,7 @@ impl KmemSnapshot {
             poison_hits: self.poison_hits.saturating_sub(earlier.poison_hits),
             encode_faults: self.encode_faults.saturating_sub(earlier.encode_faults),
             quarantine_len: self.quarantine_len,
+            maint: self.maint.delta(&earlier.maint),
         }
     }
 
@@ -892,7 +936,8 @@ impl KmemSnapshot {
             out,
             ",\"deescalations\":{},\"reapplied\":{}}},\"faults\":{{\"hits\":{},\"fired\":{}}},\
              \"hardened\":{{\"corruption_reports\":{},\"poison_hits\":{},\"encode_faults\":{},\
-             \"quarantine_len\":{}}}}}",
+             \"quarantine_len\":{}}},\"maint\":{{\"enabled\":{},\"posted\":{},\"deduped\":{},\
+             \"drained\":{},\"backlog\":{},\"batch_drains\":{},\"batched_chains\":{}}}}}",
             self.pressure_deescalations,
             self.pressure_reapplied,
             self.fault_hits,
@@ -901,6 +946,13 @@ impl KmemSnapshot {
             self.poison_hits,
             self.encode_faults,
             self.quarantine_len,
+            self.maint.enabled,
+            self.maint.posted,
+            self.maint.deduped,
+            self.maint.drained,
+            self.maint.backlog,
+            self.maint.batch_drains,
+            self.maint.batched_chains,
         );
         out
     }
@@ -1084,6 +1136,31 @@ impl KmemSnapshot {
             self.encode_faults,
             earlier.encode_faults,
         )?;
+        mono(
+            "maint posted".into(),
+            self.maint.posted,
+            earlier.maint.posted,
+        )?;
+        mono(
+            "maint deduped".into(),
+            self.maint.deduped,
+            earlier.maint.deduped,
+        )?;
+        mono(
+            "maint drained".into(),
+            self.maint.drained,
+            earlier.maint.drained,
+        )?;
+        mono(
+            "maint batch_drains".into(),
+            self.maint.batch_drains,
+            earlier.maint.batch_drains,
+        )?;
+        mono(
+            "maint batched_chains".into(),
+            self.maint.batched_chains,
+            earlier.maint.batched_chains,
+        )?;
         Ok(())
     }
 }
@@ -1131,6 +1208,7 @@ mod tests {
             poison_hits: 0,
             encode_faults: 0,
             quarantine_len: 0,
+            maint: MaintCounts::default(),
         }
     }
 
@@ -1228,6 +1306,10 @@ mod tests {
         assert!(json.contains(
             "\"nodes\":[{\"shard_blocks\":0,\"local_refills\":0,\
              \"stolen_refills\":0,\"remote_spills\":0}]"
+        ));
+        assert!(json.contains(
+            "\"maint\":{\"enabled\":false,\"posted\":0,\"deduped\":0,\"drained\":0,\
+             \"backlog\":0,\"batch_drains\":0,\"batched_chains\":0}"
         ));
         assert!(json.contains("\"sleep_retries\":0"));
         assert!(json.contains("\"pressure_spills\":0"));

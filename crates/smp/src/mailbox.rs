@@ -1,0 +1,381 @@
+//! Bounded, deduplicated, wait-free MPSC mailbox for maintenance work.
+//!
+//! Hot CPUs that cross a slow-path threshold (a global pool over its
+//! `2 * gbltarget` bound, an odd-length flush chain that needs regrouping,
+//! a pressure-ladder rung) do not take the locked slow path inline.
+//! Instead they *post* a small work descriptor here and keep running; a
+//! maintenance core (or an explicit test pump) drains the mailbox and owns
+//! the locked path alone. The posting side is the production fast path, so
+//! it must be wait-free and cheap; the draining side is one background
+//! thread, so it can be plain.
+//!
+//! Three properties carry the design:
+//!
+//! * **Deduplication.** Every work item maps to a small integer *key*
+//!   (site × shard). A `pending` bit per key is claimed with one
+//!   `AtomicBool::swap` before touching the ring; a storm of identical
+//!   threshold crossings enqueues one unit of work and counts the rest as
+//!   `deduped`. The consumer clears the bit *at pop, before running the
+//!   work*, so a crossing that races the drain re-enqueues rather than
+//!   getting lost.
+//! * **Wait-free posting.** The ring is a Vyukov-style bounded MPSC queue:
+//!   a producer takes a ticket with one [`TaggedAtomic::fetch_count_add`]
+//!   (the only RMW on a shared line the post path pays — the probe layer
+//!   prices exactly one [`ProbeEvent::LineRmw`]), then publishes into its
+//!   slot with plain stores. The classic Vyukov queue makes producers wait
+//!   when the ring is full; here the dedup bits make that wait *provably
+//!   vacuous*: every in-flight entry holds a distinct claimed key, so at
+//!   most `keys` entries exist between `tail` and a fresh ticket, and the
+//!   ring is sized to `2 * keys` slots — the slot a producer is assigned
+//!   has always been recycled already.
+//! * **Single consumer, bounded drains.** A `draining` try-flag
+//!   serializes drains; a losing caller returns immediately with zero
+//!   items instead of spinning. Each drain pops only the items published
+//!   before it began (its entry *epoch*), so a handler that provokes
+//!   fresh posts hands them to the next drain instead of pinning this
+//!   one. The consumer walks `tail` with plain loads/stores — the drain
+//!   side costs no priced shared-line RMWs at all.
+//!
+//! Counters follow the convention the maintenance layer asserts at
+//! quiescence: `posted` counts every post *attempt*, `deduped` the
+//! suppressed ones, `drained` the pops — so an empty mailbox satisfies
+//! `drained == posted - deduped`.
+
+use core::hint::spin_loop;
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::atomics::TaggedAtomic;
+use crate::counter::EventCounter;
+
+/// Payload bits carried per item (the low 48 bits of the slot word; the
+/// high 16 bits carry the key so the consumer can clear its pending bit).
+pub const PAYLOAD_BITS: u32 = 48;
+const PAYLOAD_MASK: u64 = (1 << PAYLOAD_BITS) - 1;
+
+struct Slot {
+    /// Vyukov sequence word: `ticket` when free for the producer holding
+    /// `ticket`, `ticket + 1` when published, `ticket + capacity` after
+    /// the consumer recycles it for the next lap.
+    seq: AtomicU64,
+    /// `(key << 48) | payload`, valid while `seq == ticket + 1`.
+    value: AtomicU64,
+}
+
+/// The bounded deduplicated MPSC mailbox.
+pub struct Mailbox {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Producer ticket counter (value half) — the one shared line the
+    /// wait-free post path hits with an RMW.
+    head: TaggedAtomic,
+    /// Consumer cursor; only the drain holder writes it.
+    tail: AtomicU64,
+    /// One claim bit per dedup key.
+    pending: Box<[AtomicBool]>,
+    /// Single-consumer try-flag.
+    draining: AtomicBool,
+    posted: EventCounter,
+    deduped: EventCounter,
+    drained: EventCounter,
+}
+
+impl Mailbox {
+    /// Creates a mailbox with `keys` dedup keys and `2 * keys` (rounded up
+    /// to a power of two) ring slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero or exceeds `u16::MAX + 1` (keys ride in
+    /// the high 16 bits of the slot word).
+    pub fn new(keys: usize) -> Self {
+        assert!(keys >= 1, "mailbox needs at least one key");
+        assert!(keys <= 1 << 16, "keys must fit in 16 bits");
+        let capacity = (2 * keys).next_power_of_two();
+        let slots = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i as u64),
+                value: AtomicU64::new(0),
+            })
+            .collect();
+        let pending = (0..keys).map(|_| AtomicBool::new(false)).collect();
+        Mailbox {
+            slots,
+            mask: (capacity - 1) as u64,
+            head: TaggedAtomic::null(),
+            tail: AtomicU64::new(0),
+            pending,
+            draining: AtomicBool::new(false),
+            posted: EventCounter::new(),
+            deduped: EventCounter::new(),
+            drained: EventCounter::new(),
+        }
+    }
+
+    /// Number of dedup keys.
+    pub fn keys(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Ring capacity in slots (always `>= 2 * keys`).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Posts work item `key` with a 48-bit `payload`. Wait-free: one
+    /// shared-line RMW (the ticket) when the item enqueues, none when it
+    /// deduplicates against an already-pending copy.
+    ///
+    /// Returns `true` if the item was enqueued, `false` if an identical
+    /// key was already pending (counted as `deduped`).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `key < self.keys()` and `payload` fits in 48 bits.
+    pub fn post(&self, key: usize, payload: u64) -> bool {
+        debug_assert!(key < self.pending.len(), "key out of range");
+        debug_assert_eq!(payload & !PAYLOAD_MASK, 0, "payload exceeds 48 bits");
+        self.posted.inc();
+        if self.pending[key].swap(true, Ordering::AcqRel) {
+            self.deduped.inc();
+            return false;
+        }
+        let ticket = self.head.fetch_count_add(1).value();
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        // Vyukov hand-off: wait for the consumer to have recycled this
+        // slot's previous lap. Vacuous in practice — in-flight entries
+        // hold distinct pending keys, so at most `keys <= capacity / 2`
+        // tickets are ever outstanding and the slot is always ready.
+        while slot.seq.load(Ordering::Acquire) != ticket {
+            spin_loop();
+        }
+        slot.value
+            .store(((key as u64) << PAYLOAD_BITS) | payload, Ordering::Relaxed);
+        slot.seq.store(ticket + 1, Ordering::Release);
+        true
+    }
+
+    /// Drains the items published before the call began, invoking
+    /// `work(key, payload)` for each. Single-consumer: if another drain is
+    /// in progress, returns 0 immediately.
+    ///
+    /// The pending bit for a key clears *before* `work` runs, so a post
+    /// that races the handler re-enqueues instead of being lost. Such a
+    /// re-post lands *behind* this drain's epoch boundary and waits for
+    /// the next call — each drain is bounded by the backlog at entry, so
+    /// a handler that provokes fresh posts can never pin the consumer in
+    /// an endless pop loop.
+    pub fn try_drain(&self, mut work: impl FnMut(usize, u64)) -> usize {
+        if self.draining.swap(true, Ordering::Acquire) {
+            return 0;
+        }
+        let epoch = self.head.load().value();
+        let capacity = self.slots.len() as u64;
+        let mut n = 0;
+        loop {
+            let t = self.tail.load(Ordering::Relaxed);
+            let slot = &self.slots[(t & self.mask) as usize];
+            if t == epoch || slot.seq.load(Ordering::Acquire) != t + 1 {
+                break;
+            }
+            let word = slot.value.load(Ordering::Relaxed);
+            // Recycle the slot for lap `t + capacity`, then advance.
+            slot.seq.store(t + capacity, Ordering::Release);
+            self.tail.store(t + 1, Ordering::Relaxed);
+            let key = (word >> PAYLOAD_BITS) as usize;
+            let payload = word & PAYLOAD_MASK;
+            self.pending[key].store(false, Ordering::Release);
+            self.drained.inc();
+            n += 1;
+            work(key, payload);
+        }
+        self.draining.store(false, Ordering::Release);
+        n
+    }
+
+    /// Published-but-undrained items (approximate under concurrency).
+    pub fn backlog(&self) -> u64 {
+        let head = self.head.load().value();
+        let tail = self.tail.load(Ordering::Acquire);
+        head.saturating_sub(tail)
+    }
+
+    /// Whether the mailbox is quiescent-empty.
+    pub fn is_empty(&self) -> bool {
+        self.backlog() == 0
+    }
+
+    /// Post attempts (enqueued + deduplicated).
+    pub fn posted(&self) -> u64 {
+        self.posted.get()
+    }
+
+    /// Posts suppressed because the key was already pending.
+    pub fn deduped(&self) -> u64 {
+        self.deduped.get()
+    }
+
+    /// Items popped by drains. At quiescence
+    /// `drained == posted - deduped`.
+    pub fn drained(&self) -> u64 {
+        self.drained.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{self, ProbeEvent};
+
+    #[test]
+    fn capacity_is_twice_keys_rounded_up() {
+        assert_eq!(Mailbox::new(1).capacity(), 2);
+        assert_eq!(Mailbox::new(3).capacity(), 8);
+        assert_eq!(Mailbox::new(8).capacity(), 16);
+        assert_eq!(Mailbox::new(181).capacity(), 512);
+    }
+
+    #[test]
+    fn posts_drain_in_fifo_order_with_payloads() {
+        let mb = Mailbox::new(4);
+        assert!(mb.post(2, 0xAA));
+        assert!(mb.post(0, 0xBB));
+        assert!(mb.post(3, 0xCC));
+        let mut seen = Vec::new();
+        let n = mb.try_drain(|key, payload| seen.push((key, payload)));
+        assert_eq!(n, 3);
+        assert_eq!(seen, vec![(2, 0xAA), (0, 0xBB), (3, 0xCC)]);
+        assert!(mb.is_empty());
+        assert_eq!((mb.posted(), mb.deduped(), mb.drained()), (3, 0, 3));
+    }
+
+    #[test]
+    fn duplicate_keys_dedupe_until_drained() {
+        let mb = Mailbox::new(2);
+        assert!(mb.post(1, 7));
+        assert!(!mb.post(1, 7));
+        assert!(!mb.post(1, 9));
+        assert_eq!((mb.posted(), mb.deduped()), (3, 2));
+        let mut seen = Vec::new();
+        mb.try_drain(|k, p| seen.push((k, p)));
+        assert_eq!(seen, vec![(1, 7)], "one unit of work for the storm");
+        // Once drained, the key is postable again.
+        assert!(mb.post(1, 8));
+        assert_eq!(mb.try_drain(|_, _| {}), 1);
+        assert_eq!(mb.drained(), mb.posted() - mb.deduped());
+    }
+
+    #[test]
+    fn ring_wraps_across_many_laps() {
+        let mb = Mailbox::new(2); // capacity 4
+        for lap in 0..100u64 {
+            assert!(mb.post(0, lap));
+            assert!(mb.post(1, lap));
+            let mut seen = Vec::new();
+            mb.try_drain(|k, p| seen.push((k, p)));
+            assert_eq!(seen, vec![(0, lap), (1, lap)]);
+        }
+        assert!(mb.is_empty());
+        assert_eq!(mb.drained(), 200);
+    }
+
+    #[test]
+    fn pending_clears_before_work_runs_so_races_reenqueue() {
+        let mb = Mailbox::new(1);
+        assert!(mb.post(0, 1));
+        let mut reposted = false;
+        let n = mb.try_drain(|_, _| {
+            // A threshold crossing that fires while the handler runs must
+            // enqueue a fresh item, not vanish into the old pending bit.
+            reposted = mb.post(0, 2);
+        });
+        // The re-post lands behind the drain's epoch boundary: this drain
+        // stays bounded at one item instead of chasing its own tail.
+        assert_eq!(n, 1, "drain must stop at its entry epoch");
+        assert!(reposted, "post during drain handler was deduped away");
+        let mut seen = Vec::new();
+        mb.try_drain(|k, p| seen.push((k, p)));
+        assert_eq!(seen, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn enqueueing_post_is_one_priced_line_rmw() {
+        let mb = Mailbox::new(4);
+        let ((), ev) = probe::record(|| {
+            assert!(mb.post(1, 5));
+        });
+        let rmws = ev
+            .iter()
+            .filter(|e| matches!(e, ProbeEvent::LineRmw { .. }))
+            .count();
+        assert_eq!(rmws, 1, "post must cost exactly one shared-line RMW");
+        assert!(!ev
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::LockAcquire { .. })));
+        // A deduplicated post touches no priced shared line at all.
+        let ((), ev) = probe::record(|| {
+            assert!(!mb.post(1, 5));
+        });
+        assert!(ev.is_empty(), "dedup path must be free of priced traffic");
+    }
+
+    #[test]
+    fn concurrent_producers_conserve_work_items() {
+        const PRODUCERS: usize = 4;
+        const OPS: usize = 20_000;
+        const KEYS: usize = 8;
+        let mb = Mailbox::new(KEYS);
+        let executed = EventCounter::new();
+        std::thread::scope(|s| {
+            for t in 0..PRODUCERS {
+                let mb = &mb;
+                s.spawn(move || {
+                    let mut x = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    for _ in 0..OPS {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        mb.post((x % KEYS as u64) as usize, x & 0xFFFF);
+                    }
+                });
+            }
+            let mb = &mb;
+            let executed = &executed;
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    mb.try_drain(|_, _| executed.inc());
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        // Quiescent sweep, then the conservation identity must be exact.
+        mb.try_drain(|_, _| executed.inc());
+        assert!(mb.is_empty());
+        assert_eq!(mb.drained(), mb.posted() - mb.deduped());
+        assert_eq!(executed.get(), mb.drained());
+        assert_eq!(mb.posted(), (PRODUCERS * OPS) as u64);
+    }
+
+    #[test]
+    fn concurrent_drain_attempts_do_not_double_pop() {
+        let mb = Mailbox::new(4);
+        let popped = EventCounter::new();
+        for round in 0..200u64 {
+            for k in 0..4 {
+                mb.post(k, round);
+            }
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    let mb = &mb;
+                    let popped = &popped;
+                    s.spawn(move || {
+                        mb.try_drain(|_, _| popped.inc());
+                    });
+                }
+            });
+            mb.try_drain(|_, _| popped.inc());
+            assert!(mb.is_empty());
+        }
+        assert_eq!(popped.get(), 800);
+        assert_eq!(mb.drained(), 800);
+    }
+}

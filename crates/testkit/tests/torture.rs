@@ -2,7 +2,7 @@
 //! invariant walkers at every quiescent checkpoint.
 
 use kmem::verify::{verify_arena, verify_empty};
-use kmem::{Faults, HardenedConfig, KmemArena, KmemConfig};
+use kmem::{Faults, HardenedConfig, KmemArena, KmemConfig, MaintConfig};
 use kmem_testkit::{check, interleaving, no_shrink, run_torture, TortureConfig};
 use kmem_vm::SpaceConfig;
 
@@ -17,16 +17,30 @@ fn apply_hardened(kcfg: KmemConfig, cfg: &TortureConfig) -> KmemConfig {
     }
 }
 
+/// Applies the run's maintenance-core request (config or
+/// `KMEM_TORTURE_MAINT`): same op streams, slow-path work routed through
+/// the mailbox and pumped at every quiescent checkpoint.
+fn apply_maint(kcfg: KmemConfig, cfg: &TortureConfig) -> KmemConfig {
+    if cfg.maint_requested() {
+        kcfg.maint(MaintConfig::on())
+    } else {
+        kcfg
+    }
+}
+
 /// 4 threads × 100 000 randomized ops over 4 size classes, with
 /// cross-thread frees, flush pressure, and conservation checks at every
 /// phase boundary — the headline multi-threaded soak.
 /// `KMEM_TORTURE_HARDENED=1` reruns the same mix with every corruption
-/// defense armed.
+/// defense armed; `KMEM_TORTURE_MAINT=1` with the maintenance core on.
 #[test]
 fn standard_torture_run_is_clean() {
     let cfg = TortureConfig::standard();
-    let kcfg = apply_hardened(
-        KmemConfig::new(cfg.threads, SpaceConfig::new(256 << 20)),
+    let kcfg = apply_maint(
+        apply_hardened(
+            KmemConfig::new(cfg.threads, SpaceConfig::new(256 << 20)),
+            &cfg,
+        ),
         &cfg,
     );
     let arena = KmemArena::new(kcfg).unwrap();
@@ -72,8 +86,11 @@ fn torture_survives_low_memory_pressure() {
     };
     // 384 KB of frames versus megabytes of steady-state demand: the pool
     // runs dry and the flush/drain-request ladder gets real traffic.
-    let kcfg = apply_hardened(
-        KmemConfig::new(cfg.threads, SpaceConfig::new(64 << 20).phys_pages(96)),
+    let kcfg = apply_maint(
+        apply_hardened(
+            KmemConfig::new(cfg.threads, SpaceConfig::new(64 << 20).phys_pages(96)),
+            &cfg,
+        ),
         &cfg,
     );
     let arena = KmemArena::new(kcfg).unwrap();
@@ -114,12 +131,15 @@ fn fault_injection_torture_covers_every_site() {
     // failpoint gets hits in every policy rotation, not just at startup.
     // Two nodes, because the steal site is only consulted when a remote
     // shard exists to steal from.
-    let mut kcfg = apply_hardened(
-        KmemConfig::new(
-            cfg.threads,
-            SpaceConfig::new(64 << 20).phys_pages(384).vmblk_shift(16),
-        )
-        .nodes(2),
+    let mut kcfg = apply_maint(
+        apply_hardened(
+            KmemConfig::new(
+                cfg.threads,
+                SpaceConfig::new(64 << 20).phys_pages(384).vmblk_shift(16),
+            )
+            .nodes(2),
+            &cfg,
+        ),
         &cfg,
     );
     // The torture driver programs the plan; the arena only has to carry one.
@@ -158,6 +178,56 @@ fn fault_injection_torture_covers_every_site() {
     assert!(gs > 0, "no get ever took the locked slow path: {snap:?}");
     assert!(pf > 0, "no put ever took the lock-free fast path: {snap:?}");
     assert!(ps > 0, "no put ever took the locked slow path: {snap:?}");
+
+    arena.reclaim();
+    verify_empty(&arena);
+}
+
+/// The full randomized mix with the maintenance core compiled in and ON:
+/// slow-path drains, trims, and pressure escalations route through the
+/// mailbox, and the torture driver pumps it at every quiescent
+/// checkpoint, asserting the mailbox settles exactly
+/// (`drained == posted − deduped`, backlog empty) each time. Faults stay
+/// on so injected failures and the offload path are exercised together.
+#[test]
+fn maintenance_core_torture_settles_every_checkpoint() {
+    let cfg = TortureConfig {
+        threads: 4,
+        ops_per_thread: 20_000,
+        phases: 4,
+        max_held_per_thread: 1_024,
+        faults: true,
+        maint: true,
+        ..TortureConfig::standard()
+    };
+    // Starved enough that the pressure ladder climbs (mailbox drain
+    // requests get traffic), two nodes so Spill work items carry distinct
+    // shard keys through the dedup filter.
+    let mut kcfg = apply_hardened(
+        KmemConfig::new(
+            cfg.threads,
+            SpaceConfig::new(64 << 20).phys_pages(256).vmblk_shift(16),
+        )
+        .nodes(2)
+        .maint(MaintConfig::on()),
+        &cfg,
+    );
+    kcfg.faults = Faults::with_plan();
+    let arena = KmemArena::new(kcfg).unwrap();
+    assert!(arena.maint_enabled());
+    let report = run_torture(&arena, &cfg);
+
+    assert_eq!(report.ops, (cfg.threads * cfg.ops_per_thread) as u64);
+    // One checkpoint per phase plus teardown — each one pumped the
+    // mailbox and re-proved the settle identity inside the driver.
+    assert_eq!(report.checkpoints, cfg.phases as u64 + 1);
+    assert!(report.allocs > 1_000, "too few allocs: {report:?}");
+
+    let m = arena.snapshot().maint;
+    assert!(m.enabled);
+    assert!(m.posted > 0, "offload never exercised: {m:?}");
+    assert_eq!(m.drained, m.posted - m.deduped, "work leaked: {m:?}");
+    assert_eq!(arena.maint_backlog(), 0);
 
     arena.reclaim();
     verify_empty(&arena);

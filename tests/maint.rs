@@ -1,0 +1,219 @@
+//! Maintenance core, end to end: parity when disabled, the mailbox-routed
+//! pressure drain protocol, conservation under deferred puts, and the
+//! background pump thread.
+
+use kmem::verify::{verify_arena, verify_empty};
+use kmem::{AllocError, KmemArena, KmemConfig, MaintConfig};
+use kmem_vm::SpaceConfig;
+
+const SIZE: usize = 1024;
+
+fn starved_config() -> KmemConfig {
+    // 64 frames (256 KB) against unbounded demand: a few hundred
+    // allocations exhaust the pool outright.
+    KmemConfig::new(2, SpaceConfig::new(16 << 20).phys_pages(64).vmblk_shift(16))
+}
+
+/// Allocates until the pool is dry, returning everything handed out.
+fn drain_pool(cpu: &kmem::CpuHandle) -> Vec<std::ptr::NonNull<u8>> {
+    let mut held = Vec::new();
+    loop {
+        match cpu.alloc(SIZE) {
+            Ok(p) => held.push(p),
+            Err(AllocError::OutOfMemory { .. }) => return held,
+            Err(e) => panic!("starvation must surface as OutOfMemory, got {e}"),
+        }
+    }
+}
+
+/// A deterministic single-threaded churn that exercises every slow-path
+/// site: refills, overflow returns, odd-chain flushes, and a reclaim.
+fn churn(arena: &KmemArena) {
+    let cpu = arena.register_cpu().unwrap();
+    let mut held = Vec::new();
+    for i in 0..4000usize {
+        let size = 16 << (i % 5);
+        held.push((cpu.alloc(size).unwrap(), size));
+        if held.len() > 48 {
+            let (p, s) = held.swap_remove((i * 7) % held.len());
+            // SAFETY: allocated above, freed exactly once.
+            unsafe { cpu.free_sized(p, s) };
+        }
+    }
+    for (p, s) in held {
+        // SAFETY: allocated above, freed exactly once.
+        unsafe { cpu.free_sized(p, s) };
+    }
+    cpu.flush();
+}
+
+/// Satellite regression: with the maintenance core compiled in but
+/// *disabled* (the default), every slow-path site behaves exactly as
+/// before — the maint counters stay zero, the pump is a no-op, and two
+/// identical runs produce byte-identical counter sweeps.
+#[test]
+fn disabled_core_is_byte_for_byte_inline() {
+    let run = || {
+        let arena = KmemArena::new(KmemConfig::small()).unwrap();
+        churn(&arena);
+        assert!(!arena.maint_enabled());
+        assert_eq!(arena.maint_poll(), 0, "disabled pump drains nothing");
+        assert_eq!(arena.maint_backlog(), 0);
+        assert!(arena.start_maint_thread().is_none());
+        arena.snapshot().to_json()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "disabled maintenance must not perturb determinism");
+    // The slow paths really ran inline: spills reached the page layer and
+    // the maint group reports disabled-all-zeros.
+    assert!(a.contains("\"maint\":{\"enabled\":false,\"posted\":0,\"deduped\":0,\"drained\":0,"));
+    let arena = KmemArena::new(KmemConfig::small()).unwrap();
+    churn(&arena);
+    let snap = arena.snapshot();
+    let put: u64 = snap.classes.iter().map(|c| c.global.put).sum();
+    assert!(put > 0, "churn must reach the global layer");
+    assert_eq!(snap.maint, Default::default());
+}
+
+/// Satellite regression: rung 1 of the pressure ladder posts its drain
+/// requests through the mailbox exactly once per climb — repeated failures
+/// re-apply the deepest rung without posting more work.
+#[test]
+fn pressure_climb_posts_one_drain_request_per_climb() {
+    let arena = KmemArena::new(starved_config().maint(MaintConfig::on())).unwrap();
+    let cpu0 = arena.register_cpu().unwrap();
+    let cpu1 = arena.register_cpu().unwrap();
+
+    let held = drain_pool(&cpu0);
+    assert!(held.len() > 100, "only {} blocks before dry", held.len());
+    assert_eq!(arena.snapshot().pressure_level, 3);
+
+    // The climb's posts are in the mailbox; nothing has run yet, so the
+    // other CPU has not been asked to drain.
+    let posted_after_climb = arena.snapshot().maint.posted;
+    assert!(posted_after_climb > 0, "the climb must post work");
+    assert_eq!(arena.pending_drains(), 0, "requests sit in the mailbox");
+
+    // Repeated failures re-apply rung 3 inline and post *nothing* new.
+    assert!(cpu0.alloc(SIZE).is_err());
+    assert!(cpu0.alloc(SIZE).is_err());
+    let snap = arena.snapshot();
+    assert!(snap.pressure_reapplied >= 2);
+    assert_eq!(
+        snap.maint.posted, posted_after_climb,
+        "re-applied failures must not re-post drain requests"
+    );
+
+    // Pumping runs the DrainCpu item: exactly the one other CPU is asked.
+    arena.maint_poll();
+    assert_eq!(arena.pending_drains(), 1, "ncpus - 1 drain flags per climb");
+    cpu1.poll();
+    assert_eq!(arena.pending_drains(), 0);
+
+    // Recover, relax the ladder to calm, and climb again: the second climb
+    // posts a fresh round (the dedup keys cleared when the first drained).
+    for p in held {
+        // SAFETY: allocated above, freed exactly once.
+        unsafe { cpu0.free_sized(p, SIZE) };
+    }
+    arena.maint_poll();
+    for _ in 0..4 {
+        let p = cpu0.alloc(SIZE).expect("service resumes after refill");
+        // SAFETY: allocated above, freed exactly once.
+        unsafe { cpu0.free_sized(p, SIZE) };
+        cpu0.flush();
+        arena.maint_poll();
+    }
+    assert_eq!(arena.snapshot().pressure_level, 0);
+    let posted_between = arena.snapshot().maint.posted;
+    let held = drain_pool(&cpu0);
+    assert_eq!(arena.snapshot().pressure_level, 3);
+    assert!(
+        arena.snapshot().maint.posted > posted_between,
+        "a fresh climb must post a fresh drain round"
+    );
+    arena.maint_poll();
+    assert_eq!(arena.pending_drains(), 1, "one request per climb, again");
+    cpu1.poll();
+
+    for p in held {
+        // SAFETY: allocated above, freed exactly once.
+        unsafe { cpu0.free_sized(p, SIZE) };
+    }
+    cpu0.flush();
+    arena.maint_poll();
+    arena.reclaim();
+    verify_empty(&arena);
+}
+
+/// With the core enabled, deferred puts plus the explicit pump conserve
+/// every block, settle the mailbox (`drained == posted - deduped`), and
+/// the epoch-batched drain actually runs.
+#[test]
+fn maint_pump_conserves_blocks_and_settles_the_mailbox() {
+    let arena = KmemArena::new(KmemConfig::small().maint(MaintConfig::on())).unwrap();
+    assert!(arena.maint_enabled());
+    churn(&arena);
+    churn(&arena);
+    // Pump to quiescence: all deferred trims/regroups/spills run.
+    while arena.maint_poll() > 0 {}
+    let snap = arena.snapshot();
+    assert_eq!(arena.maint_backlog(), 0, "mailbox empty at quiescence");
+    assert_eq!(
+        snap.maint.drained,
+        snap.maint.posted - snap.maint.deduped,
+        "every undeduplicated post must drain"
+    );
+    assert!(snap.maint.posted > 0, "churn must post maintenance work");
+    assert!(snap.maint.deduped > 0, "identical crossings must dedupe");
+    snap.check_quiescent()
+        .unwrap_or_else(|e| panic!("quiescent invariants with maint on: {e}"));
+    verify_arena(&arena);
+    arena.reclaim();
+    let snap = arena.snapshot();
+    assert!(
+        snap.maint.batch_drains > 0,
+        "reclaim must use the epoch-batched drain"
+    );
+    assert!(snap.maint.batched_chains >= snap.maint.batch_drains);
+    verify_empty(&arena);
+}
+
+/// The production shape: a background maintenance thread pumps while
+/// several CPUs churn concurrently. Dropping the pump settles everything.
+#[test]
+fn maint_thread_keeps_up_with_concurrent_churn() {
+    let arena = KmemArena::new(KmemConfig::small().maint(MaintConfig::on())).unwrap();
+    let pump = arena.start_maint_thread().expect("core is enabled");
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let handle = arena.register_cpu().unwrap();
+            s.spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..3000usize {
+                    let size = 16 << (i % 5);
+                    held.push((handle.alloc(size).unwrap(), size));
+                    if held.len() > 32 {
+                        let (p, s) = held.swap_remove(i % held.len());
+                        // SAFETY: allocated above, freed exactly once.
+                        unsafe { handle.free_sized(p, s) };
+                    }
+                }
+                for (p, s) in held {
+                    // SAFETY: allocated above, freed exactly once.
+                    unsafe { handle.free_sized(p, s) };
+                }
+            });
+        }
+    });
+    // All CPU handles are dropped (their caches flushed); stop the pump,
+    // which runs one final drain before joining.
+    drop(pump);
+    let snap = arena.snapshot();
+    assert_eq!(arena.maint_backlog(), 0, "final sweep leaves nothing");
+    assert_eq!(snap.maint.drained, snap.maint.posted - snap.maint.deduped);
+    verify_arena(&arena);
+    arena.reclaim();
+    verify_empty(&arena);
+}
